@@ -1,0 +1,77 @@
+// Fig. 2: frequency distribution of the total standard deviation s_t,
+// quiet vs user-walking, with the 99th-percentile threshold of the
+// KDE-estimated normal profile.
+//
+// Also runs the DESIGN.md ablation: the KDE percentile threshold vs a
+// parametric Gaussian (mean + z * sigma) threshold on the same data.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "fadewich/ml/kde.hpp"
+#include "fadewich/stats/descriptive.hpp"
+#include "fadewich/stats/histogram.hpp"
+
+using namespace fadewich;
+
+int main() {
+  const eval::PaperExperiment experiment = bench::make_experiment();
+  const auto series = eval::collect_sum_std(
+      experiment.recording, eval::sensor_subset(9),
+      eval::default_md_config());
+
+  eval::print_banner(
+      std::cout,
+      "Fig. 2: distribution of the sum of standard deviations (9 sensors)");
+  std::cout << "quiet:  n=" << series.quiet.size()
+            << " mean=" << eval::fmt(stats::mean(series.quiet))
+            << " p99=" << eval::fmt(stats::percentile(series.quiet, 99.0))
+            << "\nmoving: n=" << series.moving.size()
+            << " mean=" << eval::fmt(stats::mean(series.moving))
+            << " max=" << eval::fmt(stats::max(series.moving))
+            << "\nMD threshold (99th pct of normal profile): "
+            << eval::fmt(series.threshold) << "\n\n";
+
+  // Binned density, normalised like the figure.
+  const double lo = 0.0;
+  const double hi = stats::percentile(series.moving, 99.5);
+  const std::size_t bins = 25;
+  stats::Histogram quiet_hist(lo, hi, bins);
+  quiet_hist.add_all(series.quiet);
+  stats::Histogram moving_hist(lo, hi, bins);
+  moving_hist.add_all(series.moving);
+  const auto pq = quiet_hist.probabilities();
+  const auto pm = moving_hist.probabilities();
+
+  eval::TextTable table({"sum-of-std", "density(quiet)", "density(moving)"});
+  for (std::size_t b = 0; b < bins; ++b) {
+    table.add_row({eval::fmt(quiet_hist.bin_center(b), 1),
+                   eval::fmt(pq[b], 4), eval::fmt(pm[b], 4)});
+  }
+  table.print(std::cout);
+
+  // Ablation: KDE percentile vs parametric Gaussian threshold.
+  const ml::GaussianKde kde(series.quiet);
+  const double kde_threshold = kde.percentile(0.99);
+  const double z99 = 2.3263;  // standard normal 99th percentile
+  const double gaussian_threshold =
+      stats::mean(series.quiet) + z99 * stats::stddev(series.quiet);
+  auto exceed_rate = [&](double threshold) {
+    std::size_t n = 0;
+    for (double v : series.quiet) {
+      if (v >= threshold) ++n;
+    }
+    return 100.0 * static_cast<double>(n) /
+           static_cast<double>(series.quiet.size());
+  };
+  std::cout << "\nAblation: threshold estimator on the quiet data\n";
+  eval::TextTable ablation(
+      {"estimator", "threshold", "quiet ticks above (%)"});
+  ablation.add_row({"KDE 99th pct (paper)", eval::fmt(kde_threshold),
+                    eval::fmt(exceed_rate(kde_threshold))});
+  ablation.add_row({"Gaussian mean+z*sigma", eval::fmt(gaussian_threshold),
+                    eval::fmt(exceed_rate(gaussian_threshold))});
+  ablation.print(std::cout);
+  std::cout << "(the KDE tracks the skewed right tail; the parametric\n"
+               " threshold misplaces the 1% false-alarm budget)\n";
+  return 0;
+}

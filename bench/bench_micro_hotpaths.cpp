@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the hot paths a real deployment
+// exercises continuously: channel sampling, MD per-tick processing, KDE
+// threshold re-estimation, RE feature extraction, and SVM training.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/core/features.hpp"
+#include "fadewich/core/movement_detector.hpp"
+#include "fadewich/core/normal_profile.hpp"
+#include "fadewich/ml/kde.hpp"
+#include "fadewich/ml/multiclass_svm.hpp"
+#include "fadewich/rf/channel.hpp"
+#include "fadewich/rf/floorplan.hpp"
+
+namespace fadewich {
+namespace {
+
+void BM_ChannelSampleNineSensors(benchmark::State& state) {
+  const rf::FloorPlan plan = rf::paper_office();
+  rf::ChannelMatrix channel(plan.sensors, rf::ChannelConfig{}, 1);
+  const std::vector<rf::BodyState> bodies{
+      {{2.0, 1.5}, 1.4}, {{4.3, 2.5}, 0.0}, {{0.7, 0.7}, 0.0}};
+  std::vector<double> row(channel.stream_count());
+  for (auto _ : state) {
+    channel.sample(bodies, row);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(row.size()));
+}
+BENCHMARK(BM_ChannelSampleNineSensors);
+
+void BM_MovementDetectorStep(benchmark::State& state) {
+  const auto streams = static_cast<std::size_t>(state.range(0));
+  core::MovementDetectorConfig config;
+  config.calibration = 10.0;
+  core::MovementDetector md(streams, 5.0, config);
+  Rng rng(7);
+  std::vector<double> row(streams);
+  // Warm through calibration.
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : row) v = rng.normal(-60.0, 1.0);
+    md.step(row);
+  }
+  for (auto _ : state) {
+    for (auto& v : row) v = rng.normal(-60.0, 1.0);
+    benchmark::DoNotOptimize(md.step(row));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(streams));
+}
+BENCHMARK(BM_MovementDetectorStep)->Arg(6)->Arg(20)->Arg(72);
+
+void BM_NormalProfileReestimate(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 600; ++i) samples.push_back(rng.normal(50.0, 5.0));
+  core::NormalProfileConfig config;
+  config.batch_size = 150;
+  for (auto _ : state) {
+    core::NormalProfile profile(config);
+    profile.initialize(samples);
+    benchmark::DoNotOptimize(profile.threshold());
+  }
+}
+BENCHMARK(BM_NormalProfileReestimate);
+
+void BM_KdePercentile(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 600; ++i) samples.push_back(rng.normal(50.0, 5.0));
+  const ml::GaussianKde kde(samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.percentile(0.99));
+  }
+}
+BENCHMARK(BM_KdePercentile);
+
+void BM_FeatureExtraction72Streams(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::vector<double>> windows(72);
+  for (auto& w : windows) {
+    for (int i = 0; i < 23; ++i) {
+      w.push_back(std::round(rng.normal(-60.0, 2.0)));
+    }
+  }
+  const core::FeatureConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_features(windows, config));
+  }
+}
+BENCHMARK(BM_FeatureExtraction72Streams);
+
+void BM_SvmTrainPaperScale(benchmark::State& state) {
+  // ~110 samples x 216 features, 4 classes: RE's training workload.
+  Rng rng(11);
+  ml::Dataset data;
+  for (int i = 0; i < 110; ++i) {
+    const int label = i % 4;
+    std::vector<double> x(216);
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      x[f] = rng.normal(f % 4 == static_cast<std::size_t>(label) ? 2.0
+                                                                 : 0.0,
+                        1.0);
+    }
+    data.add(std::move(x), label);
+  }
+  for (auto _ : state) {
+    ml::MulticlassSvm svm;
+    svm.train(data);
+    benchmark::DoNotOptimize(svm.trained());
+  }
+}
+BENCHMARK(BM_SvmTrainPaperScale);
+
+}  // namespace
+}  // namespace fadewich
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table IV: usability — incorrect screensavers and deauthentications per
+// 8 h day (mean and std over 100 keyboard/mouse input draws) and the
+// resulting daily cost in seconds (3 s per screensaver cancel, 13 s per
+// forced re-login).
+// Paper at 9 sensors: 9.094 (1.15) screensavers/day, 0.036 (0.09)
+// deauths/day, 27.75 s/day.
+#include "bench_util.hpp"
+
+using namespace fadewich;
+
+int main() {
+  const eval::PaperExperiment experiment = bench::make_experiment();
+
+  eval::print_banner(std::cout,
+                     "Table IV: usability cost per 8 h day "
+                     "(100 input draws)");
+  eval::TextTable table({"sensors", "screensavers/day", "deauths/day",
+                         "cost (s/day)", "paper cost"});
+  const char* paper_cost[] = {"22.07", "36.75", "34.81", "32.50",
+                              "26.33", "27.99", "27.75"};
+  for (std::size_t n = 3; n <= 9; ++n) {
+    eval::SecurityConfig config;
+    const auto security =
+        eval::evaluate_security(experiment.recording,
+                                eval::sensor_subset(n),
+                                eval::default_md_config(), config);
+    eval::UsabilityConfig ucfg;
+    const auto result =
+        eval::evaluate_usability(experiment.recording, security, ucfg);
+    table.add_row(
+        {std::to_string(n),
+         eval::fmt(result.screensavers_per_day_mean, 3) + " (" +
+             eval::fmt(result.screensavers_per_day_std, 2) + ")",
+         eval::fmt(result.deauths_per_day_mean, 3) + " (" +
+             eval::fmt(result.deauths_per_day_std, 2) + ")",
+         eval::fmt(result.cost_per_day_seconds, 2), paper_cost[n - 3]});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: screensavers grow with MD recall then\n"
+               "plateau; deauths shrink with RE precision; cost stays\n"
+               "within ~22-37 s per day\n";
+  return 0;
+}

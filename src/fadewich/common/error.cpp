@@ -1,0 +1,27 @@
+#include "fadewich/common/error.hpp"
+
+#include <sstream>
+
+namespace fadewich {
+
+namespace {
+std::string format_message(const char* kind, const char* expr,
+                           const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line)
+    : std::logic_error(format_message(kind, expr, file, line)) {}
+
+namespace detail {
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace fadewich

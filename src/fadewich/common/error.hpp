@@ -1,0 +1,51 @@
+// Contract checking and error types shared by every fadewich module.
+//
+// Public-API preconditions are enforced with FADEWICH_EXPECTS, which throws
+// fadewich::ContractViolation (so callers can test misuse without aborting
+// the process).  Internal invariants use FADEWICH_ENSURES with the same
+// behaviour.  Both macros always stay on: the library is instrumentation
+// for experiments, and a silently-violated precondition would corrupt
+// results far more expensively than the branch costs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fadewich {
+
+/// Thrown when a FADEWICH_EXPECTS/FADEWICH_ENSURES contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line);
+};
+
+/// Thrown for runtime failures that are not caller bugs (e.g. a model was
+/// queried before being trained, an empty dataset was supplied by a file).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace fadewich
+
+#define FADEWICH_EXPECTS(cond)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::fadewich::detail::contract_failed("precondition", #cond,        \
+                                          __FILE__, __LINE__);          \
+    }                                                                   \
+  } while (false)
+
+#define FADEWICH_ENSURES(cond)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::fadewich::detail::contract_failed("invariant", #cond,           \
+                                          __FILE__, __LINE__);          \
+    }                                                                   \
+  } while (false)

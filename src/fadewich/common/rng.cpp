@@ -1,0 +1,52 @@
+#include "fadewich/common/rng.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  FADEWICH_EXPECTS(lo <= hi);
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FADEWICH_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  FADEWICH_EXPECTS(sigma >= 0.0);
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  FADEWICH_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  FADEWICH_EXPECTS(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+Rng Rng::split(std::uint64_t stream) {
+  // SplitMix64-style mix of a fresh draw with the stream id; cheap and
+  // good enough to decorrelate child streams for simulation purposes.
+  std::uint64_t z = engine_() + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace fadewich

@@ -1,0 +1,65 @@
+// Simulation time types.
+//
+// The simulator runs on a fixed-step clock.  Ticks are integer sample
+// indices; the tick rate converts between ticks and seconds.  All modules
+// exchange time as Seconds (double) so parameters read like the paper
+// (t_delta = 4.5 s, tID = 5 s, ...), while storage and loops use ticks.
+#pragma once
+
+#include <cstdint>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich {
+
+using Seconds = double;
+using Tick = std::int64_t;
+
+/// Converts between integer ticks and wall-clock seconds at a fixed rate.
+class TickRate {
+ public:
+  /// `hz` samples per second; must be positive.
+  explicit TickRate(double hz) : hz_(hz) { FADEWICH_EXPECTS(hz > 0.0); }
+
+  double hz() const { return hz_; }
+
+  Seconds to_seconds(Tick t) const { return static_cast<double>(t) / hz_; }
+
+  /// Nearest tick at or after the given time.
+  Tick to_ticks_ceil(Seconds s) const {
+    const double exact = s * hz_;
+    const auto floor_t = static_cast<Tick>(exact);
+    return (static_cast<double>(floor_t) >= exact) ? floor_t : floor_t + 1;
+  }
+
+  /// Nearest tick at or before the given time.
+  Tick to_ticks_floor(Seconds s) const {
+    const double exact = s * hz_;
+    auto t = static_cast<Tick>(exact);
+    if (static_cast<double>(t) > exact) --t;
+    return t;
+  }
+
+  Seconds tick_duration() const { return 1.0 / hz_; }
+
+ private:
+  double hz_;
+};
+
+/// Half-open comparison helpers for time intervals [begin, end].
+struct Interval {
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+
+  Seconds duration() const { return end - begin; }
+
+  bool contains(Seconds t) const { return t >= begin && t <= end; }
+
+  /// Closed-interval overlap test, matching the paper's definition of a
+  /// variation window overlapping a true window.
+  bool overlaps(const Interval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+};
+
+}  // namespace fadewich

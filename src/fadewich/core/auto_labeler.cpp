@@ -1,0 +1,60 @@
+#include "fadewich/core/auto_labeler.hpp"
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/core/radio_environment.hpp"
+
+namespace fadewich::core {
+
+AutoLabeler::AutoLabeler(AutoLabelerConfig config,
+                         std::size_t workstation_count)
+    : config_(config), workstation_count_(workstation_count) {
+  FADEWICH_EXPECTS(workstation_count >= 1);
+  FADEWICH_EXPECTS(config_.t_delta > 0.0);
+  FADEWICH_EXPECTS(config_.lower_slack >= 0.0);
+  FADEWICH_EXPECTS(config_.upper_slack >= 0.0);
+  FADEWICH_EXPECTS(config_.long_idle >
+                   config_.t_delta + config_.upper_slack);
+}
+
+AutoLabeler::Attempt AutoLabeler::attempt(const KeyboardMouseActivity& kma,
+                                          Seconds decision_time) const {
+  Attempt out;
+  for (std::size_t w = 0; w < workstation_count_; ++w) {
+    const Seconds idle = kma.idle_time(w, decision_time);
+    if (idle >= config_.long_idle) {
+      out.away_workstations.push_back(w);
+    } else if (idle >= config_.t_delta - config_.lower_slack &&
+               idle <= config_.t_delta + config_.upper_slack) {
+      out.leave_candidates.push_back(w);
+    }
+  }
+  if (out.deferred()) return out;  // resolved later
+  if (out.leave_candidates.size() == 1) {
+    out.label = label_for_workstation(out.leave_candidates[0]);
+  } else if (out.leave_candidates.size() > 1) {
+    out.ambiguous = true;
+  }
+  return out;
+}
+
+std::optional<int> AutoLabeler::resolve(const KeyboardMouseActivity& kma,
+                                        Seconds decision_time,
+                                        const Attempt& attempt,
+                                        Seconds now) const {
+  FADEWICH_EXPECTS(now >= decision_time + config_.entry_confirmation);
+  // Fresh input on an away workstation: the away user returned — the
+  // variation window was their entrance.
+  for (std::size_t w : attempt.away_workstations) {
+    if (kma.idle_time(w, now) < now - decision_time) {
+      return kLabelEntered;
+    }
+  }
+  // Nobody came back: if exactly one workstation went idle at window
+  // start, it was that user's leave.
+  if (attempt.leave_candidates.size() == 1) {
+    return label_for_workstation(attempt.leave_candidates[0]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace fadewich::core

@@ -1,0 +1,75 @@
+// Automatic training-sample labeling (Section IV-D3).
+//
+// During the training phase FADEWICH labels each variation-window sample
+// from KMA idle times alone — no human supervisor:
+//
+// * A workstation whose idle time at t1 + t_delta sits in the band
+//   [t_delta - lower_slack, t_delta + upper_slack] is a *leave
+//   candidate*: its input stopped right when the window began.  The band
+//   is asymmetric — a user who left cannot have typed after departing,
+//   so the lower bound is tight, while the last input may precede the
+//   departure by several seconds of natural typing pause, so the upper
+//   bound is loose.
+// * A workstation idle much longer than the window is *away*; its user
+//   may be the person entering right now.  Whether the window was an
+//   entry only becomes knowable a few seconds later, when the returning
+//   user reaches the desk and types.  Samples observed while anyone is
+//   away are therefore deferred and resolved at
+//   decision_time + entry_confirmation: fresh input on an away
+//   workstation confirms w0; otherwise a single leave candidate labels
+//   the sample; anything else is discarded — exactly the paper's
+//   "when FADEWICH is uncertain it simply discards the sample".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+#include "fadewich/core/kma.hpp"
+
+namespace fadewich::core {
+
+struct AutoLabelerConfig {
+  Seconds t_delta = 4.5;
+  Seconds lower_slack = 0.8;   // idle below t_delta - this: user present
+  Seconds upper_slack = 6.5;   // covers the pre-departure typing pause
+  Seconds long_idle = 60.0;    // user considered away beyond this
+  Seconds entry_confirmation = 12.0;  // returning input must arrive by
+};
+
+class AutoLabeler {
+ public:
+  AutoLabeler(AutoLabelerConfig config, std::size_t workstation_count);
+
+  struct Attempt {
+    /// Confident immediate label (a single leave candidate, nobody away).
+    std::optional<int> label;
+    /// Several leave candidates and nobody away: discard immediately.
+    bool ambiguous = false;
+    /// Workstations whose users are away; non-empty means the decision
+    /// must be deferred to resolve().
+    std::vector<std::size_t> away_workstations;
+    /// Leave candidates observed at decision time (for resolve()).
+    std::vector<std::size_t> leave_candidates;
+
+    bool deferred() const { return !away_workstations.empty(); }
+  };
+
+  /// Labeling attempt at decision time t1 + t_delta.
+  Attempt attempt(const KeyboardMouseActivity& kma,
+                  Seconds decision_time) const;
+
+  /// Resolve a deferred attempt once `now` is at least decision_time +
+  /// entry_confirmation.  Returns the label, or std::nullopt to discard.
+  std::optional<int> resolve(const KeyboardMouseActivity& kma,
+                             Seconds decision_time, const Attempt& attempt,
+                             Seconds now) const;
+
+  const AutoLabelerConfig& config() const { return config_; }
+
+ private:
+  AutoLabelerConfig config_;
+  std::size_t workstation_count_;
+};
+
+}  // namespace fadewich::core

@@ -1,0 +1,55 @@
+#include "fadewich/core/controller.hpp"
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/core/radio_environment.hpp"
+
+namespace fadewich::core {
+
+Controller::Controller(ControllerConfig config,
+                       std::size_t workstation_count)
+    : config_(config), workstation_count_(workstation_count) {
+  FADEWICH_EXPECTS(config_.t_delta > 0.0);
+  FADEWICH_EXPECTS(config_.rule2_idle > 0.0);
+  FADEWICH_EXPECTS(workstation_count >= 1);
+}
+
+std::vector<Action> Controller::step(
+    Seconds now, Seconds window_duration,
+    const KeyboardMouseActivity& kma,
+    const std::function<std::optional<int>()>& classify) {
+  FADEWICH_EXPECTS(window_duration >= 0.0);
+  std::vector<Action> actions;
+
+  switch (state_) {
+    case ControlState::kQuiet:
+      if (window_duration >= config_.t_delta) {
+        // Rule 1, exactly once per window, right as it reaches t_delta.
+        const std::optional<int> label = classify();
+        if (label && is_leave_label(*label)) {
+          const std::size_t w = workstation_of_label(*label);
+          if (w < workstation_count_ &&
+              kma.idle_for(w, now, config_.t_delta)) {
+            actions.push_back({ActionType::kDeauthenticate, w, now});
+          }
+        }
+        state_ = ControlState::kNoisy;
+      }
+      break;
+
+    case ControlState::kNoisy:
+      if (window_duration == 0.0) {
+        state_ = ControlState::kQuiet;
+      } else {
+        // Rule 2: the window is continuing past t_delta; other users may
+        // be moving too, so protect every idle workstation.
+        for (std::size_t w :
+             kma.idle_set(now, config_.rule2_idle)) {
+          actions.push_back({ActionType::kAlert, w, now});
+        }
+      }
+      break;
+  }
+  return actions;
+}
+
+}  // namespace fadewich::core

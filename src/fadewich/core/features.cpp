@@ -1,0 +1,48 @@
+#include "fadewich/core/features.hpp"
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/autocorrelation.hpp"
+#include "fadewich/stats/descriptive.hpp"
+#include "fadewich/stats/histogram.hpp"
+
+namespace fadewich::core {
+
+void append_stream_features(std::span<const double> window,
+                            const FeatureConfig& config,
+                            std::vector<double>& out) {
+  FADEWICH_EXPECTS(window.size() > config.autocorr_lag);
+  if (config.use_variance) out.push_back(stats::variance(window));
+  if (config.use_entropy) out.push_back(stats::value_entropy(window));
+  if (config.use_autocorrelation) {
+    out.push_back(stats::autocorrelation(window, config.autocorr_lag));
+  }
+}
+
+std::vector<double> extract_features(
+    const std::vector<std::vector<double>>& stream_windows,
+    const FeatureConfig& config) {
+  FADEWICH_EXPECTS(!stream_windows.empty());
+  std::vector<double> out;
+  out.reserve(stream_windows.size() * config.features_per_stream());
+  for (const auto& window : stream_windows) {
+    append_stream_features(window, config, out);
+  }
+  return out;
+}
+
+std::vector<std::string> feature_names(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    const FeatureConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(pairs.size() * config.features_per_stream());
+  for (const auto& [tx, rx] : pairs) {
+    const std::string stem = "d" + std::to_string(tx + 1) + "-d" +
+                             std::to_string(rx + 1) + "-";
+    if (config.use_variance) names.push_back(stem + "var");
+    if (config.use_entropy) names.push_back(stem + "ent");
+    if (config.use_autocorrelation) names.push_back(stem + "ac");
+  }
+  return names;
+}
+
+}  // namespace fadewich::core

@@ -1,0 +1,49 @@
+// RE feature extraction (Section IV-D1).
+//
+// For every stream's window V^(i)_{t1, t1+t_delta} three features are
+// computed: variance, entropy of the window's value-frequency histogram,
+// and autocorrelation.  The sample's feature vector concatenates them per
+// stream in stream order: [var_0, ent_0, ac_0, var_1, ent_1, ac_1, ...].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fadewich::core {
+
+struct FeatureConfig {
+  std::size_t autocorr_lag = 1;
+  // Ablation switches: the paper uses all three feature families.
+  bool use_variance = true;
+  bool use_entropy = true;
+  bool use_autocorrelation = true;
+
+  std::size_t features_per_stream() const {
+    return static_cast<std::size_t>(use_variance) +
+           static_cast<std::size_t>(use_entropy) +
+           static_cast<std::size_t>(use_autocorrelation);
+  }
+};
+
+/// Features of one stream window.  Requires a window longer than the
+/// autocorrelation lag.
+void append_stream_features(std::span<const double> window,
+                            const FeatureConfig& config,
+                            std::vector<double>& out);
+
+/// Full sample: one window per stream, concatenated features.
+std::vector<double> extract_features(
+    const std::vector<std::vector<double>>& stream_windows,
+    const FeatureConfig& config);
+
+/// Human-readable feature names in extraction order, e.g. "d9-d2-ent"
+/// (Table V's naming).  `pairs` holds the (tx, rx) sensor indices of each
+/// stream, 0-based; names are 1-based like the paper.
+std::vector<std::string> feature_names(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+    const FeatureConfig& config);
+
+}  // namespace fadewich::core

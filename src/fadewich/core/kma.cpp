@@ -1,0 +1,40 @@
+#include "fadewich/core/kma.hpp"
+
+#include <limits>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::core {
+
+KeyboardMouseActivity::KeyboardMouseActivity(std::size_t workstation_count)
+    : last_input_(workstation_count,
+                  -std::numeric_limits<Seconds>::infinity()) {
+  FADEWICH_EXPECTS(workstation_count >= 1);
+}
+
+void KeyboardMouseActivity::record_input(std::size_t workstation, Seconds t) {
+  FADEWICH_EXPECTS(workstation < last_input_.size());
+  if (t > last_input_[workstation]) last_input_[workstation] = t;
+}
+
+Seconds KeyboardMouseActivity::idle_time(std::size_t workstation,
+                                         Seconds t) const {
+  FADEWICH_EXPECTS(workstation < last_input_.size());
+  return t - last_input_[workstation];
+}
+
+std::vector<std::size_t> KeyboardMouseActivity::idle_set(Seconds t,
+                                                         Seconds s) const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < last_input_.size(); ++w) {
+    if (idle_time(w, t) >= s) out.push_back(w);
+  }
+  return out;
+}
+
+bool KeyboardMouseActivity::idle_for(std::size_t workstation, Seconds t,
+                                     Seconds s) const {
+  return idle_time(workstation, t) >= s;
+}
+
+}  // namespace fadewich::core

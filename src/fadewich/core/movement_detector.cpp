@@ -1,0 +1,86 @@
+#include "fadewich/core/movement_detector.hpp"
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::core {
+
+MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
+                                   MovementDetectorConfig config)
+    : rate_(tick_hz),
+      config_(config),
+      profile_(config.profile),
+      calibration_ticks_(rate_.to_ticks_ceil(config.calibration)),
+      merge_gap_ticks_(rate_.to_ticks_ceil(config.merge_gap)) {
+  FADEWICH_EXPECTS(stream_count >= 1);
+  FADEWICH_EXPECTS(config.std_window > 0.0);
+  const auto window_ticks = static_cast<std::size_t>(
+      std::max<Tick>(2, rate_.to_ticks_ceil(config.std_window)));
+  windows_.reserve(stream_count);
+  for (std::size_t i = 0; i < stream_count; ++i) {
+    windows_.emplace_back(window_ticks);
+  }
+}
+
+MdState MovementDetector::step(std::span<const double> rssi_row) {
+  FADEWICH_EXPECTS(rssi_row.size() == windows_.size());
+  const Tick tick = now_++;
+
+  double st = 0.0;
+  bool all_full = true;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    windows_[i].push(rssi_row[i]);
+    all_full = all_full && windows_[i].full();
+    if (all_full) st += windows_[i].stddev();
+  }
+  if (!all_full) return MdState::kCalibrating;
+  // Recompute cleanly: the loop above only accumulated while the prefix
+  // was full; with all windows full, sum every stream.
+  st = 0.0;
+  for (const auto& w : windows_) st += w.stddev();
+  last_st_ = st;
+
+  if (!profile_.initialized()) {
+    calibration_buffer_.push_back(st);
+    if (static_cast<Tick>(calibration_buffer_.size()) >=
+        calibration_ticks_) {
+      profile_.initialize(std::move(calibration_buffer_));
+      calibration_buffer_.clear();
+    }
+    return MdState::kCalibrating;
+  }
+
+  const bool anomalous = st >= profile_.threshold();
+  profile_.offer(st);
+
+  if (anomalous) {
+    if (open_ && tick - last_anomalous_ <= merge_gap_ticks_) {
+      open_->end = tick;  // extend (possibly across a short gap)
+    } else {
+      if (open_) completed_.push_back(*open_);
+      open_ = VariationWindow{tick, tick};
+    }
+    last_anomalous_ = tick;
+    return MdState::kAnomalous;
+  }
+
+  if (open_ && tick - last_anomalous_ > merge_gap_ticks_) {
+    completed_.push_back(*open_);
+    open_.reset();
+  }
+  return MdState::kNormal;
+}
+
+std::optional<VariationWindow> MovementDetector::current_window() const {
+  return open_;
+}
+
+Seconds MovementDetector::current_window_duration() const {
+  if (!open_) return 0.0;
+  // The window is still live: dW_t runs from its first anomalous tick to
+  // the present.
+  return rate_.to_seconds(now_ - open_->begin);
+}
+
+}  // namespace fadewich::core

@@ -1,0 +1,92 @@
+// Movement Detection module (Section IV-C).
+//
+// Per tick, MD pushes every stream's new RSSI sample into a short sliding
+// window, sums the per-stream standard deviations
+//
+//   s_t = sum_i sigma(V^(i)_{t-d, t})
+//
+// and compares s_t against the normal profile's percentile threshold.
+// Runs of anomalous ticks form *variation windows* [t1, t2]; sub-threshold
+// gaps shorter than `merge_gap` do not split a window (RSSI is noisy at
+// sample granularity).  Windows shorter than t_delta are ignored by the
+// controller, not by MD — MD reports every window plus the live duration
+// dW_t the controller's state machine keys on.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+#include "fadewich/core/normal_profile.hpp"
+#include "fadewich/stats/rolling_window.hpp"
+
+namespace fadewich::core {
+
+struct MovementDetectorConfig {
+  Seconds std_window = 2.0;    // d: per-stream std-dev window
+  Seconds calibration = 60.0;  // quiet period used to seed the profile
+  Seconds merge_gap = 0.6;     // max sub-threshold gap inside one window
+  NormalProfileConfig profile;
+};
+
+struct VariationWindow {
+  Tick begin = 0;  // first anomalous tick
+  Tick end = 0;    // last anomalous tick (inclusive)
+};
+
+enum class MdState {
+  kCalibrating,  // profile not yet available
+  kNormal,
+  kAnomalous,
+};
+
+class MovementDetector {
+ public:
+  /// Requires stream_count >= 1 and tick_hz > 0.
+  MovementDetector(std::size_t stream_count, double tick_hz,
+                   MovementDetectorConfig config = {});
+
+  /// Consume one tick of samples (one value per stream).
+  MdState step(std::span<const double> rssi_row);
+
+  /// Ticks processed so far (the tick index of the next step call).
+  Tick now() const { return now_; }
+  const TickRate& rate() const { return rate_; }
+
+  /// The most recent s_t (0 until windows fill).
+  double last_sum_std() const { return last_st_; }
+
+  /// The open variation window, if any; `end` tracks the last anomalous
+  /// tick seen.
+  std::optional<VariationWindow> current_window() const;
+
+  /// dW_t: duration (seconds) of the current variation window, 0 if none.
+  Seconds current_window_duration() const;
+
+  /// Windows that have closed, in completion order.  Callers may consume
+  /// (clear) this between steps.
+  std::vector<VariationWindow>& completed_windows() {
+    return completed_;
+  }
+
+  const NormalProfile& profile() const { return profile_; }
+  bool calibrated() const { return profile_.initialized(); }
+
+ private:
+  TickRate rate_;
+  MovementDetectorConfig config_;
+  std::vector<stats::RollingWindow> windows_;
+  NormalProfile profile_;
+  std::vector<double> calibration_buffer_;
+  Tick calibration_ticks_;
+  Tick merge_gap_ticks_;
+
+  Tick now_ = 0;
+  double last_st_ = 0.0;
+  std::optional<VariationWindow> open_;
+  Tick last_anomalous_ = -1;
+  std::vector<VariationWindow> completed_;
+};
+
+}  // namespace fadewich::core

@@ -1,0 +1,117 @@
+#include "fadewich/core/normal_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/ml/kde.hpp"
+
+namespace fadewich::core {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kKernelReach = 8.0;  // bandwidths beyond which Phi is 0/1
+}  // namespace
+
+NormalProfile::NormalProfile(NormalProfileConfig config) : config_(config) {
+  FADEWICH_EXPECTS(config_.capacity >= 20);
+  FADEWICH_EXPECTS(config_.alpha > 0.0 && config_.alpha < 50.0);
+  FADEWICH_EXPECTS(config_.batch_size >= 1);
+  FADEWICH_EXPECTS(config_.anomalous_fraction > 0.0 &&
+                   config_.anomalous_fraction <= 1.0);
+}
+
+void NormalProfile::initialize(std::vector<double> samples) {
+  FADEWICH_EXPECTS(samples.size() >= 10);
+  samples_.assign(samples.begin(), samples.end());
+  while (samples_.size() > config_.capacity) samples_.pop_front();
+  queue_.clear();
+  reestimate();
+}
+
+bool NormalProfile::offer(double value) {
+  FADEWICH_EXPECTS(initialized());
+  if (!config_.self_update) return false;
+  queue_.push_back(value);
+  if (queue_.size() < config_.batch_size) return false;
+
+  // is_anomalous(Q, tau): fraction of queued values above the current
+  // threshold.
+  std::size_t above = 0;
+  for (double v : queue_) {
+    if (v >= threshold_) ++above;
+  }
+  const bool anomalous_batch =
+      static_cast<double>(above) >=
+      config_.anomalous_fraction * static_cast<double>(queue_.size());
+
+  if (anomalous_batch) {
+    queue_.clear();
+    return false;
+  }
+
+  // Fold the batch in, dropping the oldest values past capacity.
+  for (double v : queue_) samples_.push_back(v);
+  while (samples_.size() > config_.capacity) samples_.pop_front();
+  queue_.clear();
+  reestimate();
+  return true;
+}
+
+void NormalProfile::reestimate() {
+  sorted_.assign(samples_.begin(), samples_.end());
+  std::sort(sorted_.begin(), sorted_.end());
+  bandwidth_ = ml::GaussianKde::silverman_bandwidth(sorted_);
+
+  // Invert the CDF at p = 1 - alpha/100 by bisection on the pruned CDF.
+  const double p = 1.0 - config_.alpha / 100.0;
+  double lo = sorted_.front() - kKernelReach * bandwidth_;
+  double hi = sorted_.back() + kKernelReach * bandwidth_;
+  for (int i = 0; i < 80 && hi - lo > 1e-9 * (1.0 + std::abs(hi)); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf_sorted(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  threshold_ = 0.5 * (lo + hi);
+}
+
+double NormalProfile::cdf_sorted(double x) const {
+  // Samples below x - reach contribute 1; above x + reach contribute 0;
+  // only the middle needs erf.
+  const double reach = kKernelReach * bandwidth_;
+  const auto lo_it =
+      std::lower_bound(sorted_.begin(), sorted_.end(), x - reach);
+  const auto hi_it =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x + reach);
+  double acc = static_cast<double>(lo_it - sorted_.begin());
+  for (auto it = lo_it; it != hi_it; ++it) {
+    acc += 0.5 * (1.0 + std::erf((x - *it) / bandwidth_ * kInvSqrt2));
+  }
+  return acc / static_cast<double>(sorted_.size());
+}
+
+double NormalProfile::pdf(double x) const {
+  FADEWICH_EXPECTS(initialized());
+  const double reach = kKernelReach * bandwidth_;
+  const auto lo_it =
+      std::lower_bound(sorted_.begin(), sorted_.end(), x - reach);
+  const auto hi_it =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x + reach);
+  double acc = 0.0;
+  for (auto it = lo_it; it != hi_it; ++it) {
+    const double u = (x - *it) / bandwidth_;
+    acc += std::exp(-0.5 * u * u);
+  }
+  return acc * kInvSqrt2Pi /
+         (bandwidth_ * static_cast<double>(sorted_.size()));
+}
+
+double NormalProfile::cdf(double x) const {
+  FADEWICH_EXPECTS(initialized());
+  return cdf_sorted(x);
+}
+
+}  // namespace fadewich::core

@@ -1,0 +1,77 @@
+// MD's "normal profile": the distribution of summed standard deviations
+// observed while the radio environment is quiet, estimated with a
+// Gaussian KDE, with the anomaly threshold at its (100 - alpha)th
+// percentile (Section IV-C2) and batch self-updating (Section IV-C3,
+// Algorithm 1 lines 10-15).
+//
+// MD consults the threshold on every tick and the profile updates every
+// few hundred ticks, so the percentile inversion must be cheap.  The
+// profile keeps its samples sorted and evaluates the KDE's CDF with
+// tail pruning: a Gaussian kernel centred more than 8 bandwidths below x
+// contributes exactly 1 to the CDF (0 above), so only the few samples
+// near x need an erf.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::core {
+
+struct NormalProfileConfig {
+  std::size_t capacity = 600;  // samples retained in the profile
+  double alpha = 1.0;          // threshold at the (100 - alpha)th pct
+  std::size_t batch_size = 150;   // b: update batch length
+  double anomalous_fraction = 0.05;  // tau: batch rejected beyond this
+  // Algorithm 1's batch self-update.  Disabling freezes the profile at
+  // its initial estimate — the ablation showing why the paper updates:
+  // the radio baseline drifts and a static threshold goes stale.
+  bool self_update = true;
+};
+
+class NormalProfile {
+ public:
+  explicit NormalProfile(NormalProfileConfig config = {});
+
+  /// Seed the profile with the initial quiet-period observations and
+  /// compute the first threshold.  Requires at least 10 samples.
+  void initialize(std::vector<double> samples);
+
+  bool initialized() const { return !samples_.empty(); }
+
+  /// The (100 - alpha)th percentile of the estimated distribution.
+  /// Requires initialized().
+  double threshold() const { return threshold_; }
+
+  /// Offer one observation for the self-update queue (Algorithm 1 line
+  /// 6): every observed s_t is queued; when the queue reaches b entries it
+  /// is either folded into the profile (mostly-normal batch) or discarded
+  /// (anomalous batch).  Returns true if the profile was re-estimated.
+  bool offer(double value);
+
+  /// KDE evaluated on the current profile (for diagnostics / Fig. 2).
+  double pdf(double x) const;
+  double cdf(double x) const;
+
+  std::size_t size() const { return samples_.size(); }
+  double bandwidth() const { return bandwidth_; }
+  std::vector<double> samples_snapshot() const {
+    return {samples_.begin(), samples_.end()};
+  }
+  const NormalProfileConfig& config() const { return config_; }
+
+ private:
+  void reestimate();
+  double cdf_sorted(double x) const;
+
+  NormalProfileConfig config_;
+  std::deque<double> samples_;   // insertion order, oldest first
+  std::vector<double> sorted_;   // same contents, sorted
+  std::vector<double> queue_;    // pending update batch Q
+  double bandwidth_ = 1.0;
+  double threshold_ = 0.0;
+};
+
+}  // namespace fadewich::core

@@ -1,0 +1,21 @@
+#include "fadewich/core/radio_environment.hpp"
+
+namespace fadewich::core {
+
+RadioEnvironment::RadioEnvironment(FeatureConfig features, ml::SvmConfig svm)
+    : features_(features), svm_(svm) {}
+
+std::vector<double> RadioEnvironment::features_from(
+    const std::vector<std::vector<double>>& stream_windows) const {
+  return extract_features(stream_windows, features_);
+}
+
+void RadioEnvironment::train(const ml::Dataset& samples) {
+  svm_.train(samples);
+}
+
+int RadioEnvironment::classify(const std::vector<double>& features) const {
+  return svm_.predict(features);
+}
+
+}  // namespace fadewich::core

@@ -1,0 +1,51 @@
+// Radio Environment module (Section IV-D): turns the first t_delta
+// seconds of a variation window into a feature sample and classifies it
+// with a multiclass SVM.
+//
+// Label convention (fixed across the library):
+//   0     -> w0, "someone entered the office"
+//   1..k  -> w_i, "user left workstation i-1" (0-based workstation index)
+#pragma once
+
+#include <vector>
+
+#include "fadewich/core/features.hpp"
+#include "fadewich/ml/dataset.hpp"
+#include "fadewich/ml/multiclass_svm.hpp"
+
+namespace fadewich::core {
+
+/// Label helpers.
+constexpr int kLabelEntered = 0;
+constexpr int label_for_workstation(std::size_t workstation) {
+  return static_cast<int>(workstation) + 1;
+}
+constexpr bool is_leave_label(int label) { return label > 0; }
+constexpr std::size_t workstation_of_label(int label) {
+  return static_cast<std::size_t>(label - 1);
+}
+
+class RadioEnvironment {
+ public:
+  RadioEnvironment(FeatureConfig features, ml::SvmConfig svm);
+
+  const FeatureConfig& feature_config() const { return features_; }
+
+  /// Compute a sample's feature vector from per-stream windows.
+  std::vector<double> features_from(
+      const std::vector<std::vector<double>>& stream_windows) const;
+
+  /// Train the classifier on labeled samples.  Requires non-empty data.
+  void train(const ml::Dataset& samples);
+
+  bool trained() const { return svm_.trained(); }
+
+  /// Classify a feature vector.  Requires trained().
+  int classify(const std::vector<double>& features) const;
+
+ private:
+  FeatureConfig features_;
+  ml::MulticlassSvm svm_;
+};
+
+}  // namespace fadewich::core

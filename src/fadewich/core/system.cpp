@@ -1,0 +1,166 @@
+#include "fadewich/core/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::core {
+
+namespace {
+std::size_t history_capacity(const SystemConfig& config) {
+  // Enough to re-read a feature window that started a little before the
+  // detection crossed t_delta (merge gaps, rounding) plus safety margin.
+  const Seconds span =
+      config.controller.t_delta + config.md.merge_gap + 5.0;
+  return static_cast<std::size_t>(std::ceil(span * config.tick_hz)) + 4;
+}
+}  // namespace
+
+FadewichSystem::FadewichSystem(std::size_t stream_count,
+                               std::size_t workstation_count,
+                               SystemConfig config)
+    : config_(config),
+      rate_(config.tick_hz),
+      window_ticks_(rate_.to_ticks_ceil(config.controller.t_delta)),
+      kma_(workstation_count),
+      md_(stream_count, config.tick_hz, config.md),
+      re_(config.features, config.svm),
+      controller_(config.controller, workstation_count),
+      labeler_(config.labeler, workstation_count),
+      history_(stream_count, history_capacity(config)) {
+  FADEWICH_EXPECTS(stream_count >= 1);
+  FADEWICH_EXPECTS(workstation_count >= 1);
+  FADEWICH_EXPECTS(config.labeler.t_delta == config.controller.t_delta);
+  sessions_.reserve(workstation_count);
+  for (std::size_t w = 0; w < workstation_count; ++w) {
+    sessions_.emplace_back(config.t_id, config.t_ss);
+  }
+}
+
+void FadewichSystem::record_input(std::size_t workstation, Seconds t) {
+  FADEWICH_EXPECTS(workstation < sessions_.size());
+  kma_.record_input(workstation, t);
+  sessions_[workstation].on_input(t);
+}
+
+std::vector<std::vector<double>> FadewichSystem::current_window_samples()
+    const {
+  const auto window = md_.current_window();
+  FADEWICH_EXPECTS(window.has_value());
+  const Tick begin = std::max(window->begin, history_.oldest_tick());
+  const Tick end =
+      std::min(begin + window_ticks_ - 1, history_.ticks_stored() - 1);
+  return history_.windows(begin, end);
+}
+
+std::optional<int> FadewichSystem::classify_current_window() {
+  if (!re_.trained()) return std::nullopt;
+  return re_.classify(re_.features_from(current_window_samples()));
+}
+
+void FadewichSystem::collect_training_sample() {
+  const Seconds decision_time = now();
+  AutoLabeler::Attempt attempt = labeler_.attempt(kma_, decision_time);
+  if (attempt.ambiguous) return;  // discarded, per the paper
+  if (attempt.label) {
+    samples_.add(re_.features_from(current_window_samples()),
+                 *attempt.label);
+    return;
+  }
+  if (attempt.deferred()) {
+    pending_samples_.push_back(
+        {decision_time, re_.features_from(current_window_samples()),
+         std::move(attempt)});
+  }
+}
+
+void FadewichSystem::resolve_pending_entries() {
+  const Seconds horizon = labeler_.config().entry_confirmation;
+  while (!pending_samples_.empty() &&
+         now() >= pending_samples_.front().decision_time + horizon) {
+    PendingSample& pending = pending_samples_.front();
+    const std::optional<int> label = labeler_.resolve(
+        kma_, pending.decision_time, pending.attempt, now());
+    if (label) {
+      samples_.add(std::move(pending.features), *label);
+    }
+    pending_samples_.pop_front();
+  }
+}
+
+FadewichSystem::StepResult FadewichSystem::step(
+    std::span<const double> rssi_row) {
+  history_.push(rssi_row);
+  StepResult result;
+  result.md_state = md_.step(rssi_row);
+  ++tick_;
+  const Seconds t = now();
+
+  if (training_) {
+    resolve_pending_entries();
+    // Mirror the controller's Rule 1 moment: sample when the live window
+    // reaches t_delta.  Use the controller FSM itself so training and
+    // online phases trigger at identical instants.
+    result.actions = controller_.step(
+        t, md_.current_window_duration(), kma_, [&]() -> std::optional<int> {
+          collect_training_sample();
+          return std::nullopt;  // no RE yet: Rule 1 cannot fire
+        });
+    // Training phase never acts on workstations.
+    result.actions.clear();
+    return result;
+  }
+
+  result.actions = controller_.step(
+      t, md_.current_window_duration(), kma_, [&]() {
+        const std::optional<int> label = classify_current_window();
+        result.classification = label;
+        return label;
+      });
+
+  for (const Action& action : result.actions) {
+    switch (action.type) {
+      case ActionType::kDeauthenticate:
+        sessions_[action.workstation].on_deauthenticate(action.time);
+        break;
+      case ActionType::kAlert:
+        sessions_[action.workstation].on_alert(
+            action.time, kma_.idle_time(action.workstation, action.time));
+        break;
+    }
+  }
+  for (std::size_t w = 0; w < sessions_.size(); ++w) {
+    sessions_[w].tick(t, kma_.idle_time(w, t));
+  }
+  return result;
+}
+
+bool FadewichSystem::finish_training() {
+  FADEWICH_EXPECTS(training_);
+  if (samples_.empty()) return false;
+  bool multiple_classes = false;
+  for (int y : samples_.labels) {
+    if (y != samples_.labels.front()) {
+      multiple_classes = true;
+      break;
+    }
+  }
+  if (!multiple_classes) return false;
+  re_.train(samples_);
+  training_ = false;
+  return true;
+}
+
+void FadewichSystem::train_with(const ml::Dataset& samples) {
+  re_.train(samples);
+  training_ = false;
+}
+
+const WorkstationSession& FadewichSystem::session(
+    std::size_t workstation) const {
+  FADEWICH_EXPECTS(workstation < sessions_.size());
+  return sessions_[workstation];
+}
+
+}  // namespace fadewich::core

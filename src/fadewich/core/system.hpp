@@ -1,0 +1,112 @@
+// FadewichSystem: the assembled online pipeline of Fig. 1 — KMA + MD +
+// RE + controller + per-workstation session machines.
+//
+// Usage: feed one tick of RSSI samples per step() call and input events
+// via record_input() (in chronological order).  The system starts in
+// *training* mode: variation windows are auto-labeled from KMA idle times
+// and accumulated; finish_training() fits RE and switches to the online
+// phase, where Rule 1 deauthentications and Rule 2 alerts drive the
+// session machines.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+#include "fadewich/core/auto_labeler.hpp"
+#include "fadewich/core/controller.hpp"
+#include "fadewich/core/kma.hpp"
+#include "fadewich/core/movement_detector.hpp"
+#include "fadewich/core/radio_environment.hpp"
+#include "fadewich/core/stream_history.hpp"
+#include "fadewich/core/workstation.hpp"
+#include "fadewich/ml/dataset.hpp"
+
+namespace fadewich::core {
+
+struct SystemConfig {
+  double tick_hz = 5.0;
+  MovementDetectorConfig md;
+  FeatureConfig features;
+  ml::SvmConfig svm;
+  ControllerConfig controller;
+  AutoLabelerConfig labeler;
+  Seconds t_id = 5.0;  // alert-state idle before screensaver
+  Seconds t_ss = 3.0;  // screensaver grace before lock
+};
+
+class FadewichSystem {
+ public:
+  FadewichSystem(std::size_t stream_count, std::size_t workstation_count,
+                 SystemConfig config = {});
+
+  Seconds now() const { return rate_.to_seconds(tick_); }
+  const TickRate& rate() const { return rate_; }
+
+  /// Record an input event (must not be later than the next step's time).
+  void record_input(std::size_t workstation, Seconds t);
+
+  struct StepResult {
+    MdState md_state = MdState::kCalibrating;
+    std::vector<Action> actions;
+    /// RE label when Rule 1 fired on this step.
+    std::optional<int> classification;
+  };
+
+  /// Consume one tick of RSSI samples.
+  StepResult step(std::span<const double> rssi_row);
+
+  // --- Training phase -----------------------------------------------
+  bool training() const { return training_; }
+  std::size_t training_sample_count() const { return samples_.size(); }
+  const ml::Dataset& training_samples() const { return samples_; }
+
+  /// Fit RE on the auto-labeled samples and enter the online phase.
+  /// Returns false (and stays in training) if fewer than two classes
+  /// have been collected.
+  bool finish_training();
+
+  /// Fit RE on externally labeled samples (e.g. supervisor ground truth)
+  /// and enter the online phase.
+  void train_with(const ml::Dataset& samples);
+
+  // --- Introspection ------------------------------------------------
+  const MovementDetector& md() const { return md_; }
+  const KeyboardMouseActivity& kma() const { return kma_; }
+  const RadioEnvironment& re() const { return re_; }
+  const Controller& controller() const { return controller_; }
+  const WorkstationSession& session(std::size_t workstation) const;
+
+ private:
+  std::optional<int> classify_current_window();
+  std::vector<std::vector<double>> current_window_samples() const;
+  void collect_training_sample();
+  void resolve_pending_entries();
+
+  SystemConfig config_;
+  TickRate rate_;
+  Tick window_ticks_;  // samples per t_delta feature window
+
+  KeyboardMouseActivity kma_;
+  MovementDetector md_;
+  RadioEnvironment re_;
+  Controller controller_;
+  AutoLabeler labeler_;
+  StreamHistory history_;
+  std::vector<WorkstationSession> sessions_;
+
+  Tick tick_ = 0;
+  bool training_ = true;
+  ml::Dataset samples_;
+
+  struct PendingSample {
+    Seconds decision_time = 0.0;
+    std::vector<double> features;
+    AutoLabeler::Attempt attempt;
+  };
+  std::deque<PendingSample> pending_samples_;
+};
+
+}  // namespace fadewich::core

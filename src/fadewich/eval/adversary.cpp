@@ -1,0 +1,104 @@
+#include "fadewich/eval/adversary.hpp"
+
+#include <limits>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::eval {
+
+namespace {
+struct LeaveTiming {
+  Seconds office_exit = 0.0;   // victim out of the room
+  Seconds deauth_time = 0.0;   // absolute
+  Seconds return_time = 0.0;   // absolute
+};
+
+bool attack_possible(const LeaveTiming& t, Seconds adversary_arrival,
+                     Seconds min_access_time) {
+  return adversary_arrival + min_access_time < t.deauth_time &&
+         adversary_arrival < t.return_time;
+}
+}  // namespace
+
+Seconds return_time_after(const sim::Recording& recording,
+                          std::size_t leave_event_index) {
+  const auto& events = recording.events();
+  FADEWICH_EXPECTS(leave_event_index < events.size());
+  const auto& leave = events[leave_event_index];
+  FADEWICH_EXPECTS(leave.kind == sim::EventKind::kLeave);
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  for (const auto& e : events) {
+    if (e.kind == sim::EventKind::kEnter &&
+        e.workstation == leave.workstation &&
+        e.movement_start > leave.movement_end) {
+      // The attacker is witnessed the moment the victim steps back into
+      // the room, not when they reach the desk.
+      best = std::min(best, e.movement_start);
+    }
+  }
+  return best;
+}
+
+Seconds reoccupied_time_after(const sim::Recording& recording,
+                              std::size_t leave_event_index) {
+  const auto& events = recording.events();
+  FADEWICH_EXPECTS(leave_event_index < events.size());
+  const auto& leave = events[leave_event_index];
+  FADEWICH_EXPECTS(leave.kind == sim::EventKind::kLeave);
+  Seconds best = std::numeric_limits<Seconds>::infinity();
+  for (const auto& e : events) {
+    if (e.kind == sim::EventKind::kEnter &&
+        e.workstation == leave.workstation &&
+        e.movement_start > leave.movement_end) {
+      best = std::min(best, e.movement_end);
+    }
+  }
+  return best;
+}
+
+AttackStats count_attack_opportunities(const SecurityResult& security,
+                                       const sim::Recording& recording,
+                                       const AdversaryConfig& config) {
+  AttackStats stats;
+  for (const LeaveOutcome& outcome : security.outcomes) {
+    const auto& event = recording.events()[outcome.event_index];
+    LeaveTiming t;
+    t.office_exit = event.movement_end;
+    t.deauth_time = event.proximity_exit + outcome.delay;
+    t.return_time = return_time_after(recording, outcome.event_index);
+    ++stats.total_leaves;
+    if (attack_possible(t, t.office_exit + config.insider_delay,
+                        config.min_access_time)) {
+      ++stats.insider_opportunities;
+    }
+    if (attack_possible(t, t.office_exit, config.min_access_time)) {
+      ++stats.coworker_opportunities;
+    }
+  }
+  return stats;
+}
+
+AttackStats count_attack_opportunities_timeout(
+    const sim::Recording& recording, Seconds timeout,
+    const AdversaryConfig& config) {
+  AttackStats stats;
+  const auto& events = recording.events();
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (events[e].kind != sim::EventKind::kLeave) continue;
+    LeaveTiming t;
+    t.office_exit = events[e].movement_end;
+    t.deauth_time = events[e].proximity_exit + timeout;
+    t.return_time = return_time_after(recording, e);
+    ++stats.total_leaves;
+    if (attack_possible(t, t.office_exit + config.insider_delay,
+                        config.min_access_time)) {
+      ++stats.insider_opportunities;
+    }
+    if (attack_possible(t, t.office_exit, config.min_access_time)) {
+      ++stats.coworker_opportunities;
+    }
+  }
+  return stats;
+}
+
+}  // namespace fadewich::eval

@@ -1,0 +1,71 @@
+// Adversary models (Section III-A) and attack-opportunity counting
+// (Fig. 10).
+//
+// Every leave event is a potential lunchtime attack.  The Co-worker can
+// reach the target workstation the moment the victim exits the office;
+// the Insider needs `insider_delay` more seconds to walk in from outside.
+// An attack opportunity exists if the workstation is still authenticated
+// when the adversary reaches it, and the victim has not yet returned.
+#pragma once
+
+#include <cstddef>
+
+#include "fadewich/common/time.hpp"
+#include "fadewich/eval/security.hpp"
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::eval {
+
+struct AdversaryConfig {
+  Seconds insider_delay = 4.0;  // walk from outside the office (Sec VII-C)
+  // Taking over a session needs the adversary at the console for at
+  // least this long before the deauthentication lands.
+  Seconds min_access_time = 1.0;
+};
+
+struct AttackStats {
+  std::size_t total_leaves = 0;
+  std::size_t insider_opportunities = 0;
+  std::size_t coworker_opportunities = 0;
+
+  double insider_percent() const {
+    return total_leaves == 0 ? 0.0
+                             : 100.0 *
+                                   static_cast<double>(
+                                       insider_opportunities) /
+                                   static_cast<double>(total_leaves);
+  }
+  double coworker_percent() const {
+    return total_leaves == 0 ? 0.0
+                             : 100.0 *
+                                   static_cast<double>(
+                                       coworker_opportunities) /
+                                   static_cast<double>(total_leaves);
+  }
+};
+
+/// Opportunities under FADEWICH: deauth times from the security outcomes.
+AttackStats count_attack_opportunities(const SecurityResult& security,
+                                       const sim::Recording& recording,
+                                       const AdversaryConfig& config = {});
+
+/// Opportunities under the plain time-out baseline (deauth at departure +
+/// timeout).
+AttackStats count_attack_opportunities_timeout(
+    const sim::Recording& recording, Seconds timeout,
+    const AdversaryConfig& config = {});
+
+/// Absolute return time of the user after the given leave event: the
+/// moment the workstation's next enter event begins (the attacker is
+/// witnessed as soon as the victim is back in the room), or +infinity
+/// if the user never comes back within the recording.
+Seconds return_time_after(const sim::Recording& recording,
+                          std::size_t leave_event_index);
+
+/// When the workstation is attended again: the moment the returning user
+/// reaches the desk (the enter event's movement_end).  Used by the
+/// vulnerable-time accounting ("unattended and authenticated").
+Seconds reoccupied_time_after(const sim::Recording& recording,
+                              std::size_t leave_event_index);
+
+}  // namespace fadewich::eval

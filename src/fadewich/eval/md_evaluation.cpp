@@ -1,0 +1,64 @@
+#include "fadewich/eval/md_evaluation.hpp"
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/net/playback.hpp"
+
+namespace fadewich::eval {
+
+MdRun run_md(const sim::Recording& recording,
+             const std::vector<std::size_t>& sensors,
+             const core::MovementDetectorConfig& config) {
+  net::RecordingPlayback playback(recording, sensors);
+  core::MovementDetector md(playback.stream_count(),
+                            recording.rate().hz(), config);
+  std::vector<double> row(playback.stream_count());
+  while (playback.next(row)) {
+    md.step(row);
+  }
+  MdRun out;
+  out.windows = md.completed_windows();
+  if (md.current_window()) out.windows.push_back(*md.current_window());
+  out.tick_hz = recording.rate().hz();
+  return out;
+}
+
+SumStdSeries collect_sum_std(const sim::Recording& recording,
+                             const std::vector<std::size_t>& sensors,
+                             const core::MovementDetectorConfig& config) {
+  net::RecordingPlayback playback(recording, sensors);
+  core::MovementDetector md(playback.stream_count(),
+                            recording.rate().hz(), config);
+
+  // Movement intervals sorted by start; movements never overlap in the
+  // generated schedules, so a single advancing cursor suffices.
+  std::vector<Interval> moving_intervals;
+  for (const auto& e : recording.events()) {
+    moving_intervals.push_back({e.movement_start, e.movement_end});
+  }
+  std::sort(moving_intervals.begin(), moving_intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+
+  SumStdSeries out;
+  std::size_t cursor = 0;
+  std::vector<double> row(playback.stream_count());
+  while (playback.next(row)) {
+    const core::MdState state = md.step(row);
+    if (state == core::MdState::kCalibrating) continue;
+    const Seconds t = recording.rate().to_seconds(playback.position() - 1);
+    while (cursor < moving_intervals.size() &&
+           moving_intervals[cursor].end < t) {
+      ++cursor;
+    }
+    const bool moving = cursor < moving_intervals.size() &&
+                        moving_intervals[cursor].contains(t);
+    (moving ? out.moving : out.quiet).push_back(md.last_sum_std());
+  }
+  out.threshold = md.profile().threshold();
+  return out;
+}
+
+}  // namespace fadewich::eval

@@ -1,0 +1,37 @@
+// Offline MD runs over a recording: produce every variation window (and
+// optionally the s_t series) for a sensor subset.  MD itself does not
+// depend on t_delta, so one run serves a whole t_delta sweep (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "fadewich/core/movement_detector.hpp"
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::eval {
+
+struct MdRun {
+  std::vector<core::VariationWindow> windows;  // completed, all durations
+  double tick_hz = 0.0;
+};
+
+/// Run MD over the streams of `sensors` (indices into the recorded
+/// deployment) and collect every completed variation window; a window
+/// still open at the end of the data is closed and included.
+MdRun run_md(const sim::Recording& recording,
+             const std::vector<std::size_t>& sensors,
+             const core::MovementDetectorConfig& config);
+
+/// s_t series split by ground truth for Fig. 2: values observed while at
+/// least one person is in transit vs while nobody moves.  Calibration
+/// ticks (before the profile exists) are skipped.
+struct SumStdSeries {
+  std::vector<double> quiet;
+  std::vector<double> moving;
+  double threshold = 0.0;  // MD's final profile threshold
+};
+SumStdSeries collect_sum_std(const sim::Recording& recording,
+                             const std::vector<std::size_t>& sensors,
+                             const core::MovementDetectorConfig& config);
+
+}  // namespace fadewich::eval

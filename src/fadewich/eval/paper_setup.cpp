@@ -1,0 +1,63 @@
+#include "fadewich/eval/paper_setup.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::eval {
+
+PaperExperiment make_paper_experiment(const PaperSetup& setup) {
+  rf::FloorPlan plan = rf::paper_office();
+  Rng rng(setup.seed);
+  sim::WeekSchedule schedule = sim::generate_week_schedule(
+      setup.day, plan.workstation_count(), setup.days, rng);
+  sim::Recording recording = simulate_week(plan, schedule, setup.sim);
+  return {std::move(plan), std::move(schedule), std::move(recording)};
+}
+
+PaperSetup small_setup(std::size_t days, Seconds day_length) {
+  PaperSetup setup;
+  setup.days = days;
+  setup.day.day_length = day_length;
+  setup.day.calibration = 3.0 * 60.0;
+  setup.day.arrival_window = 4.0 * 60.0;
+  setup.day.departure_window = 4.0 * 60.0;
+  setup.day.min_breaks = 1;
+  setup.day.max_breaks = 2;
+  setup.day.break_min = 60.0;
+  setup.day.break_max = 4.0 * 60.0;
+  return setup;
+}
+
+std::vector<std::size_t> sensor_subset(std::size_t n) {
+  FADEWICH_EXPECTS(n >= 2 && n <= 9);
+  const auto& priority = rf::FloorPlan::deployment_priority();
+  std::vector<std::size_t> out(priority.begin(),
+                               priority.begin() + static_cast<long>(n));
+  return out;
+}
+
+core::MovementDetectorConfig default_md_config() {
+  core::MovementDetectorConfig config;
+  config.std_window = 2.0;
+  config.calibration = 60.0;
+  config.merge_gap = 0.6;
+  config.profile.capacity = 600;
+  config.profile.alpha = 1.0;
+  config.profile.batch_size = 150;
+  config.profile.anomalous_fraction = 0.05;
+  return config;
+}
+
+std::vector<std::size_t> event_counts(const sim::Recording& recording,
+                                      std::size_t workstations) {
+  std::vector<std::size_t> counts(workstations + 1, 0);
+  for (const auto& e : recording.events()) {
+    if (e.kind == sim::EventKind::kEnter) {
+      ++counts[0];
+    } else if (e.workstation < workstations) {
+      ++counts[e.workstation + 1];
+    }
+  }
+  return counts;
+}
+
+}  // namespace fadewich::eval

@@ -1,0 +1,54 @@
+// Canonical construction of the paper's experiment (Section VI-B): the
+// Fig. 6 office, a five-day three-user schedule calibrated to Table II,
+// and the simulated recording all benches analyse.  Also the default MD
+// configuration and the sensor subsets used by the "number of sensors"
+// sweeps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fadewich/core/movement_detector.hpp"
+#include "fadewich/rf/floorplan.hpp"
+#include "fadewich/sim/recording.hpp"
+#include "fadewich/sim/schedule.hpp"
+#include "fadewich/sim/simulator.hpp"
+
+namespace fadewich::eval {
+
+struct PaperSetup {
+  std::size_t days = 5;
+  std::uint64_t seed = 2017;
+  sim::DayScheduleConfig day;
+  sim::SimulationConfig sim;
+};
+
+struct PaperExperiment {
+  rf::FloorPlan plan;
+  sim::WeekSchedule schedule;
+  sim::Recording recording;
+};
+
+/// The full five-day experiment.  Expensive (tens of seconds): benches
+/// build it once and reuse it across sweeps, as the paper analysed one
+/// dataset offline.
+PaperExperiment make_paper_experiment(const PaperSetup& setup = {});
+
+/// A small setup for tests and quick demos: fewer, shorter days.
+PaperSetup small_setup(std::size_t days = 1,
+                       Seconds day_length = 40.0 * 60.0);
+
+/// Sensor indices (into the 9-sensor paper deployment) used when "n
+/// sensors" are deployed — the spatially spread priority order.
+std::vector<std::size_t> sensor_subset(std::size_t n);
+
+/// MD configuration used throughout the evaluation.
+core::MovementDetectorConfig default_md_config();
+
+/// Event counts per label (Table II): index 0 = w0 entries, index i =
+/// leaves of workstation i-1.
+std::vector<std::size_t> event_counts(const sim::Recording& recording,
+                                      std::size_t workstations);
+
+}  // namespace fadewich::eval

@@ -1,0 +1,33 @@
+// Plain-text rendering of the paper's tables and figure series: aligned
+// columns for tables, (x, y...) columns for figures, so each bench prints
+// the same rows the paper reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fadewich::eval {
+
+/// Fixed-width column table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 2);
+
+/// Section banner for bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace fadewich::eval

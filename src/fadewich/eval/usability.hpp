@@ -1,0 +1,67 @@
+// Usability evaluation (Section VII-D, Table IV, and the Appendix B
+// trade-off of Fig. 13).
+//
+// Keyboard/mouse input is drawn per the paper's model (activity in 78% of
+// 5-second intervals, Mikkelsen et al.), then the system's decisions are
+// replayed over the recorded variation windows:
+//
+// * Rule 1 misfires: a window classified as "left w_i" while w_i's user
+//   is present and happened to be idle for t_delta — a forced re-login
+//   (13 s cost).
+// * Rule 2 screensavers: while a window continues past t_delta, present
+//   users idle >= 1 s are alerted; if the idle streak reaches tID the
+//   screensaver appears and the user cancels it (3 s cost).  Users react
+//   before the tss lock grace expires, so a present user is never locked
+//   out by the screensaver path ("some users just remove it before its
+//   expiration").
+//
+// The input distribution is redrawn `input_draws` times (the paper uses
+// 100) and counts are averaged.  MD's variation windows do not depend on
+// inputs, so the expensive MD pass is shared across draws.
+#pragma once
+
+#include <cstdint>
+
+#include "fadewich/eval/security.hpp"
+#include "fadewich/sim/input_activity.hpp"
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::eval {
+
+struct UsabilityConfig {
+  Seconds t_delta = 4.5;
+  Seconds t_id = 5.0;
+  Seconds t_ss = 3.0;
+  Seconds rule2_idle = 1.0;
+  Seconds alert_decay = 1.5;  // unrefreshed alert lifetime past t2
+  double screensaver_cost_s = 3.0;
+  double relogin_cost_s = 13.0;
+  std::size_t input_draws = 100;
+  std::uint64_t seed = 99;
+  sim::InputActivityConfig input;
+};
+
+struct UsabilityResult {
+  double screensavers_per_day_mean = 0.0;
+  double screensavers_per_day_std = 0.0;
+  double deauths_per_day_mean = 0.0;
+  double deauths_per_day_std = 0.0;
+  double cost_per_day_seconds = 0.0;
+  double total_cost_seconds = 0.0;  // whole recording, mean over draws
+};
+
+UsabilityResult evaluate_usability(const sim::Recording& recording,
+                                   const SecurityResult& security,
+                                   const UsabilityConfig& config = {});
+
+/// Fig. 13's security axis: total time workstations spend unattended yet
+/// authenticated (minutes over the whole recording), under FADEWICH's
+/// outcome-based deauth times.
+double vulnerable_time_minutes(const SecurityResult& security,
+                               const sim::Recording& recording);
+
+/// Same, under the plain time-out baseline.
+double vulnerable_time_minutes_timeout(const sim::Recording& recording,
+                                       Seconds timeout);
+
+}  // namespace fadewich::eval

@@ -1,0 +1,50 @@
+#include "fadewich/eval/window_matching.hpp"
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::eval {
+
+std::vector<core::VariationWindow> filter_by_duration(
+    const std::vector<core::VariationWindow>& windows, const TickRate& rate,
+    Seconds t_delta) {
+  std::vector<core::VariationWindow> out;
+  for (const auto& w : windows) {
+    if (rate.to_seconds(w.end - w.begin + 1) >= t_delta) out.push_back(w);
+  }
+  return out;
+}
+
+MatchResult match_windows(const std::vector<core::VariationWindow>& windows,
+                          const sim::EventLog& events, const TickRate& rate,
+                          const MatchConfig& config) {
+  FADEWICH_EXPECTS(config.true_window_delta >= 0.0);
+  MatchResult result;
+  std::vector<bool> event_claimed(events.size(), false);
+
+  for (const auto& window : windows) {
+    const Interval w{rate.to_seconds(window.begin),
+                     rate.to_seconds(window.end)};
+    bool matched = false;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (event_claimed[e]) continue;
+      const Interval truth{
+          events[e].movement_start - config.true_window_delta,
+          events[e].movement_end + config.true_window_delta};
+      if (w.overlaps(truth)) {
+        event_claimed[e] = true;
+        result.true_positives.push_back({window, e});
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) result.false_positives.push_back(window);
+  }
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (!event_claimed[e]) result.false_negatives.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace fadewich::eval

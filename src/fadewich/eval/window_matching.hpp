@@ -1,0 +1,53 @@
+// Classifying MD decisions against ground truth (Section V-A).
+//
+// Every ground-truth movement event defines a true window
+// U_t = [t - delta, t + delta] around its movement interval.  A variation
+// window overlapping a true window is a true positive; an unmatched
+// variation window is a false positive; an unmatched event is a false
+// negative.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+#include "fadewich/core/movement_detector.hpp"
+#include "fadewich/ml/metrics.hpp"
+#include "fadewich/sim/events.hpp"
+
+namespace fadewich::eval {
+
+struct MatchConfig {
+  Seconds true_window_delta = 3.0;  // delta around the movement interval
+};
+
+struct MatchedWindow {
+  core::VariationWindow window;
+  std::size_t event_index = 0;  // into the event log
+};
+
+struct MatchResult {
+  std::vector<MatchedWindow> true_positives;
+  std::vector<core::VariationWindow> false_positives;
+  std::vector<std::size_t> false_negatives;  // unmatched event indices
+
+  ml::DetectionCounts counts() const {
+    return {true_positives.size(), false_positives.size(),
+            false_negatives.size()};
+  }
+};
+
+/// Greedy chronological matching: each variation window claims the first
+/// overlapping unclaimed event.  `windows` must already be filtered to
+/// duration >= t_delta (the controller ignores shorter ones); `rate`
+/// converts their ticks to the event log's seconds.
+MatchResult match_windows(const std::vector<core::VariationWindow>& windows,
+                          const sim::EventLog& events, const TickRate& rate,
+                          const MatchConfig& config = {});
+
+/// Windows with duration >= t_delta, the ones that trigger decisions.
+std::vector<core::VariationWindow> filter_by_duration(
+    const std::vector<core::VariationWindow>& windows, const TickRate& rate,
+    Seconds t_delta);
+
+}  // namespace fadewich::eval

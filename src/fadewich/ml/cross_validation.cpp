@@ -1,0 +1,66 @@
+#include "fadewich/ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+
+namespace {
+std::vector<FoldSplit> folds_from_assignment(
+    const std::vector<std::size_t>& fold_of, std::size_t k) {
+  std::vector<FoldSplit> out(k);
+  for (std::size_t i = 0; i < fold_of.size(); ++i) {
+    for (std::size_t f = 0; f < k; ++f) {
+      auto& split = out[f];
+      if (fold_of[i] == f) {
+        split.test_indices.push_back(i);
+      } else {
+        split.train_indices.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<FoldSplit> stratified_k_fold(const std::vector<int>& labels,
+                                         std::size_t k, Rng& rng) {
+  FADEWICH_EXPECTS(k >= 2);
+  FADEWICH_EXPECTS(labels.size() >= k);
+
+  // Group sample indices by class, shuffle within each class, then deal
+  // them round-robin into folds.
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+
+  std::vector<std::size_t> fold_of(labels.size(), 0);
+  std::size_t next_fold = 0;
+  for (auto& [cls, indices] : by_class) {
+    std::shuffle(indices.begin(), indices.end(), rng.engine());
+    for (std::size_t i : indices) {
+      fold_of[i] = next_fold;
+      next_fold = (next_fold + 1) % k;
+    }
+  }
+  return folds_from_assignment(fold_of, k);
+}
+
+std::vector<FoldSplit> k_fold(std::size_t n, std::size_t k, Rng& rng) {
+  FADEWICH_EXPECTS(k >= 2);
+  FADEWICH_EXPECTS(n >= k);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<std::size_t> fold_of(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    fold_of[order[pos]] = pos % k;
+  }
+  return folds_from_assignment(fold_of, k);
+}
+
+}  // namespace fadewich::ml

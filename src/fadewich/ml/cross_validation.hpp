@@ -1,0 +1,30 @@
+// Stratified k-fold cross-validation splits.
+//
+// The paper evaluates RE with 5-fold validation repeated over 10 random
+// splits (Section VII-B); these helpers generate the index partitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/ml/dataset.hpp"
+
+namespace fadewich::ml {
+
+struct FoldSplit {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Partition [0, labels.size()) into k folds, keeping each fold's class
+/// proportions close to the full set's (stratified).  Classes with fewer
+/// samples than k still appear in some folds' test sets.  Requires
+/// 2 <= k <= labels.size().
+std::vector<FoldSplit> stratified_k_fold(const std::vector<int>& labels,
+                                         std::size_t k, Rng& rng);
+
+/// Plain (unstratified) k-fold on shuffled indices.
+std::vector<FoldSplit> k_fold(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace fadewich::ml

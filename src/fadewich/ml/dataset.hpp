@@ -1,0 +1,55 @@
+// A labeled dataset: row-major feature matrix plus integer class labels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;  // features[i] is sample i
+  std::vector<int> labels;                    // labels[i] in [0, n_classes)
+
+  std::size_t size() const { return features.size(); }
+  bool empty() const { return features.empty(); }
+
+  std::size_t feature_count() const {
+    FADEWICH_EXPECTS(!features.empty());
+    return features[0].size();
+  }
+
+  void add(std::vector<double> x, int y) {
+    FADEWICH_EXPECTS(features.empty() || x.size() == features[0].size());
+    features.push_back(std::move(x));
+    labels.push_back(y);
+  }
+
+  /// Dataset restricted to the given sample indices.
+  Dataset subset(const std::vector<std::size_t>& indices) const {
+    Dataset out;
+    out.features.reserve(indices.size());
+    out.labels.reserve(indices.size());
+    for (std::size_t i : indices) {
+      FADEWICH_EXPECTS(i < size());
+      out.features.push_back(features[i]);
+      out.labels.push_back(labels[i]);
+    }
+    return out;
+  }
+
+  /// Number of distinct classes, assuming labels are 0-based and dense is
+  /// NOT required: returns 1 + max(label).  Requires non-empty.
+  int max_label_plus_one() const {
+    FADEWICH_EXPECTS(!labels.empty());
+    int mx = 0;
+    for (int y : labels) {
+      FADEWICH_EXPECTS(y >= 0);
+      if (y > mx) mx = y;
+    }
+    return mx + 1;
+  }
+};
+
+}  // namespace fadewich::ml

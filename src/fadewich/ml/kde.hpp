@@ -1,0 +1,47 @@
+// One-dimensional Gaussian kernel density estimation.
+//
+// MD's normal profile (Section IV-C2) is the KDE of the distribution of
+// summed standard deviations; the anomaly threshold is the (100-alpha)th
+// percentile of the estimated CDF.  The Gaussian-kernel CDF has a closed
+// form (sum of erfs), so the percentile is inverted by bisection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fadewich::ml {
+
+class GaussianKde {
+ public:
+  /// Fit to samples using Silverman's rule-of-thumb bandwidth.  Requires a
+  /// non-empty sample set.
+  explicit GaussianKde(std::span<const double> samples);
+
+  /// Fit with an explicit bandwidth (> 0).
+  GaussianKde(std::span<const double> samples, double bandwidth);
+
+  double bandwidth() const { return bandwidth_; }
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// Estimated density at x.
+  double pdf(double x) const;
+
+  /// Estimated cumulative distribution at x (exact for the Gaussian
+  /// mixture the KDE defines).
+  double cdf(double x) const;
+
+  /// Inverse CDF by bisection; p in (0, 1).  Accurate to ~1e-9 of the
+  /// sample range.
+  double percentile(double p) const;
+
+  /// Silverman's rule: 1.06 * sigma_hat * n^(-1/5), with sigma_hat the
+  /// sample standard deviation (a small floor keeps degenerate constant
+  /// samples usable).
+  static double silverman_bandwidth(std::span<const double> samples);
+
+ private:
+  std::vector<double> samples_;
+  double bandwidth_;
+};
+
+}  // namespace fadewich::ml

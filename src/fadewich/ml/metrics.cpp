@@ -1,0 +1,107 @@
+#include "fadewich/ml/metrics.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::ml {
+
+double DetectionCounts::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double DetectionCounts::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double DetectionCounts::f_measure() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : counts_(n_classes, std::vector<std::size_t>(n_classes, 0)) {
+  FADEWICH_EXPECTS(n_classes >= 1);
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  FADEWICH_EXPECTS(actual >= 0 &&
+                   static_cast<std::size_t>(actual) < counts_.size());
+  FADEWICH_EXPECTS(predicted >= 0 &&
+                   static_cast<std::size_t>(predicted) < counts_.size());
+  ++counts_[static_cast<std::size_t>(actual)]
+           [static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  FADEWICH_EXPECTS(actual >= 0 &&
+                   static_cast<std::size_t>(actual) < counts_.size());
+  FADEWICH_EXPECTS(predicted >= 0 &&
+                   static_cast<std::size_t>(predicted) < counts_.size());
+  return counts_[static_cast<std::size_t>(actual)]
+                [static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  FADEWICH_EXPECTS(total_ > 0);
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) diag += counts_[i][i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  FADEWICH_EXPECTS(cls >= 0 &&
+                   static_cast<std::size_t>(cls) < counts_.size());
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (std::size_t a = 0; a < counts_.size(); ++a) predicted += counts_[a][c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  FADEWICH_EXPECTS(cls >= 0 &&
+                   static_cast<std::size_t>(cls) < counts_.size());
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < counts_.size(); ++p) actual += counts_[c][p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(counts_[c][c]) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f_measure(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f_measure() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    acc += f_measure(static_cast<int>(c));
+  }
+  return acc / static_cast<double>(counts_.size());
+}
+
+MeanCi mean_with_ci95(const std::vector<double>& xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  MeanCi out;
+  out.mean = stats::mean(xs);
+  if (xs.size() >= 2) {
+    const double se = std::sqrt(stats::sample_variance(xs) /
+                                static_cast<double>(xs.size()));
+    out.ci95_half_width = 1.96 * se;
+  }
+  return out;
+}
+
+}  // namespace fadewich::ml

@@ -1,0 +1,61 @@
+// Classification metrics: confusion matrices and the precision / recall /
+// F-measure family the paper uses for MD (Fig. 7) and RE (Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fadewich::ml {
+
+/// Binary detection counts; the F-measure here is the paper's
+/// 2 * precision * recall / (precision + recall).
+struct DetectionCounts {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  /// TP / (TP + FP); defined as 0 when no positives were emitted.
+  double precision() const;
+  /// TP / (TP + FN); defined as 0 when there were no actual positives.
+  double recall() const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double f_measure() const;
+};
+
+/// Square confusion matrix over classes [0, n).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  void add(int actual, int predicted);
+
+  std::size_t n_classes() const { return counts_.size(); }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const { return total_; }
+
+  /// Fraction of diagonal entries.  Requires at least one observation.
+  double accuracy() const;
+
+  /// Per-class precision / recall (0 when undefined).
+  double precision(int cls) const;
+  double recall(int cls) const;
+  double f_measure(int cls) const;
+
+  /// Unweighted mean of per-class F-measures.
+  double macro_f_measure() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean of a vector of doubles plus a 95% normal-approximation confidence
+/// half-width (used for Fig. 8's error bars).  Requires non-empty input;
+/// the half-width is 0 for a single observation.
+struct MeanCi {
+  double mean = 0.0;
+  double ci95_half_width = 0.0;
+};
+MeanCi mean_with_ci95(const std::vector<double>& xs);
+
+}  // namespace fadewich::ml

@@ -1,0 +1,80 @@
+#include "fadewich/ml/multiclass_svm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+
+MulticlassSvm::MulticlassSvm(SvmConfig config) : config_(config) {}
+
+void MulticlassSvm::train(const Dataset& data) {
+  FADEWICH_EXPECTS(!data.empty());
+  const std::set<int> class_set(data.labels.begin(), data.labels.end());
+  classes_.assign(class_set.begin(), class_set.end());
+  scaler_.fit(data.features);
+  const auto scaled = scaler_.transform(data.features);
+
+  machines_.clear();
+  for (std::size_t a = 0; a < classes_.size(); ++a) {
+    for (std::size_t b = a + 1; b < classes_.size(); ++b) {
+      const int ca = classes_[a];
+      const int cb = classes_[b];
+      std::vector<std::vector<double>> x;
+      std::vector<int> y;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data.labels[i] == ca) {
+          x.push_back(scaled[i]);
+          y.push_back(1);
+        } else if (data.labels[i] == cb) {
+          x.push_back(scaled[i]);
+          y.push_back(-1);
+        }
+      }
+      BinarySvm svm(config_);
+      svm.train(x, y);
+      machines_.emplace(std::make_pair(ca, cb), std::move(svm));
+    }
+  }
+  trained_ = true;
+}
+
+int MulticlassSvm::predict(const std::vector<double>& x) const {
+  FADEWICH_EXPECTS(trained_);
+  if (classes_.size() == 1) return classes_[0];
+  const auto scaled = scaler_.transform(x);
+
+  std::map<int, int> votes;
+  std::map<int, double> margins;  // tie-break on summed |decision|
+  for (const auto& [pair, svm] : machines_) {
+    const double d = svm.decision(scaled);
+    const int winner = d >= 0.0 ? pair.first : pair.second;
+    ++votes[winner];
+    margins[winner] += std::abs(d);
+  }
+  int best = classes_[0];
+  int best_votes = -1;
+  double best_margin = -1.0;
+  for (int c : classes_) {
+    const int v = votes.count(c) ? votes.at(c) : 0;
+    const double m = margins.count(c) ? margins.at(c) : 0.0;
+    if (v > best_votes || (v == best_votes && m > best_margin)) {
+      best = c;
+      best_votes = v;
+      best_margin = m;
+    }
+  }
+  return best;
+}
+
+double MulticlassSvm::accuracy(const Dataset& test) const {
+  FADEWICH_EXPECTS(!test.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.features[i]) == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace fadewich::ml

@@ -1,0 +1,43 @@
+// One-vs-one multiclass SVM with majority voting, plus built-in feature
+// standardisation.  This is the classifier RE uses to map a variation
+// window sample to a label w0 (entered) / w1..wk (left workstation i).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fadewich/ml/dataset.hpp"
+#include "fadewich/ml/scaler.hpp"
+#include "fadewich/ml/svm.hpp"
+
+namespace fadewich::ml {
+
+class MulticlassSvm {
+ public:
+  explicit MulticlassSvm(SvmConfig config = {});
+
+  /// Train on the dataset.  Labels may be any non-negative integers; at
+  /// least one sample is required.  With a single class present, predict()
+  /// always returns that class (no pairwise machines are trained).
+  void train(const Dataset& data);
+
+  /// Predict the class of a sample.  Requires trained.
+  int predict(const std::vector<double>& x) const;
+
+  /// Accuracy over a test set.  Requires trained and non-empty test set.
+  double accuracy(const Dataset& test) const;
+
+  bool trained() const { return trained_; }
+  const std::vector<int>& classes() const { return classes_; }
+
+ private:
+  SvmConfig config_;
+  bool trained_ = false;
+  std::vector<int> classes_;
+  StandardScaler scaler_;
+  // Pairwise machine per class pair (a, b) with a < b; +1 means class a.
+  std::map<std::pair<int, int>, BinarySvm> machines_;
+};
+
+}  // namespace fadewich::ml

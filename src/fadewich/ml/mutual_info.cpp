@@ -1,0 +1,59 @@
+#include "fadewich/ml/mutual_info.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/histogram.hpp"
+
+namespace fadewich::ml {
+
+double quantized_entropy(std::span<const double> values, std::size_t bins) {
+  FADEWICH_EXPECTS(!values.empty());
+  return stats::Histogram::from_data(values, bins).entropy();
+}
+
+double quantized_conditional_entropy(std::span<const double> values,
+                                     std::span<const int> labels,
+                                     std::size_t bins) {
+  FADEWICH_EXPECTS(!values.empty());
+  FADEWICH_EXPECTS(values.size() == labels.size());
+
+  // Quantise on the global range so bins are shared across classes.
+  const auto global = stats::Histogram::from_data(values, bins);
+  std::map<int, std::vector<std::size_t>> class_bin_counts;
+  std::map<int, std::size_t> class_totals;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    auto& counts = class_bin_counts[labels[i]];
+    if (counts.empty()) counts.assign(bins, 0);
+    ++counts[global.bin_of(values[i])];
+    ++class_totals[labels[i]];
+  }
+
+  const double n = static_cast<double>(values.size());
+  double h = 0.0;
+  for (const auto& [cls, counts] : class_bin_counts) {
+    const double n_cls = static_cast<double>(class_totals.at(cls));
+    double h_cls = 0.0;
+    for (std::size_t c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n_cls;
+      h_cls -= p * std::log(p);
+    }
+    h += (n_cls / n) * h_cls;
+  }
+  return h;
+}
+
+double relative_mutual_information(std::span<const double> values,
+                                   std::span<const int> labels,
+                                   std::size_t bins) {
+  FADEWICH_EXPECTS(bins >= 1);
+  FADEWICH_EXPECTS(values.size() == labels.size());
+  const double hx = quantized_entropy(values, bins);
+  if (hx == 0.0) return 0.0;
+  const double hxy = quantized_conditional_entropy(values, labels, bins);
+  return (hx - hxy) / hx;
+}
+
+}  // namespace fadewich::ml

@@ -1,0 +1,33 @@
+// Relative mutual information between a scalar feature and a class label:
+//
+//   RMI(x, y) = (H(x) - H(x|y)) / H(x)
+//
+// with the feature quantised into 256 linearly spaced bins between its
+// minimum and maximum — exactly the Appendix A procedure behind Fig. 12
+// and Table V.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fadewich::ml {
+
+/// Marginal entropy of the quantised feature (natural log).  Requires
+/// non-empty input.
+double quantized_entropy(std::span<const double> values, std::size_t bins);
+
+/// Conditional entropy H(x|y) of the quantised feature given labels.
+/// Requires matching non-empty inputs.
+double quantized_conditional_entropy(std::span<const double> values,
+                                     std::span<const int> labels,
+                                     std::size_t bins);
+
+/// Relative mutual information; 0 when the marginal entropy is 0 (a
+/// constant feature carries no information).  Requires matching non-empty
+/// inputs and bins >= 1.
+double relative_mutual_information(std::span<const double> values,
+                                   std::span<const int> labels,
+                                   std::size_t bins = 256);
+
+}  // namespace fadewich::ml

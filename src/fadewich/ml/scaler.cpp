@@ -1,0 +1,54 @@
+#include "fadewich/ml/scaler.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& features) {
+  FADEWICH_EXPECTS(!features.empty());
+  const std::size_t dim = features[0].size();
+  means_.assign(dim, 0.0);
+  scales_.assign(dim, 1.0);
+
+  const double n = static_cast<double>(features.size());
+  for (const auto& row : features) {
+    FADEWICH_EXPECTS(row.size() == dim);
+    for (std::size_t j = 0; j < dim; ++j) means_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < dim; ++j) means_[j] /= n;
+
+  std::vector<double> var(dim, 0.0);
+  for (const auto& row : features) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    scales_[j] = sd > 0.0 ? sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& x) const {
+  FADEWICH_EXPECTS(fitted());
+  FADEWICH_EXPECTS(x.size() == means_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - means_[j]) / scales_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& features) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(features.size());
+  for (const auto& row : features) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace fadewich::ml

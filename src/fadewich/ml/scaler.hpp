@@ -1,0 +1,35 @@
+// Per-feature standardisation (zero mean, unit variance), fitted on
+// training data and applied to both training and test samples so the SVM
+// sees comparable feature scales.
+#pragma once
+
+#include <vector>
+
+#include "fadewich/ml/dataset.hpp"
+
+namespace fadewich::ml {
+
+class StandardScaler {
+ public:
+  /// Learn per-feature mean and standard deviation.  Features with zero
+  /// variance are passed through unscaled (divisor 1).  Requires a
+  /// non-empty dataset.
+  void fit(const std::vector<std::vector<double>>& features);
+
+  /// Standardise one sample.  Requires fit() and a matching width.
+  std::vector<double> transform(const std::vector<double>& x) const;
+
+  /// Standardise a whole matrix.
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& features) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace fadewich::ml

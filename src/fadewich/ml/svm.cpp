@@ -1,0 +1,166 @@
+#include "fadewich/ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+
+BinarySvm::BinarySvm(SvmConfig config) : config_(config) {
+  FADEWICH_EXPECTS(config_.c > 0.0);
+  FADEWICH_EXPECTS(config_.rbf_gamma > 0.0);
+  FADEWICH_EXPECTS(config_.tolerance > 0.0);
+}
+
+double BinarySvm::kernel(const std::vector<double>& a,
+                         const std::vector<double>& b) const {
+  FADEWICH_EXPECTS(a.size() == b.size());
+  switch (config_.kernel) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+      }
+      return std::exp(-config_.rbf_gamma * d2);
+    }
+  }
+  FADEWICH_ENSURES(false);
+  return 0.0;
+}
+
+void BinarySvm::train(const std::vector<std::vector<double>>& features,
+                      const std::vector<int>& labels) {
+  FADEWICH_EXPECTS(!features.empty());
+  FADEWICH_EXPECTS(features.size() == labels.size());
+  const std::size_t n = features.size();
+  const std::size_t dim = features[0].size();
+  bool has_pos = false;
+  bool has_neg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    FADEWICH_EXPECTS(features[i].size() == dim);
+    FADEWICH_EXPECTS(labels[i] == -1 || labels[i] == 1);
+    (labels[i] == 1 ? has_pos : has_neg) = true;
+  }
+  FADEWICH_EXPECTS(has_pos && has_neg);
+
+  // Precompute the kernel matrix; n <= a few hundred in our regime.
+  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(features[i], features[j]);
+      k[i][j] = v;
+      k[j][i] = v;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+  Rng rng(config_.seed);
+
+  auto f = [&](std::size_t i) {
+    double s = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 0.0) s += alpha[j] * labels[j] * k[j][i];
+    }
+    return s;
+  };
+
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < config_.max_passes &&
+         iterations < config_.max_iterations) {
+    ++iterations;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = f(i) - labels[i];
+      const bool violates = (labels[i] * ei < -tol && alpha[i] < c) ||
+                            (labels[i] * ei > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      // Random partner distinct from i (simplified-SMO heuristic).
+      std::size_t j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      if (j >= i) ++j;
+      const double ej = f(j) - labels[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo;
+      double hi;
+      if (labels[i] != labels[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - labels[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+
+      const double ai =
+          ai_old + labels[i] * labels[j] * (aj_old - aj);
+
+      const double b1 = b - ei - labels[i] * (ai - ai_old) * k[i][i] -
+                        labels[j] * (aj - aj_old) * k[i][j];
+      const double b2 = b - ej - labels[i] * (ai - ai_old) * k[i][j] -
+                        labels[j] * (aj - aj_old) * k[j][j];
+      alpha[i] = ai;
+      alpha[j] = aj;
+      if (ai > 0.0 && ai < c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+
+  support_x_.clear();
+  support_alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12) {
+      support_x_.push_back(features[i]);
+      support_alpha_y_.push_back(alpha[i] * labels[i]);
+    }
+  }
+  bias_ = b;
+  trained_ = true;
+}
+
+double BinarySvm::decision(const std::vector<double>& x) const {
+  FADEWICH_EXPECTS(trained_);
+  double s = bias_;
+  for (std::size_t i = 0; i < support_x_.size(); ++i) {
+    s += support_alpha_y_[i] * kernel(support_x_[i], x);
+  }
+  return s;
+}
+
+int BinarySvm::predict(const std::vector<double>& x) const {
+  return decision(x) >= 0.0 ? 1 : -1;
+}
+
+std::size_t BinarySvm::support_vector_count() const {
+  FADEWICH_EXPECTS(trained_);
+  return support_x_.size();
+}
+
+}  // namespace fadewich::ml

@@ -1,0 +1,65 @@
+#include "fadewich/net/central_station.hpp"
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+
+CentralStation::CentralStation(std::size_t device_count)
+    : device_count_(device_count) {
+  FADEWICH_EXPECTS(device_count >= 2);
+}
+
+std::size_t CentralStation::stream_index(DeviceId tx, DeviceId rx) const {
+  FADEWICH_EXPECTS(tx < device_count_);
+  FADEWICH_EXPECTS(rx < device_count_);
+  FADEWICH_EXPECTS(tx != rx);
+  return static_cast<std::size_t>(tx) * (device_count_ - 1) +
+         (rx < tx ? rx : rx - 1);
+}
+
+CentralStation::PendingRow& CentralStation::row_for(Tick tick) {
+  for (auto& row : pending_) {
+    if (row.tick == tick) return row;
+  }
+  PendingRow row;
+  row.tick = tick;
+  row.values.assign(stream_count(), 0.0);
+  row.present.assign(stream_count(), false);
+  pending_.push_back(std::move(row));
+  return pending_.back();
+}
+
+std::vector<Tick> CentralStation::ingest(MessageBus& bus) {
+  for (const Measurement& m : bus.drain()) {
+    PendingRow& row = row_for(m.tick);
+    const std::size_t s = stream_index(m.tx, m.rx);
+    if (!row.present[s]) {
+      row.present[s] = true;
+      ++row.filled;
+    }
+    row.values[s] = m.rssi_dbm;  // duplicate reports keep the latest
+  }
+  std::vector<Tick> complete;
+  for (const auto& row : pending_) {
+    if (row.filled == stream_count()) complete.push_back(row.tick);
+  }
+  std::sort(complete.begin(), complete.end());
+  return complete;
+}
+
+std::vector<double> CentralStation::take_row(Tick tick) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->tick == tick) {
+      FADEWICH_EXPECTS(it->filled == stream_count());
+      std::vector<double> values = std::move(it->values);
+      pending_.erase(it);
+      return values;
+    }
+  }
+  FADEWICH_EXPECTS(false && "tick not pending");
+  return {};
+}
+
+}  // namespace fadewich::net

@@ -1,0 +1,49 @@
+// The central station: assembles per-tick measurement reports from the
+// bus into the m x (m-1) synchronised stream rows MD reads.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fadewich/net/measurement.hpp"
+#include "fadewich/net/message_bus.hpp"
+
+namespace fadewich::net {
+
+class CentralStation {
+ public:
+  /// `device_count` radios; streams are all ordered (tx, rx) pairs in
+  /// row-major order (matching rf::ChannelMatrix).  Requires >= 2.
+  explicit CentralStation(std::size_t device_count);
+
+  std::size_t device_count() const { return device_count_; }
+  std::size_t stream_count() const {
+    return device_count_ * (device_count_ - 1);
+  }
+
+  std::size_t stream_index(DeviceId tx, DeviceId rx) const;
+
+  /// Ingest all measurements pending on the bus.  Returns the ticks that
+  /// became complete (every stream reported) in ascending order; rows for
+  /// complete ticks can then be fetched with take_row().
+  std::vector<Tick> ingest(MessageBus& bus);
+
+  /// Fetch and discard the assembled row for a completed tick.  Requires
+  /// the tick to be complete and not yet taken.
+  std::vector<double> take_row(Tick tick);
+
+ private:
+  struct PendingRow {
+    Tick tick = 0;
+    std::vector<double> values;
+    std::size_t filled = 0;
+    std::vector<bool> present;
+  };
+
+  PendingRow& row_for(Tick tick);
+
+  std::size_t device_count_;
+  std::vector<PendingRow> pending_;
+};
+
+}  // namespace fadewich::net

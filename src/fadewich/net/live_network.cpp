@@ -1,0 +1,39 @@
+#include "fadewich/net/live_network.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+
+LiveSensorNetwork::LiveSensorNetwork(std::vector<rf::Point> sensors,
+                                     rf::ChannelConfig channel_config,
+                                     double tick_hz, std::uint64_t seed)
+    : channel_(std::move(sensors), channel_config, seed),
+      station_(channel_.sensor_count()),
+      tick_hz_(tick_hz) {
+  FADEWICH_EXPECTS(tick_hz > 0.0);
+}
+
+std::vector<double> LiveSensorNetwork::round(
+    std::span<const rf::BodyState> bodies) {
+  // Physical truth for the round: one RSSI per directed stream.
+  std::vector<double> truth(channel_.stream_count());
+  channel_.sample(bodies, truth);
+
+  // Each receiver reports each measurement to the station.
+  const auto m = static_cast<DeviceId>(channel_.sensor_count());
+  for (DeviceId tx = 0; tx < m; ++tx) {
+    for (DeviceId rx = 0; rx < m; ++rx) {
+      if (tx == rx) continue;
+      bus_.publish(Measurement{tx, rx, tick_,
+                               truth[channel_.stream_index(tx, rx)]});
+    }
+  }
+
+  const std::vector<Tick> complete = station_.ingest(bus_);
+  FADEWICH_ENSURES(complete.size() == 1 && complete[0] == tick_);
+  std::vector<double> row = station_.take_row(tick_);
+  ++tick_;
+  return row;
+}
+
+}  // namespace fadewich::net

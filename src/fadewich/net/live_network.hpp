@@ -1,0 +1,43 @@
+// Live sensor network: every tick is one TDMA beacon round — each device
+// broadcasts once and all others report the measured RSSI to the central
+// station through the message bus.  The channel truth comes from
+// rf::ChannelMatrix; body states are supplied by the caller each tick
+// (typically from sim::Person agents).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fadewich/net/central_station.hpp"
+#include "fadewich/net/message_bus.hpp"
+#include "fadewich/net/stream_source.hpp"
+#include "fadewich/rf/channel.hpp"
+
+namespace fadewich::net {
+
+class LiveSensorNetwork {
+ public:
+  LiveSensorNetwork(std::vector<rf::Point> sensors,
+                    rf::ChannelConfig channel_config, double tick_hz,
+                    std::uint64_t seed);
+
+  std::size_t stream_count() const { return station_.stream_count(); }
+  double tick_hz() const { return tick_hz_; }
+  Tick current_tick() const { return tick_; }
+
+  /// Run one beacon round with the given bodies present; returns the
+  /// assembled stream row for the round.
+  std::vector<double> round(std::span<const rf::BodyState> bodies);
+
+  const rf::ChannelMatrix& channel() const { return channel_; }
+
+ private:
+  rf::ChannelMatrix channel_;
+  MessageBus bus_;
+  CentralStation station_;
+  double tick_hz_;
+  Tick tick_ = 0;
+};
+
+}  // namespace fadewich::net

@@ -1,0 +1,26 @@
+// Wire-level types of the sensor network.
+//
+// Each device periodically broadcasts a beacon; every other device
+// measures the beacon's RSSI and reports the measurement to the central
+// station over a secure channel (system model item 2).  In this in-process
+// reproduction the "secure channel" is a message bus; the framing below is
+// what a real deployment would serialise.
+#pragma once
+
+#include <cstdint>
+
+#include "fadewich/common/time.hpp"
+
+namespace fadewich::net {
+
+using DeviceId = std::uint16_t;
+
+/// One RSSI measurement: receiver `rx` heard transmitter `tx`.
+struct Measurement {
+  DeviceId tx = 0;
+  DeviceId rx = 0;
+  Tick tick = 0;
+  double rssi_dbm = 0.0;
+};
+
+}  // namespace fadewich::net

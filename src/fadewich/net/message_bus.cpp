@@ -1,0 +1,13 @@
+#include "fadewich/net/message_bus.hpp"
+
+namespace fadewich::net {
+
+void MessageBus::publish(const Measurement& m) { queue_.push_back(m); }
+
+std::vector<Measurement> MessageBus::drain() {
+  std::vector<Measurement> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+}  // namespace fadewich::net

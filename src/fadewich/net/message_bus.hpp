@@ -1,0 +1,27 @@
+// In-process stand-in for the devices' secure reporting channel.  Devices
+// publish measurements; the central station drains them.  FIFO per
+// publish order; no loss (the paper assumes a reliable secure channel and
+// does not study report loss).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fadewich/net/measurement.hpp"
+
+namespace fadewich::net {
+
+class MessageBus {
+ public:
+  void publish(const Measurement& m);
+
+  /// Remove and return all queued measurements in publish order.
+  std::vector<Measurement> drain();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<Measurement> queue_;
+};
+
+}  // namespace fadewich::net

@@ -1,0 +1,26 @@
+// The interface MD consumes: a set of synchronised RSSI streams advancing
+// one tick at a time.  Implementations: LiveSensorNetwork (simulated
+// radios, online) and RecordingPlayback (recorded data, offline analysis —
+// how all the paper's sweeps are evaluated).
+#pragma once
+
+#include <span>
+
+#include "fadewich/common/time.hpp"
+
+namespace fadewich::net {
+
+class RssiStreamSource {
+ public:
+  virtual ~RssiStreamSource() = default;
+
+  virtual std::size_t stream_count() const = 0;
+  virtual double tick_hz() const = 0;
+
+  /// Advance one tick.  Returns false when the source is exhausted (a
+  /// playback reached its end); live sources always return true.  On
+  /// success `out` (size stream_count()) receives the new samples.
+  virtual bool next(std::span<double> out) = 0;
+};
+
+}  // namespace fadewich::net

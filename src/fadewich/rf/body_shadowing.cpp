@@ -1,0 +1,43 @@
+#include "fadewich/rf/body_shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+
+BodyShadowingModel::BodyShadowingModel(BodyModelConfig config)
+    : config_(config) {
+  FADEWICH_EXPECTS(config_.max_attenuation_db >= 0.0);
+  FADEWICH_EXPECTS(config_.shadow_decay_m > 0.0);
+  FADEWICH_EXPECTS(config_.motion_decay_m > 0.0);
+  FADEWICH_EXPECTS(config_.reference_speed > 0.0);
+}
+
+double BodyShadowingModel::attenuation_db(const BodyState& body,
+                                          const Segment& link) const {
+  const double excess = excess_path_length(body.position, link);
+  return config_.max_attenuation_db *
+         std::exp(-excess / config_.shadow_decay_m);
+}
+
+double BodyShadowingModel::motion_noise_std_db(const BodyState& body,
+                                               const Segment& link) const {
+  if (body.speed <= 0.0) return 0.0;
+  const double excess = excess_path_length(body.position, link);
+  const double speed_factor =
+      std::min(body.speed / config_.reference_speed, 1.5);
+  return config_.motion_noise_db * speed_factor *
+         std::exp(-excess / config_.motion_decay_m);
+}
+
+double BodyShadowingModel::ambient_noise_std_db(
+    const BodyState& body, const Segment& link) const {
+  if (body.speed <= 0.0) return 0.0;
+  const double d = point_segment_distance(body.position, link);
+  return config_.ambient_motion_db * std::min(body.speed, 2.0) *
+         std::exp(-d / config_.ambient_decay_m);
+}
+
+}  // namespace fadewich::rf

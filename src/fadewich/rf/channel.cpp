@@ -1,0 +1,195 @@
+#include "fadewich/rf/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+
+ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
+                             ChannelConfig config, std::uint64_t seed)
+    : sensors_(std::move(sensors)),
+      config_(config),
+      body_model_(config.body),
+      noise_rng_(seed) {  // reseeded from a split stream below
+  FADEWICH_EXPECTS(sensors_.size() >= 2);
+  Rng root(seed);
+  Rng shadow_rng = root.split(1);
+  Rng fading_seed_rng = root.split(2);
+  noise_rng_ = root.split(3);
+
+  const LogDistancePathLoss path_loss(config_.path_loss);
+  const std::size_t m = sensors_.size();
+  links_.reserve(m * (m - 1));
+
+  // Undirected link shadowing is shared by both directions; a small
+  // per-direction offset models RX chain differences.
+  std::vector<std::vector<double>> undirected_shadow(
+      m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      undirected_shadow[i][j] = undirected_shadow[j][i] =
+          shadow_rng.normal(0.0, config_.link_shadow_sigma_db);
+    }
+  }
+
+  for (std::size_t tx = 0; tx < m; ++tx) {
+    for (std::size_t rx = 0; rx < m; ++rx) {
+      if (tx == rx) continue;
+      Segment seg{sensors_[tx], sensors_[rx]};
+      const double offset =
+          shadow_rng.normal(0.0, config_.direction_offset_sigma_db);
+      const double static_rssi =
+          config_.tx_power_dbm - path_loss.loss_db(seg.length()) -
+          undirected_shadow[tx][rx] - offset;
+      links_.push_back(LinkState{
+          seg, static_rssi,
+          shadow_rng.uniform(0.0, 2.0 * 3.14159265358979323846),
+          Ar1Fading(config_.fading,
+                    fading_seed_rng.split(links_.size()))});
+    }
+  }
+
+  FADEWICH_EXPECTS(config_.tick_hz > 0.0);
+  if (config_.interference_mean_gap_s > 0.0) {
+    interference_gap_ticks_ = noise_rng_.exponential(
+        1.0 / (config_.interference_mean_gap_s * config_.tick_hz));
+  }
+}
+
+std::size_t ChannelMatrix::stream_index(std::size_t tx, std::size_t rx) const {
+  FADEWICH_EXPECTS(tx < sensors_.size());
+  FADEWICH_EXPECTS(rx < sensors_.size());
+  FADEWICH_EXPECTS(tx != rx);
+  // Row tx holds (m - 1) streams; rx skips the diagonal.
+  const std::size_t m = sensors_.size();
+  return tx * (m - 1) + (rx < tx ? rx : rx - 1);
+}
+
+std::pair<std::size_t, std::size_t> ChannelMatrix::stream_pair(
+    std::size_t stream) const {
+  FADEWICH_EXPECTS(stream < links_.size());
+  const std::size_t m = sensors_.size();
+  const std::size_t tx = stream / (m - 1);
+  std::size_t rx = stream % (m - 1);
+  if (rx >= tx) ++rx;
+  return {tx, rx};
+}
+
+const Segment& ChannelMatrix::link(std::size_t stream) const {
+  FADEWICH_EXPECTS(stream < links_.size());
+  return links_[stream].segment;
+}
+
+void ChannelMatrix::advance_interference() {
+  if (config_.interference_mean_gap_s <= 0.0) return;
+  if (interference_remaining_ticks_ > 0.0) {
+    interference_remaining_ticks_ -= 1.0;
+    return;
+  }
+  if (interference_gap_ticks_ > 0.0) {
+    interference_gap_ticks_ -= 1.0;
+    return;
+  }
+  // Start a new burst: pick its strength, duration and the affected links.
+  interference_remaining_ticks_ =
+      noise_rng_.exponential(1.0 / (config_.interference_mean_duration_s *
+                                    config_.tick_hz));
+  interference_std_db_ =
+      noise_rng_.uniform(1.0, config_.interference_max_std_db);
+  interference_affected_.assign(links_.size(), false);
+  for (std::size_t s = 0; s < links_.size(); ++s) {
+    interference_affected_[s] =
+        noise_rng_.bernoulli(config_.interference_link_fraction);
+  }
+  interference_gap_ticks_ = noise_rng_.exponential(
+      1.0 / (config_.interference_mean_gap_s * config_.tick_hz));
+}
+
+void ChannelMatrix::sample(std::span<const BodyState> bodies,
+                           std::span<const Jammer> jammers,
+                           std::span<double> out) {
+  FADEWICH_EXPECTS(out.size() == links_.size());
+  if (jammers.empty()) {
+    sample(bodies, out);
+    return;
+  }
+  // Receiver-side interference: one noise level per RX sensor.
+  const LogDistancePathLoss path_loss(config_.path_loss);
+  std::vector<double> jam_var(sensors_.size(), 0.0);
+  for (std::size_t rx = 0; rx < sensors_.size(); ++rx) {
+    for (const Jammer& jammer : jammers) {
+      const double std_db =
+          jammer_noise_std_db(jammer, sensors_[rx], path_loss);
+      jam_var[rx] += std_db * std_db;
+    }
+  }
+  sample(bodies, out);
+  for (std::size_t s = 0; s < links_.size(); ++s) {
+    const std::size_t rx = stream_pair(s).second;
+    if (jam_var[rx] <= 0.0) continue;
+    double rssi = out[s] + noise_rng_.normal(0.0, std::sqrt(jam_var[rx]));
+    rssi = std::clamp(rssi, config_.rssi_floor_dbm,
+                      config_.rssi_ceiling_dbm);
+    if (config_.quantize) rssi = std::round(rssi);
+    out[s] = rssi;
+  }
+}
+
+void ChannelMatrix::sample(std::span<const BodyState> bodies,
+                           std::span<double> out) {
+  FADEWICH_EXPECTS(out.size() == links_.size());
+  advance_interference();
+  const bool interfering = interference_remaining_ticks_ > 0.0;
+  const double now_s = static_cast<double>(tick_++) / config_.tick_hz;
+  const bool drifting = config_.baseline_drift_amplitude_db > 0.0 ||
+                        config_.noise_drift_fraction > 0.0;
+  const double drift_arg =
+      drifting ? 2.0 * 3.14159265358979323846 * now_s /
+                     config_.baseline_drift_period_s
+               : 0.0;
+  for (std::size_t s = 0; s < links_.size(); ++s) {
+    LinkState& ls = links_[s];
+    double fading = ls.fading.step();
+    if (config_.noise_drift_fraction > 0.0) {
+      // Common phase across links: co-channel load raises the noise of
+      // the whole band together, which is exactly what shifts MD's
+      // sum-of-std statistic (per-link random phases would cancel in
+      // the sum).
+      fading *= 1.0 + config_.noise_drift_fraction * std::sin(drift_arg);
+    }
+    double rssi = ls.static_rssi_dbm + fading;
+    if (config_.baseline_drift_amplitude_db > 0.0) {
+      rssi += config_.baseline_drift_amplitude_db *
+              std::sin(drift_arg + ls.drift_phase);
+    }
+
+    double noise_var = 0.0;
+    for (const BodyState& body : bodies) {
+      rssi -= body_model_.attenuation_db(body, ls.segment);
+      const double motion = body_model_.motion_noise_std_db(body, ls.segment);
+      const double ambient =
+          body_model_.ambient_noise_std_db(body, ls.segment);
+      noise_var += motion * motion + ambient * ambient;
+    }
+    if (interfering && interference_affected_[s]) {
+      noise_var += interference_std_db_ * interference_std_db_;
+    }
+    if (noise_var > 0.0) {
+      rssi += noise_rng_.normal(0.0, std::sqrt(noise_var));
+    }
+
+    rssi = std::clamp(rssi, config_.rssi_floor_dbm, config_.rssi_ceiling_dbm);
+    if (config_.quantize) rssi = std::round(rssi);
+    out[s] = rssi;
+  }
+}
+
+std::vector<double> ChannelMatrix::sample(std::span<const BodyState> bodies) {
+  std::vector<double> out(links_.size());
+  sample(bodies, out);
+  return out;
+}
+
+}  // namespace fadewich::rf

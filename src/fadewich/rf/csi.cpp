@@ -1,0 +1,85 @@
+#include "fadewich/rf/csi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/rf/pathloss.hpp"
+
+namespace fadewich::rf {
+
+CsiChannelMatrix::CsiChannelMatrix(std::vector<Point> sensors,
+                                   CsiConfig config, std::uint64_t seed)
+    : sensors_(std::move(sensors)),
+      config_(config),
+      body_model_(config.channel.body),
+      noise_rng_(seed) {
+  FADEWICH_EXPECTS(sensors_.size() >= 2);
+  FADEWICH_EXPECTS(config_.subcarriers >= 1);
+  FADEWICH_EXPECTS(config_.quantize_step_db > 0.0);
+  Rng root(seed);
+  Rng static_rng = root.split(1);
+  Rng fading_seed_rng = root.split(2);
+  noise_rng_ = root.split(3);
+
+  const LogDistancePathLoss path_loss(config_.channel.path_loss);
+  const std::size_t m = sensors_.size();
+  links_.reserve(m * (m - 1));
+  for (std::size_t tx = 0; tx < m; ++tx) {
+    for (std::size_t rx = 0; rx < m; ++rx) {
+      if (tx == rx) continue;
+      LinkState link;
+      link.segment = {sensors_[tx], sensors_[rx]};
+      link.static_rssi_dbm =
+          config_.channel.tx_power_dbm -
+          path_loss.loss_db(link.segment.length()) -
+          static_rng.normal(0.0, config_.channel.link_shadow_sigma_db);
+      link.subcarriers.reserve(config_.subcarriers);
+      for (std::size_t k = 0; k < config_.subcarriers; ++k) {
+        link.subcarriers.push_back(Subcarrier{
+            static_rng.normal(0.0, config_.frequency_selectivity_db),
+            1.0 + static_rng.normal(0.0, config_.body_response_spread),
+            Ar1Fading(config_.channel.fading,
+                      fading_seed_rng.split(links_.size() *
+                                                config_.subcarriers +
+                                            k))});
+      }
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+void CsiChannelMatrix::sample(std::span<const BodyState> bodies,
+                              std::span<double> out) {
+  FADEWICH_EXPECTS(out.size() == stream_count());
+  std::size_t index = 0;
+  for (LinkState& link : links_) {
+    // Link-level body effects, shared across subcarriers.
+    double attenuation = 0.0;
+    double noise_var = 0.0;
+    for (const BodyState& body : bodies) {
+      attenuation += body_model_.attenuation_db(body, link.segment);
+      const double motion =
+          body_model_.motion_noise_std_db(body, link.segment);
+      const double ambient =
+          body_model_.ambient_noise_std_db(body, link.segment);
+      noise_var += motion * motion + ambient * ambient;
+    }
+    const double noise_std = noise_var > 0.0 ? std::sqrt(noise_var) : 0.0;
+
+    for (Subcarrier& sub : link.subcarriers) {
+      double value = link.static_rssi_dbm + sub.static_offset_db +
+                     sub.fading.step() - attenuation * sub.body_response;
+      if (noise_std > 0.0) {
+        value += noise_rng_.normal(0.0, noise_std);
+      }
+      value = std::clamp(value, config_.channel.rssi_floor_dbm,
+                         config_.channel.rssi_ceiling_dbm);
+      value = std::round(value / config_.quantize_step_db) *
+              config_.quantize_step_db;
+      out[index++] = value;
+    }
+  }
+}
+
+}  // namespace fadewich::rf

@@ -1,0 +1,75 @@
+// Channel State Information (CSI) extension — the paper's future work
+// ("whether more fine grained information that can be provided by the
+// wireless channel (such as channel state information) can improve the
+// system performance").
+//
+// Where RSSI collapses a link to one coarsely quantised number, CSI
+// reports the channel per OFDM subcarrier.  The model: each directed
+// link carries `subcarriers` frequency-selective components —
+// independent AR(1) fading per subcarrier, a per-subcarrier static
+// frequency response, and the shared body shadowing of the link scaled
+// by a per-subcarrier body response (obstruction is frequency dependent
+// within ~±20%).  Measurements are quantised at CSI-grade resolution
+// (0.25 dB) instead of the 1 dB of RSSI.
+//
+// Output layout: stream-major, subcarrier-minor — value index
+// (link * subcarriers + k), with links ordered like rf::ChannelMatrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/rf/body_shadowing.hpp"
+#include "fadewich/rf/channel.hpp"
+
+namespace fadewich::rf {
+
+struct CsiConfig {
+  std::size_t subcarriers = 8;
+  double quantize_step_db = 0.25;  // CSI-grade amplitude resolution
+  double frequency_selectivity_db = 2.0;  // static per-subcarrier spread
+  double body_response_spread = 0.2;      // +-20% obstruction variation
+  ChannelConfig channel;  // link budget, fading, body model, bursts
+};
+
+class CsiChannelMatrix {
+ public:
+  /// Requires >= 2 sensors and >= 1 subcarrier.
+  CsiChannelMatrix(std::vector<Point> sensors, CsiConfig config,
+                   std::uint64_t seed);
+
+  std::size_t sensor_count() const { return sensors_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  /// Total measurement streams: m * (m - 1) * subcarriers.
+  std::size_t stream_count() const {
+    return links_.size() * config_.subcarriers;
+  }
+
+  /// Advance one tick; `out` (size stream_count()) receives per-
+  /// subcarrier channel magnitudes in dB.
+  void sample(std::span<const BodyState> bodies, std::span<double> out);
+
+  const CsiConfig& config() const { return config_; }
+
+ private:
+  struct Subcarrier {
+    double static_offset_db = 0.0;  // frequency response of the link
+    double body_response = 1.0;     // obstruction scaling
+    Ar1Fading fading;
+  };
+  struct LinkState {
+    Segment segment;
+    double static_rssi_dbm = 0.0;
+    std::vector<Subcarrier> subcarriers;
+  };
+
+  std::vector<Point> sensors_;
+  CsiConfig config_;
+  BodyShadowingModel body_model_;
+  std::vector<LinkState> links_;
+  Rng noise_rng_;
+};
+
+}  // namespace fadewich::rf

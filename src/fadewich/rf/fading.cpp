@@ -1,0 +1,24 @@
+#include "fadewich/rf/fading.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+
+Ar1Fading::Ar1Fading(FadingConfig config, Rng rng)
+    : config_(config), rng_(rng), state_(0.0) {
+  FADEWICH_EXPECTS(config_.sigma_db >= 0.0);
+  FADEWICH_EXPECTS(config_.rho >= 0.0 && config_.rho < 1.0);
+  innovation_scale_ =
+      std::sqrt(1.0 - config_.rho * config_.rho) * config_.sigma_db;
+  // Start from the stationary distribution so streams need no warm-up.
+  state_ = rng_.normal(0.0, config_.sigma_db);
+}
+
+double Ar1Fading::step() {
+  state_ = config_.rho * state_ + rng_.normal(0.0, innovation_scale_);
+  return state_;
+}
+
+}  // namespace fadewich::rf

@@ -1,0 +1,40 @@
+// Temporally correlated multipath fading as a first-order autoregressive
+// Gaussian process:
+//
+//   x_t = rho * x_{t-1} + sqrt(1 - rho^2) * sigma * eps_t
+//
+// The stationary distribution is N(0, sigma^2); rho controls how slowly
+// the multipath state of a static environment drifts between samples.
+// This reproduces the "busy wireless channel" texture the paper stresses:
+// even with nobody moving, per-link RSSI wanders by ~1 dB.
+#pragma once
+
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::rf {
+
+struct FadingConfig {
+  double sigma_db = 0.9;  // stationary std of the fading process
+  double rho = 0.9;       // per-sample correlation, in [0, 1)
+};
+
+class Ar1Fading {
+ public:
+  Ar1Fading(FadingConfig config, Rng rng);
+
+  /// Advance one sample and return the new fading value (dB).
+  double step();
+
+  /// Current value without advancing.
+  double value() const { return state_; }
+
+  const FadingConfig& config() const { return config_; }
+
+ private:
+  FadingConfig config_;
+  Rng rng_;
+  double state_;
+  double innovation_scale_;
+};
+
+}  // namespace fadewich::rf

@@ -1,0 +1,67 @@
+#include "fadewich/rf/floorplan.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+
+const std::vector<std::size_t>& FloorPlan::deployment_priority() {
+  // 0-based indices of d1..d9: spread coverage for small deployments —
+  // right wall (door side), mid top wall, mid bottom wall, left wall,
+  // then fill the gaps.
+  static const std::vector<std::size_t> order = {
+      0,  // d1 right wall
+      2,  // d3 top
+      7,  // d8 bottom centre
+      5,  // d6 left wall
+      4,  // d5 top right
+      8,  // d9 bottom left
+      1,  // d2 top left
+      6,  // d7 bottom right
+      3,  // d4 top centre-right
+  };
+  return order;
+}
+
+FloorPlan FloorPlan::with_sensor_count(std::size_t n) const {
+  FADEWICH_EXPECTS(n >= 1 && n <= sensors.size());
+  FloorPlan out = *this;
+  out.sensors.clear();
+  const auto& order = deployment_priority();
+  // The priority list is written for the 9-sensor paper office; fall back
+  // to natural order for other deployments.
+  if (sensors.size() == order.size()) {
+    std::vector<std::size_t> keep(order.begin(),
+                                  order.begin() + static_cast<long>(n));
+    for (std::size_t idx : keep) out.sensors.push_back(sensors[idx]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out.sensors.push_back(sensors[i]);
+  }
+  return out;
+}
+
+FloorPlan paper_office() {
+  FloorPlan plan;
+  plan.width = 6.0;
+  plan.height = 3.0;
+  plan.sensors = {
+      {6.0, 1.5},   // d1: right wall, middle
+      {1.0, 3.0},   // d2: top wall
+      {2.33, 3.0},  // d3: top wall
+      {3.67, 3.0},  // d4: top wall
+      {5.0, 3.0},   // d5: top wall
+      {0.0, 1.5},   // d6: left wall, middle
+      {4.5, 0.0},   // d7: bottom wall
+      {3.0, 0.0},   // d8: bottom wall
+      {1.5, 0.0},   // d9: bottom wall
+  };
+  plan.workstations = {
+      {"w1", {4.3, 2.5}, {4.3, 1.9}},
+      {"w2", {2.1, 2.5}, {2.1, 1.9}},
+      {"w3", {0.7, 0.7}, {1.2, 1.1}},
+  };
+  plan.door = {5.6, 0.0};
+  plan.corridor = {3.0, 1.4};
+  return plan;
+}
+
+}  // namespace fadewich::rf

@@ -1,0 +1,55 @@
+// Office floor plan: room extent, sensor positions, workstation seats and
+// the single door.  `paper_office()` reconstructs the layout of Fig. 6:
+// a 6 m x 3 m room, nine wall-mounted sensors, three workstations, one
+// entrance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fadewich/rf/geometry.hpp"
+
+namespace fadewich::rf {
+
+struct Workstation {
+  std::string name;   // "w1", ...
+  Point seat;         // where the user sits
+  Point stand_point;  // where the user stands when getting up
+};
+
+struct FloorPlan {
+  double width = 0.0;   // metres, x in [0, width]
+  double height = 0.0;  // metres, y in [0, height]
+  std::vector<Point> sensors;          // d1..dm in paper order
+  std::vector<Workstation> workstations;  // w1..wk
+  Point door;  // the single entrance (on a wall)
+  // Waypoint inside the room that walking paths route through, so
+  // trajectories bend around desks instead of crossing them.
+  Point corridor;
+
+  std::size_t sensor_count() const { return sensors.size(); }
+  std::size_t workstation_count() const { return workstations.size(); }
+
+  bool contains(const Point& p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+
+  /// Keep the first `n` sensors of the deployment priority order (a fixed
+  /// spatially spread order, mirroring the paper's "number of sensors"
+  /// sweeps).  Requires 1 <= n <= sensor_count().
+  FloorPlan with_sensor_count(std::size_t n) const;
+
+  /// Deployment priority order: indices into `sensors`, most valuable
+  /// first.  Chosen to keep coverage spread for small n (door-side,
+  /// mid-room, opposite wall, ...).
+  static const std::vector<std::size_t>& deployment_priority();
+};
+
+/// The Fig. 6 office: 6 m x 3 m, sensors d1 (right wall), d2..d5 (top
+/// wall), d6 (left wall), d7..d9 (bottom wall), workstations w1, w2 along
+/// the top wall and w3 near the bottom-left, door on the bottom-right.
+/// Average seat-to-door walking distance is ~4 m, matching Section VII-A.
+FloorPlan paper_office();
+
+}  // namespace fadewich::rf

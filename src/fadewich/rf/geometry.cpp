@@ -1,0 +1,25 @@
+#include "fadewich/rf/geometry.hpp"
+
+#include <algorithm>
+
+namespace fadewich::rf {
+
+double distance(const Point& a, const Point& b) { return (a - b).norm(); }
+
+double point_segment_distance(const Point& p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = d.dot(d);
+  if (len2 == 0.0) return distance(p, s.a);
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+double excess_path_length(const Point& p, const Segment& s) {
+  return distance(s.a, p) + distance(p, s.b) - s.length();
+}
+
+Point lerp(const Point& a, const Point& b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace fadewich::rf

@@ -1,0 +1,43 @@
+// Minimal 2-D geometry for the office floor plan and the link/body model.
+// The simulator works in the horizontal plane at sensor height (the paper
+// mounted all sensors ~1 m from the ground, slightly above desk height).
+#pragma once
+
+#include <cmath>
+
+namespace fadewich::rf {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  double dot(const Point& o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+double distance(const Point& a, const Point& b);
+
+struct Segment {
+  Point a;
+  Point b;
+
+  double length() const { return distance(a, b); }
+};
+
+/// Shortest distance from point p to the segment.
+double point_segment_distance(const Point& p, const Segment& s);
+
+/// Excess path length of a reflection/diffraction via p:
+///   d(a, p) + d(p, b) - d(a, b)  (>= 0; 0 iff p lies on the segment).
+/// This is the canonical radio-tomography measure of how strongly a body
+/// at p obstructs the a-b link.
+double excess_path_length(const Point& p, const Segment& s);
+
+/// Linear interpolation between two points, t in [0, 1].
+Point lerp(const Point& a, const Point& b, double t);
+
+}  // namespace fadewich::rf

@@ -1,0 +1,22 @@
+#include "fadewich/rf/jammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fadewich::rf {
+
+double jammer_noise_std_db(const Jammer& jammer, const Point& receiver,
+                           const LogDistancePathLoss& path_loss,
+                           double reference_rssi_dbm) {
+  const double received_dbm =
+      jammer.power_dbm -
+      path_loss.loss_db(distance(jammer.position, receiver));
+  // Interference-to-signal ratio in amplitude; 0 dB ISR corrupts the
+  // measurement by several dB, deep-below-signal interference vanishes.
+  const double isr_db = received_dbm - reference_rssi_dbm;
+  const double amplitude_ratio = std::pow(10.0, isr_db / 20.0);
+  constexpr double kStdAtUnitIsr = 4.0;  // dB of noise at ISR = 0 dB
+  return std::min(kStdAtUnitIsr * amplitude_ratio, 12.0);
+}
+
+}  // namespace fadewich::rf

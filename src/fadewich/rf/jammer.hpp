@@ -1,0 +1,38 @@
+// Wireless physical attacks (Section V-C).
+//
+// The paper argues an adversary cannot jam RSSI in a way that *hides*
+// movement: to do so the jammer would have to hold every stream's
+// measured value steady while a body perturbs the true signal, which
+// requires knowing each link's instantaneous channel.  What a real
+// jammer can do is inject additional interference power, which raises
+// the noise floor and the measured variance at nearby receivers — an
+// effect MD detects as an anomaly rather than being blinded by.
+//
+// The model: an interferer at a fixed position radiating `power_dbm`.
+// Each receiver measures extra noise whose standard deviation follows
+// the received interference power through the same log-distance path
+// loss as the legitimate links (stronger when the jammer is close).
+#pragma once
+
+#include <vector>
+
+#include "fadewich/rf/geometry.hpp"
+#include "fadewich/rf/pathloss.hpp"
+
+namespace fadewich::rf {
+
+struct Jammer {
+  Point position;
+  double power_dbm = 10.0;  // strong consumer-grade interferer
+};
+
+/// Extra RSSI noise standard deviation (dB) a jammer induces at a
+/// receiver.  Interference power arriving within ~20 dB of the legit
+/// signal corrupts the measurement roughly in proportion to the
+/// amplitude ratio; the mapping below converts the received interference
+/// level into a dB-domain noise std, clamped to a sane ceiling.
+double jammer_noise_std_db(const Jammer& jammer, const Point& receiver,
+                           const LogDistancePathLoss& path_loss,
+                           double reference_rssi_dbm = -55.0);
+
+}  // namespace fadewich::rf

@@ -1,0 +1,34 @@
+// Parametric office generation — the paper's future work ("investigate
+// the performance of the system in different setups: other offices, with
+// different dimensions and users").
+//
+// Produces floor plans of arbitrary dimensions with any number of
+// workstations and wall-mounted sensors, using the same conventions as
+// the paper office: sensors spread along the wall perimeter, desks along
+// the walls facing inward, a single door, and a central corridor
+// waypoint.
+#pragma once
+
+#include <cstddef>
+
+#include "fadewich/rf/floorplan.hpp"
+
+namespace fadewich::rf {
+
+struct OfficeSpec {
+  double width = 6.0;    // metres, >= 3
+  double height = 3.0;   // metres, >= 2.5
+  std::size_t workstations = 3;  // >= 1
+  std::size_t sensors = 9;       // >= 2
+};
+
+/// Deterministically build a floor plan for the spec:
+/// * the door sits on the bottom wall near the right corner;
+/// * sensors are placed at equal arc length along the wall perimeter,
+///   starting opposite the door so small counts still surround the room;
+/// * workstations line the top wall (and then the left wall when the top
+///   is full), seats ~0.5 m inside, stand points ~0.6 m further in.
+/// Throws on specs that do not fit (too many desks for the walls).
+FloorPlan build_office(const OfficeSpec& spec);
+
+}  // namespace fadewich::rf

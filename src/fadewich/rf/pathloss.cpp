@@ -1,0 +1,25 @@
+#include "fadewich/rf/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+
+LogDistancePathLoss::LogDistancePathLoss(PathLossConfig config)
+    : config_(config) {
+  FADEWICH_EXPECTS(config_.exponent > 0.0);
+  FADEWICH_EXPECTS(config_.reference_distance_m > 0.0);
+  FADEWICH_EXPECTS(config_.min_distance_m > 0.0);
+}
+
+double LogDistancePathLoss::loss_db(double distance_m) const {
+  FADEWICH_EXPECTS(distance_m >= 0.0);
+  const double d = std::max(distance_m, config_.min_distance_m);
+  return config_.reference_loss_db +
+         10.0 * config_.exponent *
+             std::log10(d / config_.reference_distance_m);
+}
+
+}  // namespace fadewich::rf

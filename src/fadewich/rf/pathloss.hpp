@@ -1,0 +1,32 @@
+// Log-distance path-loss model for cluttered indoor propagation:
+//
+//   PL(d) = PL(d0) + 10 * n * log10(d / d0)
+//
+// with exponent n ~ 3 for an office (RADAR reports 1.6-3.3 indoors).
+// Distances below d_min are clamped so co-located devices don't produce
+// infinite received power.
+#pragma once
+
+namespace fadewich::rf {
+
+struct PathLossConfig {
+  double reference_loss_db = 40.0;  // PL(d0) at d0 = 1 m, 2.4 GHz
+  double exponent = 3.0;            // indoor cluttered office
+  double reference_distance_m = 1.0;
+  double min_distance_m = 0.2;
+};
+
+class LogDistancePathLoss {
+ public:
+  explicit LogDistancePathLoss(PathLossConfig config = {});
+
+  /// Path loss in dB at the given distance (metres, >= 0).
+  double loss_db(double distance_m) const;
+
+  const PathLossConfig& config() const { return config_; }
+
+ private:
+  PathLossConfig config_;
+};
+
+}  // namespace fadewich::rf

@@ -1,0 +1,36 @@
+// Ground-truth events recorded by the simulator.  These replace the human
+// supervisor of Section VI-B who noted when users stepped away from their
+// workstations and when they entered/exited the room.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+
+namespace fadewich::sim {
+
+enum class EventKind {
+  kLeave,  // user left the proximity of their workstation (label w_i)
+  kEnter,  // someone entered the office (label w_0)
+};
+
+struct GroundTruthEvent {
+  EventKind kind = EventKind::kLeave;
+  // Workstation index (0-based) for kLeave; for kEnter, the workstation
+  // the person is heading to (not used for labeling, which is always w0).
+  std::size_t workstation = 0;
+  Seconds movement_start = 0.0;  // stood up (kLeave) / opened door (kEnter)
+  Seconds movement_end = 0.0;    // exited door (kLeave) / sat down (kEnter)
+  // For kLeave: when the user got more than ~1 m away from the seat —
+  // the supervisor-noted "stepped away" instant, the "t" of the paper's
+  // true window U_t and the zero point of deauthentication delays.
+  // For kEnter: equal to movement_start.
+  Seconds proximity_exit = 0.0;
+
+  Seconds departure_time() const { return proximity_exit; }
+};
+
+using EventLog = std::vector<GroundTruthEvent>;
+
+}  // namespace fadewich::sim

@@ -1,0 +1,15 @@
+#include "fadewich/sim/input_activity.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+
+InputActivitySimulator::InputActivitySimulator(InputActivityConfig config,
+                                               Rng rng)
+    : config_(config), rng_(rng) {
+  FADEWICH_EXPECTS(config_.interval > 0.0);
+  FADEWICH_EXPECTS(config_.active_probability >= 0.0 &&
+                   config_.active_probability <= 1.0);
+}
+
+}  // namespace fadewich::sim

@@ -1,0 +1,54 @@
+// Keyboard/mouse input simulation.
+//
+// Following the paper (Section VII-D, citing Mikkelsen et al.), time is
+// discretised into 5-second intervals and a seated user generates input
+// during an interval with probability 0.78.  When an interval is active
+// we place one input event at a uniformly random instant inside it; KMA
+// only cares about the time of the most recent event, so one event per
+// active interval is sufficient.
+#pragma once
+
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/common/time.hpp"
+
+namespace fadewich::sim {
+
+struct InputActivityConfig {
+  Seconds interval = 5.0;
+  double active_probability = 0.78;
+};
+
+/// Generates input event times for one workstation over [0, duration),
+/// given the intervals during which the user was seated.
+class InputActivitySimulator {
+ public:
+  InputActivitySimulator(InputActivityConfig config, Rng rng);
+
+  /// Sample input events over [0, duration).  `seated` reports whether
+  /// the user is at the workstation at a given time.  Events are returned
+  /// sorted ascending.
+  template <typename SeatedFn>
+  std::vector<Seconds> generate(Seconds duration, SeatedFn&& seated) {
+    std::vector<Seconds> events;
+    for (Seconds t0 = 0.0; t0 < duration; t0 += config_.interval) {
+      const Seconds t1 = std::min(t0 + config_.interval, duration);
+      // Sample the seated predicate mid-interval; leave/return edges make
+      // at most one interval ambiguous, which is below KMA's resolution.
+      if (!seated(0.5 * (t0 + t1))) continue;
+      if (rng_.bernoulli(config_.active_probability)) {
+        events.push_back(rng_.uniform(t0, t1));
+      }
+    }
+    return events;
+  }
+
+  const InputActivityConfig& config() const { return config_; }
+
+ private:
+  InputActivityConfig config_;
+  Rng rng_;
+};
+
+}  // namespace fadewich::sim

@@ -1,0 +1,191 @@
+#include "fadewich/sim/person.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+
+namespace {
+// Waypoint route from the workstation's stand point to the door; bends
+// through the corridor only when the detour is meaningful, so w1 (close
+// to the door side) walks nearly straight while w2/w3 cross the room.
+std::vector<rf::Point> route_to_door(const rf::FloorPlan& plan,
+                                     const rf::Workstation& ws) {
+  std::vector<rf::Point> route;
+  route.push_back(ws.stand_point);
+  const double direct = rf::distance(ws.stand_point, plan.door);
+  const double via_corridor = rf::distance(ws.stand_point, plan.corridor) +
+                              rf::distance(plan.corridor, plan.door);
+  if (via_corridor < direct * 1.35) route.push_back(plan.corridor);
+  route.push_back(plan.door);
+  return route;
+}
+
+std::vector<rf::Point> reversed(std::vector<rf::Point> v) {
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+Person::Person(const rf::FloorPlan& plan, std::size_t workstation,
+               PersonConfig config, Rng rng)
+    : plan_(&plan),
+      workstation_(workstation),
+      config_(config),
+      rng_(rng),
+      position_(plan.door) {
+  FADEWICH_EXPECTS(workstation < plan.workstation_count());
+}
+
+void Person::start_leaving() {
+  FADEWICH_EXPECTS(phase_ == Phase::kSeated);
+  phase_ = Phase::kStandUp;
+  phase_remaining_ = config_.stand_up_duration;
+  speed_ = 0.6;  // pushing the chair back and turning
+}
+
+void Person::sit_down_immediately() {
+  FADEWICH_EXPECTS(phase_ == Phase::kOutside);
+  phase_ = Phase::kSeated;
+  position_ = plan_->workstations[workstation_].seat;
+  speed_ = 0.0;
+  seat_offset_ = {};
+  jitter_countdown_ = 0.0;
+  fidget_remaining_ = 0.0;
+}
+
+void Person::start_entering() {
+  FADEWICH_EXPECTS(phase_ == Phase::kOutside);
+  phase_ = Phase::kDoorDwellIn;
+  phase_remaining_ = config_.door_dwell_in;
+  position_ = plan_->door;
+  speed_ = 1.0;  // the swinging door perturbs the channel like motion
+}
+
+rf::BodyState Person::body() const {
+  FADEWICH_EXPECTS(inside());
+  return rf::BodyState{position_, speed_};
+}
+
+void Person::begin_walk(const std::vector<rf::Point>& waypoints) {
+  waypoints_ = waypoints;
+  next_waypoint_ = 1;  // waypoints[0] is the current position
+  position_ = waypoints[0];
+  walk_speed_ = std::max(
+      0.6, rng_.normal(config_.walk_speed_mean, config_.walk_speed_sigma));
+  speed_ = walk_speed_;
+}
+
+void Person::advance_walk(Seconds dt) {
+  double budget = walk_speed_ * dt;
+  while (budget > 0.0 && next_waypoint_ < waypoints_.size()) {
+    const rf::Point& target = waypoints_[next_waypoint_];
+    const double to_target = rf::distance(position_, target);
+    if (to_target <= budget) {
+      position_ = target;
+      budget -= to_target;
+      ++next_waypoint_;
+    } else {
+      position_ = rf::lerp(position_, target, budget / to_target);
+      budget = 0.0;
+    }
+  }
+  if (next_waypoint_ >= waypoints_.size()) {
+    // Walk finished; the caller's phase logic reacts on the next tick.
+    speed_ = 0.0;
+  }
+}
+
+void Person::advance(Seconds dt) {
+  FADEWICH_EXPECTS(dt > 0.0);
+  const rf::Workstation& ws = plan_->workstations[workstation_];
+  switch (phase_) {
+    case Phase::kOutside:
+      break;
+
+    case Phase::kDoorDwellIn:
+      phase_remaining_ -= dt;
+      if (phase_remaining_ <= 0.0) {
+        phase_ = Phase::kWalkIn;
+        begin_walk(reversed(route_to_door(*plan_, ws)));
+      }
+      break;
+
+    case Phase::kWalkIn:
+      advance_walk(dt);
+      if (next_waypoint_ >= waypoints_.size()) {
+        phase_ = Phase::kSitDown;
+        phase_remaining_ = config_.sit_down_duration;
+        speed_ = 0.3;
+      }
+      break;
+
+    case Phase::kSitDown:
+      phase_remaining_ -= dt;
+      if (phase_remaining_ <= 0.0) {
+        phase_ = Phase::kSeated;
+        position_ = ws.seat;
+        speed_ = 0.0;
+        seat_offset_ = {};
+        jitter_countdown_ = 0.0;
+        fidget_remaining_ = 0.0;
+      }
+      break;
+
+    case Phase::kSeated: {
+      // Occasional posture shifts: refresh a small offset and sometimes a
+      // short burst of non-zero speed.
+      jitter_countdown_ -= dt;
+      if (jitter_countdown_ <= 0.0) {
+        jitter_countdown_ = config_.jitter_refresh;
+        seat_offset_ = {rng_.normal(0.0, config_.seat_jitter_m),
+                        rng_.normal(0.0, config_.seat_jitter_m)};
+      }
+      if (fidget_remaining_ > 0.0) {
+        fidget_remaining_ -= dt;
+        speed_ = config_.fidget_speed;
+      } else {
+        speed_ = 0.0;
+        if (rng_.bernoulli(std::min(1.0, config_.fidget_probability * dt))) {
+          fidget_remaining_ =
+              rng_.exponential(1.0 / config_.fidget_duration_mean);
+        }
+      }
+      position_ = ws.seat + seat_offset_;
+      break;
+    }
+
+    case Phase::kStandUp:
+      phase_remaining_ -= dt;
+      position_ = rf::lerp(
+          ws.seat, ws.stand_point,
+          std::clamp(1.0 - phase_remaining_ / config_.stand_up_duration,
+                     0.0, 1.0));
+      if (phase_remaining_ <= 0.0) {
+        phase_ = Phase::kWalkOut;
+        begin_walk(route_to_door(*plan_, ws));
+      }
+      break;
+
+    case Phase::kWalkOut:
+      advance_walk(dt);
+      if (next_waypoint_ >= waypoints_.size()) {
+        phase_ = Phase::kDoorDwellOut;
+        phase_remaining_ = config_.door_dwell_out;
+        speed_ = 1.0;  // the swinging door perturbs the channel like motion
+      }
+      break;
+
+    case Phase::kDoorDwellOut:
+      phase_remaining_ -= dt;
+      if (phase_remaining_ <= 0.0) {
+        phase_ = Phase::kOutside;
+        speed_ = 0.0;
+      }
+      break;
+  }
+}
+
+}  // namespace fadewich::sim

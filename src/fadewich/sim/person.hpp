@@ -1,0 +1,114 @@
+// A simulated office occupant.
+//
+// The agent is a small kinematic state machine:
+//
+//   Outside -> (enter) DoorDwell -> WalkIn -> SitDown -> Seated
+//   Seated  -> (leave) StandUp -> WalkOut -> DoorDwell -> Outside
+//
+// While Seated the body stays near the seat with occasional low-speed
+// fidgeting (typing posture shifts) — the paper explicitly allows users to
+// "move slightly while remaining at their workstations", which is what
+// MD's t_delta threshold must reject.  Walks follow a polyline through the
+// room's corridor waypoint at a per-walk randomised speed around 1.4 m/s
+// (Section VII-A's assumption).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/common/time.hpp"
+#include "fadewich/rf/body_shadowing.hpp"
+#include "fadewich/rf/floorplan.hpp"
+
+namespace fadewich::sim {
+
+struct PersonConfig {
+  double walk_speed_mean = 1.4;   // m/s
+  double walk_speed_sigma = 0.12;
+  Seconds stand_up_duration = 1.5;
+  Seconds sit_down_duration = 1.2;
+  // Opening a door toward yourself, stepping in and closing it takes
+  // longer than pushing through on the way out.
+  Seconds door_dwell_in = 2.4;
+  Seconds door_dwell_out = 1.6;
+  double fidget_speed = 0.12;      // m/s while shifting in the chair
+  double fidget_probability = 0.02;   // chance per second to start
+  Seconds fidget_duration_mean = 1.5;
+  double seat_jitter_m = 0.03;     // posture offset radius while seated
+  Seconds jitter_refresh = 2.0;    // how often the seated offset changes
+};
+
+class Person {
+ public:
+  /// `workstation` indexes into the plan's workstations.
+  Person(const rf::FloorPlan& plan, std::size_t workstation,
+         PersonConfig config, Rng rng);
+
+  enum class Phase {
+    kOutside,
+    kDoorDwellIn,
+    kWalkIn,
+    kSitDown,
+    kSeated,
+    kStandUp,
+    kWalkOut,
+    kDoorDwellOut,
+  };
+
+  /// Begin the leave sequence.  Requires currently Seated.
+  void start_leaving();
+
+  /// Begin the enter sequence.  Requires currently Outside.
+  void start_entering();
+
+  /// Place the person directly at their seat (day starts with the user
+  /// already at the desk).  Requires currently Outside.
+  void sit_down_immediately();
+
+  /// Advance the agent by dt seconds.
+  void advance(Seconds dt);
+
+  Phase phase() const { return phase_; }
+  bool inside() const { return phase_ != Phase::kOutside; }
+  bool seated() const { return phase_ == Phase::kSeated; }
+  std::size_t workstation() const { return workstation_; }
+
+  /// Current position and speed for the channel model.  Requires inside().
+  rf::BodyState body() const;
+
+  /// True while the person's movement generates the leave/enter signature
+  /// (anything but Seated or Outside).
+  bool in_transit() const {
+    return phase_ != Phase::kSeated && phase_ != Phase::kOutside;
+  }
+
+ private:
+  void begin_walk(const std::vector<rf::Point>& waypoints);
+  void advance_walk(Seconds dt);
+
+  const rf::FloorPlan* plan_;
+  std::size_t workstation_;
+  PersonConfig config_;
+  Rng rng_;
+
+  Phase phase_ = Phase::kOutside;
+  rf::Point position_;
+  double speed_ = 0.0;
+
+  // Walk state.
+  std::vector<rf::Point> waypoints_;
+  std::size_t next_waypoint_ = 0;
+  double walk_speed_ = 0.0;
+
+  // Phase timer for fixed-duration phases (stand, sit, door dwell).
+  Seconds phase_remaining_ = 0.0;
+
+  // Seated micro-motion state.
+  rf::Point seat_offset_{};
+  Seconds jitter_countdown_ = 0.0;
+  Seconds fidget_remaining_ = 0.0;
+};
+
+}  // namespace fadewich::sim

@@ -1,0 +1,149 @@
+#include "fadewich/sim/recording_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'D', 'W', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw Error("recording stream truncated");
+  return value;
+}
+
+void check(std::ostream& os, const char* what) {
+  if (!os) throw Error(std::string("recording write failed: ") + what);
+}
+
+}  // namespace
+
+void save_recording(const Recording& recording, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, recording.rate().hz());
+  write_pod(os, static_cast<std::uint64_t>(recording.sensor_count()));
+  write_pod(os, recording.day_length());
+  write_pod(os, static_cast<std::uint64_t>(recording.day_count()));
+  write_pod(os, static_cast<std::uint64_t>(recording.tick_count()));
+  for (std::size_t s = 0; s < recording.stream_count(); ++s) {
+    const auto& stream = recording.stream(s);
+    os.write(reinterpret_cast<const char*>(stream.data()),
+             static_cast<std::streamsize>(stream.size()));
+  }
+  check(os, "streams");
+
+  write_pod(os, static_cast<std::uint64_t>(recording.events().size()));
+  for (const GroundTruthEvent& e : recording.events()) {
+    write_pod(os, static_cast<std::uint8_t>(e.kind));
+    write_pod(os, static_cast<std::uint64_t>(e.workstation));
+    write_pod(os, e.movement_start);
+    write_pod(os, e.movement_end);
+    write_pod(os, e.proximity_exit);
+  }
+
+  const auto& seated = recording.seated_intervals();
+  write_pod(os, static_cast<std::uint64_t>(seated.size()));
+  for (const auto& intervals : seated) {
+    write_pod(os, static_cast<std::uint64_t>(intervals.size()));
+    for (const Interval& iv : intervals) {
+      write_pod(os, iv.begin);
+      write_pod(os, iv.end);
+    }
+  }
+  check(os, "trailer");
+}
+
+void save_recording(const Recording& recording, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("cannot open for writing: " + path);
+  save_recording(recording, os);
+}
+
+Recording load_recording(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("not a FADEWICH recording (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw Error("unsupported recording version " +
+                std::to_string(version));
+  }
+  const auto tick_hz = read_pod<double>(is);
+  const auto sensor_count = read_pod<std::uint64_t>(is);
+  const auto day_length = read_pod<double>(is);
+  const auto days = read_pod<std::uint64_t>(is);
+  const auto ticks = read_pod<std::uint64_t>(is);
+  if (tick_hz <= 0.0 || sensor_count < 2 || day_length <= 0.0 ||
+      days < 1) {
+    throw Error("recording header is implausible");
+  }
+
+  Recording recording(tick_hz, sensor_count, day_length, days);
+  const std::uint64_t streams = sensor_count * (sensor_count - 1);
+  std::vector<std::vector<std::int8_t>> data(streams);
+  for (auto& stream : data) {
+    stream.resize(ticks);
+    is.read(reinterpret_cast<char*>(stream.data()),
+            static_cast<std::streamsize>(ticks));
+    if (!is) throw Error("recording stream data truncated");
+  }
+  // Re-append row by row to reuse the class's single mutation path.
+  std::vector<double> row(streams);
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    for (std::uint64_t s = 0; s < streams; ++s) {
+      row[s] = static_cast<double>(data[s][t]);
+    }
+    recording.append_samples(row);
+  }
+
+  const auto event_count = read_pod<std::uint64_t>(is);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    GroundTruthEvent e;
+    const auto kind = read_pod<std::uint8_t>(is);
+    if (kind > 1) throw Error("corrupt event kind");
+    e.kind = static_cast<EventKind>(kind);
+    e.workstation = read_pod<std::uint64_t>(is);
+    e.movement_start = read_pod<double>(is);
+    e.movement_end = read_pod<double>(is);
+    e.proximity_exit = read_pod<double>(is);
+    recording.events().push_back(e);
+  }
+
+  const auto workstations = read_pod<std::uint64_t>(is);
+  recording.seated_intervals().resize(workstations);
+  for (std::uint64_t w = 0; w < workstations; ++w) {
+    const auto n = read_pod<std::uint64_t>(is);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto begin = read_pod<double>(is);
+      const auto end = read_pod<double>(is);
+      recording.seated_intervals()[w].push_back({begin, end});
+    }
+  }
+  return recording;
+}
+
+Recording load_recording(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open for reading: " + path);
+  return load_recording(is);
+}
+
+}  // namespace fadewich::sim

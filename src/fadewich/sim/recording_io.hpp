@@ -1,0 +1,29 @@
+// Binary persistence for recordings, so an expensive multi-day dataset
+// (or a capture from real hardware with the same framing) can be saved
+// once and analysed repeatedly.
+//
+// Format (little-endian, version 1):
+//   magic "FDWR", u32 version,
+//   f64 tick_hz, u64 sensor_count, f64 day_length, u64 days,
+//   u64 tick_count, streams as raw int8 rows (stream-major),
+//   u64 event_count, events (u8 kind, u64 workstation, 3 x f64 times),
+//   u64 workstation_count, per workstation: u64 n, n x (f64, f64).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::sim {
+
+/// Serialise a recording.  Throws fadewich::Error on stream failure.
+void save_recording(const Recording& recording, std::ostream& os);
+void save_recording(const Recording& recording, const std::string& path);
+
+/// Deserialise.  Throws fadewich::Error on malformed input or I/O
+/// failure.
+Recording load_recording(std::istream& is);
+Recording load_recording(const std::string& path);
+
+}  // namespace fadewich::sim

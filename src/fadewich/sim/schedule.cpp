@@ -1,0 +1,137 @@
+#include "fadewich/sim/schedule.hpp"
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+
+namespace {
+/// True if `t` is at least `sep` away from every time in `taken`.
+bool well_separated(Seconds t, const std::vector<Seconds>& taken,
+                    Seconds sep) {
+  for (Seconds other : taken) {
+    if (std::abs(t - other) < sep) return false;
+  }
+  return true;
+}
+
+/// Draw a time in [lo, hi] that is separated from all existing times;
+/// falls back to the best rejected candidate if the window is congested.
+Seconds draw_separated(Seconds lo, Seconds hi,
+                       std::vector<Seconds>& taken, Seconds sep, Rng& rng) {
+  FADEWICH_EXPECTS(lo <= hi);
+  Seconds best = lo;
+  double best_gap = -1.0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Seconds t = rng.uniform(lo, hi);
+    if (well_separated(t, taken, sep)) {
+      taken.push_back(t);
+      return t;
+    }
+    double gap = 1e18;
+    for (Seconds other : taken) gap = std::min(gap, std::abs(t - other));
+    if (gap > best_gap) {
+      best_gap = gap;
+      best = t;
+    }
+  }
+  taken.push_back(best);
+  return best;
+}
+}  // namespace
+
+std::vector<Movement> generate_day_schedule(const DayScheduleConfig& config,
+                                            std::size_t people, Rng& rng) {
+  FADEWICH_EXPECTS(people >= 1);
+  const Seconds arrival_span =
+      config.start_seated ? 0.0 : config.arrival_window;
+  FADEWICH_EXPECTS(config.day_length >
+                   config.calibration + arrival_span +
+                       config.departure_window);
+  FADEWICH_EXPECTS(config.break_min <= config.break_max);
+  FADEWICH_EXPECTS(config.min_breaks <= config.max_breaks);
+
+  std::vector<Movement> out;
+  std::vector<Seconds> taken;  // all movement instants, for separation
+
+  const Seconds arrivals_begin = config.calibration;
+  const Seconds arrivals_end = arrivals_begin + config.arrival_window;
+  const Seconds departures_begin =
+      config.day_length - config.departure_window;
+
+  for (std::size_t p = 0; p < people; ++p) {
+    Seconds arrive = arrivals_begin;
+    if (!config.start_seated) {
+      arrive = draw_separated(arrivals_begin, arrivals_end, taken,
+                              config.movement_separation, rng);
+      out.push_back({Movement::Kind::kEnter, p, arrive});
+    }
+    const Seconds depart =
+        draw_separated(departures_begin, config.day_length - 30.0, taken,
+                       config.movement_separation, rng);
+    out.push_back({Movement::Kind::kLeave, p, depart});
+
+    const auto breaks = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_breaks),
+        static_cast<std::int64_t>(config.max_breaks)));
+    // Absence intervals already claimed by this person; a new break must
+    // not interleave with them (one body cannot leave twice).
+    std::vector<Interval> absences;
+    for (std::size_t b = 0; b < breaks; ++b) {
+      // A break is a leave + re-enter pair; both instants must respect
+      // the separation margin, the whole break must fit between the
+      // arrival and the final departure, and it must not intersect one of
+      // the person's earlier breaks.
+      const Seconds latest_leave =
+          depart - config.break_max - 2.0 * config.movement_separation;
+      const Seconds earliest_leave = arrive + config.movement_separation;
+      if (earliest_leave >= latest_leave) break;  // congested day
+      bool placed = false;
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        const Seconds leave = rng.uniform(earliest_leave, latest_leave);
+        const Seconds away = rng.uniform(config.break_min, config.break_max);
+        const Seconds back = leave + away;
+        const Interval padded{leave - config.movement_separation,
+                              back + config.movement_separation};
+        bool clash = !well_separated(leave, taken,
+                                     config.movement_separation) ||
+                     !well_separated(back, taken,
+                                     config.movement_separation);
+        for (const Interval& a : absences) {
+          clash = clash || padded.overlaps(a);
+        }
+        if (clash) continue;
+        taken.push_back(leave);
+        taken.push_back(back);
+        absences.push_back({leave, back});
+        out.push_back({Movement::Kind::kLeave, p, leave});
+        out.push_back({Movement::Kind::kEnter, p, back});
+        placed = true;
+      }
+      // An unplaceable break is dropped: fewer events, never an invalid
+      // schedule.
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Movement& a, const Movement& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+WeekSchedule generate_week_schedule(const DayScheduleConfig& config,
+                                    std::size_t people, std::size_t days,
+                                    Rng& rng) {
+  FADEWICH_EXPECTS(days >= 1);
+  WeekSchedule week;
+  week.day_config = config;
+  week.days.reserve(days);
+  for (std::size_t d = 0; d < days; ++d) {
+    week.days.push_back(generate_day_schedule(config, people, rng));
+  }
+  return week;
+}
+
+}  // namespace fadewich::sim

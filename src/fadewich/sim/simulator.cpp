@@ -1,0 +1,153 @@
+#include "fadewich/sim/simulator.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+
+namespace {
+
+/// Per-person bookkeeping while executing a day.
+struct PersonTracker {
+  std::optional<Seconds> transit_start;  // global time movement began
+  bool leaving = false;                  // current transit direction
+  std::optional<Seconds> seated_since;   // global time seated began
+  std::optional<Seconds> proximity_exit;  // got > 1 m from the seat
+};
+
+}  // namespace
+
+Recording simulate_week(const rf::FloorPlan& plan, const WeekSchedule& week,
+                        const SimulationConfig& config) {
+  FADEWICH_EXPECTS(plan.sensor_count() >= 2);
+  FADEWICH_EXPECTS(plan.workstation_count() >= 1);
+  FADEWICH_EXPECTS(!week.days.empty());
+
+  const std::size_t people = plan.workstation_count();
+  const Seconds day_length = week.day_config.day_length;
+  const Seconds dt = 1.0 / config.tick_hz;
+
+  Recording rec(config.tick_hz, plan.sensor_count(), day_length,
+                week.days.size());
+  rec.seated_intervals().assign(people, {});
+
+  Rng root(config.seed);
+  rf::ChannelConfig channel_config = config.channel;
+  channel_config.tick_hz = config.tick_hz;  // keep burst timing in sync
+  rf::ChannelMatrix channel(plan.sensors, channel_config,
+                            root.split(1).engine()());
+
+  std::vector<double> sample_buf(channel.stream_count());
+  std::vector<rf::BodyState> bodies;
+
+  for (std::size_t day = 0; day < week.days.size(); ++day) {
+    const Seconds day_start = day_length * static_cast<double>(day);
+    const auto& movements = week.days[day];
+
+    // Fresh agents each morning: everyone starts outside.
+    std::vector<Person> persons;
+    std::vector<PersonTracker> trackers(people);
+    Rng person_rng = root.split(100 + day);
+    for (std::size_t p = 0; p < people; ++p) {
+      persons.emplace_back(plan, p, config.person, person_rng.split(p));
+      if (week.day_config.start_seated) {
+        persons.back().sit_down_immediately();
+        trackers[p].seated_since = day_start;
+      }
+    }
+
+    std::size_t next_movement = 0;
+    std::vector<Movement> deferred;
+
+    const Tick day_ticks = rec.rate().to_ticks_floor(day_length);
+    for (Tick tick = 0; tick < day_ticks; ++tick) {
+      const Seconds local_now = rec.rate().to_seconds(tick);
+      const Seconds global_now = day_start + local_now;
+
+      // Issue due movement commands; defer the ones the person cannot
+      // obey yet (still walking from the previous command).
+      auto try_issue = [&](const Movement& m) -> bool {
+        Person& person = persons[m.person];
+        PersonTracker& tr = trackers[m.person];
+        if (m.kind == Movement::Kind::kLeave) {
+          if (!person.seated()) return false;
+          person.start_leaving();
+          tr.transit_start = global_now;
+          tr.leaving = true;
+          if (tr.seated_since) {
+            rec.seated_intervals()[m.person].push_back(
+                {*tr.seated_since, global_now});
+            tr.seated_since.reset();
+          }
+        } else {
+          if (person.phase() != Person::Phase::kOutside) return false;
+          person.start_entering();
+          tr.transit_start = global_now;
+          tr.leaving = false;
+        }
+        return true;
+      };
+
+      for (auto it = deferred.begin(); it != deferred.end();) {
+        it = try_issue(*it) ? deferred.erase(it) : std::next(it);
+      }
+      while (next_movement < movements.size() &&
+             movements[next_movement].time <= local_now) {
+        if (!try_issue(movements[next_movement])) {
+          deferred.push_back(movements[next_movement]);
+        }
+        ++next_movement;
+      }
+
+      // Advance agents; emit ground-truth events on transit completion.
+      for (std::size_t p = 0; p < people; ++p) {
+        Person& person = persons[p];
+        const bool was_in_transit = person.in_transit();
+        person.advance(dt);
+        PersonTracker& tr = trackers[p];
+        if (tr.leaving && tr.transit_start && !tr.proximity_exit &&
+            person.inside() &&
+            rf::distance(person.body().position,
+                         plan.workstations[p].seat) > 1.0) {
+          tr.proximity_exit = global_now;
+        }
+        if (was_in_transit && !person.in_transit() && tr.transit_start) {
+          if (tr.leaving) {
+            rec.events().push_back(
+                {EventKind::kLeave, p, *tr.transit_start, global_now,
+                 tr.proximity_exit.value_or(global_now)});
+          } else {
+            rec.events().push_back({EventKind::kEnter, p,
+                                    *tr.transit_start, global_now,
+                                    *tr.transit_start});
+            tr.seated_since = global_now;
+          }
+          tr.transit_start.reset();
+          tr.proximity_exit.reset();
+        }
+      }
+
+      // Sample the channel with everyone currently inside.
+      bodies.clear();
+      for (const Person& person : persons) {
+        if (person.inside()) bodies.push_back(person.body());
+      }
+      channel.sample(bodies, sample_buf);
+      rec.append_samples(sample_buf);
+    }
+
+    // Close any seated interval still open at day end.
+    for (std::size_t p = 0; p < people; ++p) {
+      if (trackers[p].seated_since) {
+        rec.seated_intervals()[p].push_back(
+            {*trackers[p].seated_since, day_start + day_length});
+      }
+    }
+  }
+
+  return rec;
+}
+
+}  // namespace fadewich::sim

@@ -1,0 +1,33 @@
+#include "fadewich/stats/autocorrelation.hpp"
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::stats {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  FADEWICH_EXPECTS(!xs.empty());
+  FADEWICH_EXPECTS(lag < xs.size());
+  const double mu = mean(xs);
+  const double var = variance(xs);
+  if (var == 0.0) return 0.0;
+  const std::size_t n = xs.size();
+  double acc = 0.0;
+  for (std::size_t j = 0; j + lag < n; ++j) {
+    acc += (xs[j] - mu) * (xs[j + lag] - mu);
+  }
+  return acc / (static_cast<double>(n - lag) * var);
+}
+
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag) {
+  FADEWICH_EXPECTS(max_lag < xs.size());
+  std::vector<double> out;
+  out.reserve(max_lag);
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    out.push_back(autocorrelation(xs, k));
+  }
+  return out;
+}
+
+}  // namespace fadewich::stats

@@ -1,0 +1,23 @@
+// Autocorrelation of a scalar window, with the paper's normalisation:
+//
+//   R(k) = 1 / ((n-k) * sigma^2) * sum_{j}( (r_j - mu) * (r_{j+k} - mu) )
+//
+// (Section IV-D1).  A constant window has zero variance; its
+// autocorrelation is defined here as 0 so feature extraction never divides
+// by zero on a quiet, fully quantised RSSI window.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fadewich::stats {
+
+/// Autocorrelation at a single lag k.  Requires 0 <= k < xs.size() and a
+/// non-empty window.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Autocorrelations for lags 1..max_lag.  Requires max_lag < xs.size().
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t max_lag);
+
+}  // namespace fadewich::stats

@@ -1,0 +1,46 @@
+#include "fadewich/stats/correlation.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::stats {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  FADEWICH_EXPECTS(xs.size() == ys.size());
+  FADEWICH_EXPECTS(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<std::vector<double>>& series) {
+  FADEWICH_EXPECTS(!series.empty());
+  const std::size_t n = series.size();
+  for (const auto& s : series) FADEWICH_EXPECTS(s.size() == series[0].size());
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double c = pearson(series[i], series[j]);
+      m[i][j] = c;
+      m[j][i] = c;
+    }
+  }
+  return m;
+}
+
+}  // namespace fadewich::stats

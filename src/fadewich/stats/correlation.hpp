@@ -1,0 +1,19 @@
+// Pearson correlation and correlation matrices (Fig. 11 reproduces the
+// correlation between per-stream variances over the labeled samples).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fadewich::stats {
+
+/// Pearson correlation coefficient of two equally sized series.  Returns 0
+/// when either series is constant.  Requires equal sizes >= 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Correlation matrix of `series[i]` vs `series[j]`.  All series must have
+/// the same length >= 2; at least one series required.
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace fadewich::stats

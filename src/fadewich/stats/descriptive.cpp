@@ -1,0 +1,89 @@
+#include "fadewich/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::stats {
+
+double mean(std::span<const double> xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  FADEWICH_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  FADEWICH_EXPECTS(!xs.empty());
+  FADEWICH_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  FADEWICH_EXPECTS(p >= 0.0 && p <= 100.0);
+  return quantile(xs, p / 100.0);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::mean() const {
+  FADEWICH_EXPECTS(n_ >= 1);
+  return mean_;
+}
+
+double Welford::variance() const {
+  FADEWICH_EXPECTS(n_ >= 1);
+  return m2_ / static_cast<double>(n_);
+}
+
+double Welford::sample_variance() const {
+  FADEWICH_EXPECTS(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace fadewich::stats

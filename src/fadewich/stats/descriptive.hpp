@@ -1,0 +1,55 @@
+// Descriptive statistics over spans of doubles: moments, quantiles, and an
+// online Welford accumulator for single-pass mean/variance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fadewich::stats {
+
+/// Arithmetic mean.  Requires a non-empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by n).  Requires a non-empty span.
+double variance(std::span<const double> xs);
+
+/// Sample variance (divides by n-1).  Requires at least two samples.
+double sample_variance(std::span<const double> xs);
+
+/// Population standard deviation.  Requires a non-empty span.
+double stddev(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1].  Requires non-empty input.
+/// Matches numpy's default ("linear") method, which the paper's tooling
+/// (Python/scikit) would have used for its percentile thresholds.
+double quantile(std::span<const double> xs, double q);
+
+/// Convenience wrapper: percentile p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Single-pass numerically stable mean/variance accumulator.
+class Welford {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  /// Requires count() >= 1.
+  double mean() const;
+  /// Population variance; requires count() >= 1.
+  double variance() const;
+  /// Sample variance; requires count() >= 2.
+  double sample_variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace fadewich::stats

@@ -1,0 +1,93 @@
+#include "fadewich/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FADEWICH_EXPECTS(bins >= 1);
+  FADEWICH_EXPECTS(lo < hi);
+}
+
+Histogram Histogram::from_data(std::span<const double> xs, std::size_t bins) {
+  FADEWICH_EXPECTS(!xs.empty());
+  double lo = min(xs);
+  double hi = max(xs);
+  if (lo == hi) {
+    // Degenerate data: widen symmetrically so the single value maps to a
+    // well-defined bin.
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  FADEWICH_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  const double clamped = std::clamp(x, lo_, hi_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((clamped - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  FADEWICH_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::probabilities() const {
+  FADEWICH_EXPECTS(total_ > 0);
+  std::vector<double> p(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+double Histogram::entropy() const {
+  FADEWICH_EXPECTS(total_ > 0);
+  double h = 0.0;
+  for (std::size_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double value_entropy(std::span<const double> xs) {
+  FADEWICH_EXPECTS(!xs.empty());
+  std::map<double, std::size_t> freq;
+  for (double x : xs) ++freq[x];
+  const double n = static_cast<double>(xs.size());
+  double h = 0.0;
+  for (const auto& [value, count] : freq) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace fadewich::stats

@@ -1,0 +1,76 @@
+#include "fadewich/stats/rolling_window.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::stats {
+
+RollingWindow::RollingWindow(std::size_t capacity) : buffer_(capacity) {
+  FADEWICH_EXPECTS(capacity >= 1);
+}
+
+void RollingWindow::push(double value) {
+  if (full()) {
+    const double evicted = buffer_[head_];
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+  } else {
+    ++size_;
+  }
+  buffer_[head_] = value;
+  head_ = (head_ + 1) % buffer_.size();
+  sum_ += value;
+  sum_sq_ += value * value;
+
+  if (++pushes_since_refresh_ >= kRefreshInterval) refresh_sums();
+}
+
+double RollingWindow::mean() const {
+  FADEWICH_EXPECTS(!empty());
+  return sum_ / static_cast<double>(size_);
+}
+
+double RollingWindow::variance() const {
+  FADEWICH_EXPECTS(!empty());
+  const double n = static_cast<double>(size_);
+  const double m = sum_ / n;
+  const double var = sum_sq_ / n - m * m;
+  // Guard the tiny negative values running sums can produce.
+  return var > 0.0 ? var : 0.0;
+}
+
+double RollingWindow::stddev() const { return std::sqrt(variance()); }
+
+std::vector<double> RollingWindow::values() const {
+  std::vector<double> out;
+  out.reserve(size_);
+  // Oldest element sits at head_ when full, at 0 otherwise.
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    out.push_back(buffer_[(start + k) % buffer_.size()]);
+  }
+  return out;
+}
+
+void RollingWindow::clear() {
+  head_ = 0;
+  size_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  pushes_since_refresh_ = 0;
+}
+
+void RollingWindow::refresh_sums() {
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    const double v = buffer_[(start + k) % buffer_.size()];
+    sum_ += v;
+    sum_sq_ += v * v;
+  }
+  pushes_since_refresh_ = 0;
+}
+
+}  // namespace fadewich::stats

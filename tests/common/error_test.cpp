@@ -1,0 +1,52 @@
+#include "fadewich/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadewich {
+namespace {
+
+TEST(ErrorTest, ExpectsPassesOnTrueCondition) {
+  EXPECT_NO_THROW(FADEWICH_EXPECTS(1 + 1 == 2));
+}
+
+TEST(ErrorTest, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(FADEWICH_EXPECTS(false), ContractViolation);
+}
+
+TEST(ErrorTest, EnsuresThrowsContractViolation) {
+  EXPECT_THROW(FADEWICH_ENSURES(2 > 3), ContractViolation);
+}
+
+TEST(ErrorTest, MessageNamesTheExpressionAndLocation) {
+  try {
+    FADEWICH_EXPECTS(false && "marker");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("marker"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ContractViolationIsLogicError) {
+  EXPECT_THROW(FADEWICH_EXPECTS(false), std::logic_error);
+}
+
+TEST(ErrorTest, ErrorCarriesMessage) {
+  const Error e("sample failure");
+  EXPECT_STREQ(e.what(), "sample failure");
+}
+
+TEST(ErrorTest, SideEffectsInConditionRunExactlyOnce) {
+  int calls = 0;
+  auto bump = [&]() {
+    ++calls;
+    return true;
+  };
+  FADEWICH_EXPECTS(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace fadewich

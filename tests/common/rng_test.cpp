@@ -1,0 +1,158 @@
+#include "fadewich/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRangeReturnsBound) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.uniform(2.5, 2.5), 2.5);
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasRoughlyUnitMoments) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalZeroSigmaIsDeterministic) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.normal(4.2, 0.0), 4.2);
+}
+
+TEST(RngTest, NormalRejectsNegativeSigma) {
+  Rng rng(3);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(RngTest, BernoulliExtremesAreDeterministic) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyTracksProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.78)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.78, 0.02);
+}
+
+TEST(RngTest, BernoulliRejectsOutOfRangeProbability) {
+  Rng rng(5);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(9);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng root(13);
+  Rng a = root.split(0);
+  Rng b = root.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitIsDeterministicGivenParentState) {
+  Rng root1(13);
+  Rng root2(13);
+  Rng a = root1.split(7);
+  Rng b = root2.split(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace fadewich

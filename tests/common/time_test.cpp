@@ -1,0 +1,63 @@
+#include "fadewich/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadewich {
+namespace {
+
+TEST(TickRateTest, RoundTripWholeSeconds) {
+  const TickRate rate(5.0);
+  EXPECT_EQ(rate.to_ticks_ceil(2.0), 10);
+  EXPECT_EQ(rate.to_ticks_floor(2.0), 10);
+  EXPECT_DOUBLE_EQ(rate.to_seconds(10), 2.0);
+}
+
+TEST(TickRateTest, CeilAndFloorDisagreeBetweenTicks) {
+  const TickRate rate(5.0);
+  EXPECT_EQ(rate.to_ticks_floor(0.3), 1);  // 1.5 ticks
+  EXPECT_EQ(rate.to_ticks_ceil(0.3), 2);
+}
+
+TEST(TickRateTest, TickDurationIsInverseRate) {
+  const TickRate rate(4.0);
+  EXPECT_DOUBLE_EQ(rate.tick_duration(), 0.25);
+}
+
+TEST(TickRateTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(TickRate(0.0), ContractViolation);
+  EXPECT_THROW(TickRate(-1.0), ContractViolation);
+}
+
+TEST(IntervalTest, ContainsIsClosed) {
+  const Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_FALSE(iv.contains(2.001));
+}
+
+TEST(IntervalTest, OverlapIsSymmetricAndClosed) {
+  const Interval a{0.0, 1.0};
+  const Interval b{1.0, 2.0};  // touching endpoints overlap
+  const Interval c{2.5, 3.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(c.overlaps(a));
+  EXPECT_TRUE(b.overlaps(c) == c.overlaps(b));
+}
+
+TEST(IntervalTest, NestedIntervalsOverlap) {
+  const Interval outer{0.0, 10.0};
+  const Interval inner{4.0, 5.0};
+  EXPECT_TRUE(outer.overlaps(inner));
+  EXPECT_TRUE(inner.overlaps(outer));
+}
+
+TEST(IntervalTest, DurationIsEndMinusBegin) {
+  EXPECT_DOUBLE_EQ((Interval{1.5, 4.0}).duration(), 2.5);
+}
+
+}  // namespace
+}  // namespace fadewich

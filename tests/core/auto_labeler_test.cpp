@@ -1,0 +1,143 @@
+#include "fadewich/core/auto_labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/core/radio_environment.hpp"
+
+namespace fadewich::core {
+namespace {
+
+class AutoLabelerTest : public ::testing::Test {
+ protected:
+  AutoLabelerTest() : kma_(3), labeler_(AutoLabelerConfig{}, 3) {}
+
+  KeyboardMouseActivity kma_;
+  AutoLabeler labeler_;
+};
+
+TEST_F(AutoLabelerTest, RejectsInvalidConfig) {
+  AutoLabelerConfig bad;
+  bad.long_idle = bad.t_delta;  // must exceed t_delta + upper slack
+  EXPECT_THROW(AutoLabeler(bad, 3), ContractViolation);
+  EXPECT_THROW(AutoLabeler(AutoLabelerConfig{}, 0), ContractViolation);
+}
+
+TEST_F(AutoLabelerTest, SingleFreshIdleWorkstationIsALeave) {
+  // w1 went idle exactly t_delta ago; others active.
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 95.5);  // idle 4.5 at t = 100
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_TRUE(attempt.label.has_value());
+  EXPECT_EQ(*attempt.label, label_for_workstation(1));
+  EXPECT_FALSE(attempt.ambiguous);
+  EXPECT_FALSE(attempt.deferred());
+}
+
+TEST_F(AutoLabelerTest, UpperSlackCoversTypingPause) {
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 90.0);  // idle 10.0: 4.5 + pre-departure pause
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_TRUE(attempt.label.has_value());
+  EXPECT_EQ(*attempt.label, label_for_workstation(1));
+}
+
+TEST_F(AutoLabelerTest, LowerBoundIsTight) {
+  // Idle meaningfully below t_delta means the user typed after the
+  // window began: not a leave.
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 97.0);  // idle 3.0 < 4.5 - 0.8
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  EXPECT_FALSE(attempt.label.has_value());
+  EXPECT_TRUE(attempt.leave_candidates.empty());
+}
+
+TEST_F(AutoLabelerTest, TwoFreshIdleWorkstationsAreAmbiguous) {
+  kma_.record_input(0, 95.5);
+  kma_.record_input(1, 95.0);
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  EXPECT_FALSE(attempt.label.has_value());
+  EXPECT_TRUE(attempt.ambiguous);
+  EXPECT_EQ(attempt.leave_candidates.size(), 2u);
+}
+
+TEST_F(AutoLabelerTest, AwayUserDefersTheDecision) {
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 10.0);  // away for 90 s
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  EXPECT_TRUE(attempt.deferred());
+  EXPECT_FALSE(attempt.label.has_value());
+  ASSERT_EQ(attempt.away_workstations.size(), 1u);
+  EXPECT_EQ(attempt.away_workstations[0], 1u);
+}
+
+TEST_F(AutoLabelerTest, NeverSeenWorkstationCountsAsAway) {
+  kma_.record_input(0, 99.0);
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_EQ(attempt.away_workstations.size(), 1u);
+  EXPECT_EQ(attempt.away_workstations[0], 1u);
+}
+
+TEST_F(AutoLabelerTest, ResolveConfirmsEntryOnReturningInput) {
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 10.0);
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_TRUE(attempt.deferred());
+  // The away user sits down and types at t = 105.
+  kma_.record_input(1, 105.0);
+  const auto label = labeler_.resolve(kma_, 100.0, attempt, 112.0);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(*label, kLabelEntered);
+}
+
+TEST_F(AutoLabelerTest, ResolveFallsBackToLeaveCandidate) {
+  // w1 away, w0 went idle at the window: nobody returns, so the window
+  // was w0's leave.
+  kma_.record_input(0, 95.5);
+  kma_.record_input(1, 10.0);
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_TRUE(attempt.deferred());
+  ASSERT_EQ(attempt.leave_candidates.size(), 1u);
+  const auto label = labeler_.resolve(kma_, 100.0, attempt, 112.0);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(*label, label_for_workstation(0));
+}
+
+TEST_F(AutoLabelerTest, ResolveDiscardsWhenNothingIsConclusive) {
+  kma_.record_input(0, 99.0);
+  kma_.record_input(1, 10.0);
+  kma_.record_input(2, 99.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  // No returning input, no leave candidate.
+  const auto label = labeler_.resolve(kma_, 100.0, attempt, 112.0);
+  EXPECT_FALSE(label.has_value());
+}
+
+TEST_F(AutoLabelerTest, ResolveDiscardsAmbiguousCandidates) {
+  kma_.record_input(0, 95.5);
+  kma_.record_input(1, 10.0);
+  kma_.record_input(2, 95.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  ASSERT_TRUE(attempt.deferred());
+  EXPECT_EQ(attempt.leave_candidates.size(), 2u);
+  const auto label = labeler_.resolve(kma_, 100.0, attempt, 112.0);
+  EXPECT_FALSE(label.has_value());
+}
+
+TEST_F(AutoLabelerTest, ResolveRequiresConfirmationHorizon) {
+  kma_.record_input(1, 10.0);
+  const auto attempt = labeler_.attempt(kma_, 100.0);
+  EXPECT_THROW(labeler_.resolve(kma_, 100.0, attempt, 105.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::core

@@ -1,0 +1,101 @@
+#include "fadewich/core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/autocorrelation.hpp"
+#include "fadewich/stats/descriptive.hpp"
+#include "fadewich/stats/histogram.hpp"
+
+namespace fadewich::core {
+namespace {
+
+TEST(FeaturesTest, DefaultConfigHasThreePerStream) {
+  const FeatureConfig config;
+  EXPECT_EQ(config.features_per_stream(), 3u);
+}
+
+TEST(FeaturesTest, AblationSwitchesReduceTheCount) {
+  FeatureConfig config;
+  config.use_entropy = false;
+  EXPECT_EQ(config.features_per_stream(), 2u);
+  config.use_variance = false;
+  config.use_autocorrelation = false;
+  EXPECT_EQ(config.features_per_stream(), 0u);
+}
+
+TEST(FeaturesTest, StreamFeaturesMatchStatsPrimitives) {
+  const std::vector<double> window{-60.0, -61.0, -60.0, -62.0, -61.0};
+  std::vector<double> out;
+  append_stream_features(window, FeatureConfig{}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], stats::variance(window));
+  EXPECT_DOUBLE_EQ(out[1], stats::value_entropy(window));
+  EXPECT_DOUBLE_EQ(out[2], stats::autocorrelation(window, 1));
+}
+
+TEST(FeaturesTest, ExtractConcatenatesStreamsInOrder) {
+  const std::vector<std::vector<double>> windows{
+      {-60.0, -61.0, -60.0},
+      {-70.0, -70.0, -70.0},
+  };
+  const auto features = extract_features(windows, FeatureConfig{});
+  ASSERT_EQ(features.size(), 6u);
+  EXPECT_DOUBLE_EQ(features[0], stats::variance(windows[0]));
+  EXPECT_DOUBLE_EQ(features[3], stats::variance(windows[1]));
+  // Constant stream: variance, entropy and autocorrelation all zero.
+  EXPECT_DOUBLE_EQ(features[3], 0.0);
+  EXPECT_DOUBLE_EQ(features[4], 0.0);
+  EXPECT_DOUBLE_EQ(features[5], 0.0);
+}
+
+TEST(FeaturesTest, ConfigurableAutocorrelationLag) {
+  const std::vector<double> window{1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+  FeatureConfig config;
+  config.use_variance = false;
+  config.use_entropy = false;
+  config.autocorr_lag = 2;
+  std::vector<double> out;
+  append_stream_features(window, config, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], stats::autocorrelation(window, 2));
+  EXPECT_GT(out[0], 0.5);
+}
+
+TEST(FeaturesTest, WindowMustExceedLag) {
+  const std::vector<double> window{1.0};
+  std::vector<double> out;
+  EXPECT_THROW(append_stream_features(window, FeatureConfig{}, out),
+               ContractViolation);
+}
+
+TEST(FeaturesTest, ExtractRejectsEmptyStreamList) {
+  EXPECT_THROW(extract_features({}, FeatureConfig{}), ContractViolation);
+}
+
+TEST(FeaturesTest, FeatureNamesMatchPaperConvention) {
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs{
+      {8, 1},  // d9 -> d2
+      {0, 2},  // d1 -> d3
+  };
+  const auto names = feature_names(pairs, FeatureConfig{});
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "d9-d2-var");
+  EXPECT_EQ(names[1], "d9-d2-ent");
+  EXPECT_EQ(names[2], "d9-d2-ac");
+  EXPECT_EQ(names[3], "d1-d3-var");
+}
+
+TEST(FeaturesTest, NamesRespectAblation) {
+  FeatureConfig config;
+  config.use_variance = false;
+  const auto names = feature_names({{0, 1}}, config);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "d1-d2-ent");
+  EXPECT_EQ(names[1], "d1-d2-ac");
+}
+
+}  // namespace
+}  // namespace fadewich::core

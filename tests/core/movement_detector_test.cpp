@@ -1,0 +1,188 @@
+#include "fadewich/core/movement_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::core {
+namespace {
+
+constexpr double kHz = 5.0;
+
+MovementDetectorConfig fast_config() {
+  MovementDetectorConfig config;
+  config.std_window = 2.0;
+  config.calibration = 20.0;
+  config.merge_gap = 0.6;
+  config.profile.capacity = 100;
+  config.profile.batch_size = 50;
+  return config;
+}
+
+/// Feed `seconds` of N(mean, sigma) samples on every stream.
+void feed(MovementDetector& md, Rng& rng, double seconds, double sigma,
+          double mean = -60.0) {
+  const auto ticks = static_cast<int>(seconds * kHz);
+  std::vector<double> row(3);
+  for (int t = 0; t < ticks; ++t) {
+    for (auto& v : row) v = rng.normal(mean, sigma);
+    md.step(row);
+  }
+}
+
+TEST(MovementDetectorTest, StartsCalibrating) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(3);
+  std::vector<double> row(3, -60.0);
+  EXPECT_EQ(md.step(row), MdState::kCalibrating);
+  EXPECT_FALSE(md.calibrated());
+  EXPECT_DOUBLE_EQ(md.current_window_duration(), 0.0);
+}
+
+TEST(MovementDetectorTest, CalibratesAfterConfiguredPeriod) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(5);
+  feed(md, rng, 25.0, 0.5);
+  EXPECT_TRUE(md.calibrated());
+}
+
+TEST(MovementDetectorTest, QuietStreamsStayMostlyNormal) {
+  // Consecutive s_t values share most of their std window, so the
+  // effective sample size of the profile is far below its nominal
+  // capacity and the percentile threshold is a noisy estimate; use a
+  // large profile and a long run so the self-update can settle.
+  MovementDetectorConfig config = fast_config();
+  config.calibration = 60.0;
+  config.profile.capacity = 400;
+  MovementDetector md(3, kHz, config);
+  Rng rng(7);
+  feed(md, rng, 65.0, 0.5);
+  std::size_t anomalous = 0;
+  std::vector<double> row(3);
+  const int ticks = 3000;
+  for (int t = 0; t < ticks; ++t) {
+    for (auto& v : row) v = rng.normal(-60.0, 0.5);
+    if (md.step(row) == MdState::kAnomalous) ++anomalous;
+  }
+  // alpha = 1% nominal; allow generous estimation slack.
+  EXPECT_LT(anomalous, ticks / 15);
+}
+
+TEST(MovementDetectorTest, VarianceJumpTriggersAnomaly) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(9);
+  feed(md, rng, 30.0, 0.5);
+  // Sudden variance increase on all streams.
+  std::vector<double> row(3);
+  bool any_anomalous = false;
+  for (int t = 0; t < 50; ++t) {
+    for (auto& v : row) v = rng.normal(-60.0, 5.0);
+    if (md.step(row) == MdState::kAnomalous) any_anomalous = true;
+  }
+  EXPECT_TRUE(any_anomalous);
+  EXPECT_TRUE(md.current_window().has_value());
+  EXPECT_GT(md.last_sum_std(), md.profile().threshold());
+}
+
+TEST(MovementDetectorTest, WindowClosesWhenQuietReturns) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(11);
+  feed(md, rng, 30.0, 0.5);
+  feed(md, rng, 6.0, 5.0);   // movement
+  feed(md, rng, 10.0, 0.5);  // quiet again
+  EXPECT_FALSE(md.current_window().has_value());
+  ASSERT_FALSE(md.completed_windows().empty());
+  // Isolated noise ticks may close tiny windows after the movement; the
+  // movement itself must be the longest completed window.
+  double duration = 0.0;
+  for (const VariationWindow& w : md.completed_windows()) {
+    duration = std::max(
+        duration, static_cast<double>(w.end - w.begin + 1) / kHz);
+  }
+  // The movement lasted 6 s; the std window extends the tail ~2 s.
+  EXPECT_GT(duration, 4.0);
+  EXPECT_LT(duration, 11.0);
+}
+
+TEST(MovementDetectorTest, ShortGapsMergeIntoOneWindow) {
+  MovementDetectorConfig config = fast_config();
+  config.merge_gap = 1.0;
+  MovementDetector md(3, kHz, config);
+  Rng rng(13);
+  feed(md, rng, 30.0, 0.5);
+  feed(md, rng, 3.0, 5.0);
+  feed(md, rng, 0.4, 0.5);  // dip shorter than the merge gap
+  feed(md, rng, 3.0, 5.0);
+  feed(md, rng, 10.0, 0.5);
+  // The dip may keep st high anyway (the std window bridges it); the
+  // invariant is that no *short* separate window appears.
+  ASSERT_FALSE(md.completed_windows().empty());
+  const VariationWindow w = md.completed_windows().back();
+  EXPECT_GT(static_cast<double>(w.end - w.begin + 1) / kHz, 5.0);
+}
+
+TEST(MovementDetectorTest, WindowDurationTracksOpenWindow) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(15);
+  feed(md, rng, 30.0, 0.5);
+  feed(md, rng, 4.0, 6.0);
+  EXPECT_TRUE(md.current_window().has_value());
+  EXPECT_GT(md.current_window_duration(), 2.0);
+  EXPECT_LT(md.current_window_duration(), 6.0);
+}
+
+TEST(MovementDetectorTest, StepRejectsWrongRowWidth) {
+  MovementDetector md(3, kHz, fast_config());
+  std::vector<double> wrong(2, -60.0);
+  EXPECT_THROW(md.step(wrong), ContractViolation);
+}
+
+TEST(MovementDetectorTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(MovementDetector(0, kHz, fast_config()),
+               ContractViolation);
+  MovementDetectorConfig bad = fast_config();
+  bad.std_window = 0.0;
+  EXPECT_THROW(MovementDetector(3, kHz, bad), ContractViolation);
+}
+
+TEST(MovementDetectorTest, NowCountsSteps) {
+  MovementDetector md(1, kHz, fast_config());
+  std::vector<double> row(1, -60.0);
+  for (int i = 0; i < 7; ++i) md.step(row);
+  EXPECT_EQ(md.now(), 7);
+}
+
+TEST(MovementDetectorTest, SumStdUsesAllStreams) {
+  // With identical per-stream noise, st should scale with stream count.
+  MovementDetectorConfig config = fast_config();
+  MovementDetector md3(3, kHz, config);
+  MovementDetector md6(6, kHz, config);
+  Rng rng_a(17);
+  Rng rng_b(17);
+  std::vector<double> row3(3);
+  std::vector<double> row6(6);
+  for (int t = 0; t < 300; ++t) {
+    for (auto& v : row3) v = rng_a.normal(-60.0, 1.0);
+    for (auto& v : row6) v = rng_b.normal(-60.0, 1.0);
+    md3.step(row3);
+    md6.step(row6);
+  }
+  EXPECT_NEAR(md6.last_sum_std() / md3.last_sum_std(), 2.0, 0.5);
+}
+
+TEST(MovementDetectorTest, ProfileUpdatesDuringLongQuietPeriods) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(19);
+  feed(md, rng, 30.0, 0.5);
+  const double before = md.profile().threshold();
+  // Drift the noise level down; the self-updating profile should follow.
+  feed(md, rng, 120.0, 0.25);
+  EXPECT_LT(md.profile().threshold(), before);
+}
+
+}  // namespace
+}  // namespace fadewich::core

@@ -1,0 +1,167 @@
+#include "fadewich/core/normal_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::core {
+namespace {
+
+std::vector<double> normal_samples(std::size_t n, double mean, double sigma,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.normal(mean, sigma));
+  return out;
+}
+
+TEST(NormalProfileTest, RejectsInvalidConfig) {
+  NormalProfileConfig bad;
+  bad.capacity = 5;
+  EXPECT_THROW(NormalProfile{bad}, ContractViolation);
+  bad = {};
+  bad.alpha = 0.0;
+  EXPECT_THROW(NormalProfile{bad}, ContractViolation);
+  bad = {};
+  bad.anomalous_fraction = 0.0;
+  EXPECT_THROW(NormalProfile{bad}, ContractViolation);
+}
+
+TEST(NormalProfileTest, UninitializedProfileRejectsQueries) {
+  NormalProfile profile;
+  EXPECT_FALSE(profile.initialized());
+  EXPECT_THROW(profile.offer(1.0), ContractViolation);
+  EXPECT_THROW(profile.pdf(1.0), ContractViolation);
+}
+
+TEST(NormalProfileTest, InitializeNeedsEnoughSamples) {
+  NormalProfile profile;
+  EXPECT_THROW(profile.initialize({1.0, 2.0}), ContractViolation);
+}
+
+TEST(NormalProfileTest, ThresholdSitsAboveTheBulk) {
+  NormalProfile profile;
+  profile.initialize(normal_samples(400, 50.0, 5.0, 3));
+  // 99th percentile of N(50, 5) ~ 61.6; KDE smoothing adds a little.
+  EXPECT_GT(profile.threshold(), 58.0);
+  EXPECT_LT(profile.threshold(), 66.0);
+}
+
+TEST(NormalProfileTest, AlphaControlsTheThreshold) {
+  NormalProfileConfig strict;
+  strict.alpha = 0.5;
+  NormalProfileConfig loose;
+  loose.alpha = 10.0;
+  NormalProfile a{strict};
+  NormalProfile b{loose};
+  const auto samples = normal_samples(400, 50.0, 5.0, 5);
+  a.initialize(samples);
+  b.initialize(samples);
+  EXPECT_GT(a.threshold(), b.threshold());
+}
+
+TEST(NormalProfileTest, CdfMatchesThresholdPercentile) {
+  NormalProfile profile;
+  profile.initialize(normal_samples(500, 20.0, 2.0, 7));
+  EXPECT_NEAR(profile.cdf(profile.threshold()), 0.99, 1e-6);
+}
+
+TEST(NormalProfileTest, PdfIsPositiveNearTheData) {
+  NormalProfile profile;
+  profile.initialize(normal_samples(300, 10.0, 1.0, 9));
+  EXPECT_GT(profile.pdf(10.0), 0.1);
+  EXPECT_LT(profile.pdf(100.0), 1e-6);
+}
+
+TEST(NormalProfileTest, CleanBatchesUpdateTheProfile) {
+  NormalProfileConfig config;
+  config.batch_size = 50;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(200, 50.0, 5.0, 11));
+  const double before = profile.threshold();
+
+  // Feed a shifted-but-quiet distribution below the threshold; after
+  // enough batches the threshold should track the new level downward.
+  Rng rng(13);
+  bool updated = false;
+  for (int i = 0; i < 600; ++i) {
+    updated = profile.offer(rng.normal(30.0, 3.0)) || updated;
+  }
+  EXPECT_TRUE(updated);
+  EXPECT_LT(profile.threshold(), before);
+}
+
+TEST(NormalProfileTest, AnomalousBatchesAreDiscarded) {
+  NormalProfileConfig config;
+  config.batch_size = 50;
+  config.anomalous_fraction = 0.05;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(400, 50.0, 5.0, 17));
+  const double before = profile.threshold();
+
+  // Values far above the threshold: every batch is anomalous, so the
+  // profile must not absorb them.
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_FALSE(profile.offer(200.0));
+  }
+  EXPECT_DOUBLE_EQ(profile.threshold(), before);
+}
+
+TEST(NormalProfileTest, CapacityBoundsTheSampleCount) {
+  NormalProfileConfig config;
+  config.capacity = 100;
+  config.batch_size = 20;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(100, 50.0, 5.0, 19));
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) profile.offer(rng.normal(50.0, 5.0));
+  EXPECT_LE(profile.size(), 100u);
+}
+
+TEST(NormalProfileTest, MixedBatchBelowTauIsAbsorbed) {
+  // A batch with a small fraction of anomalous values (below tau) is
+  // folded in, exactly as Algorithm 1 specifies.
+  NormalProfileConfig config;
+  config.batch_size = 100;
+  config.anomalous_fraction = 0.10;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(300, 50.0, 5.0, 23));
+  Rng rng(25);
+  bool updated = false;
+  for (int i = 0; i < 100; ++i) {
+    // ~5% of offers are spikes: below the 10% rejection threshold.
+    const double v =
+        (i % 20 == 0) ? 150.0 : rng.normal(50.0, 5.0);
+    updated = profile.offer(v) || updated;
+  }
+  EXPECT_TRUE(updated);
+}
+
+TEST(NormalProfileTest, SelfUpdateOffFreezesTheProfile) {
+  NormalProfileConfig config;
+  config.batch_size = 20;
+  config.self_update = false;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(200, 50.0, 5.0, 29));
+  const double before = profile.threshold();
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(profile.offer(rng.normal(30.0, 3.0)));
+  }
+  EXPECT_DOUBLE_EQ(profile.threshold(), before);
+  EXPECT_EQ(profile.size(), 200u);
+}
+
+TEST(NormalProfileTest, SnapshotReflectsContents) {
+  NormalProfile profile;
+  profile.initialize(normal_samples(50, 10.0, 1.0, 27));
+  EXPECT_EQ(profile.samples_snapshot().size(), 50u);
+  EXPECT_EQ(profile.size(), 50u);
+}
+
+}  // namespace
+}  // namespace fadewich::core

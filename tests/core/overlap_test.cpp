@@ -1,0 +1,96 @@
+// Overlap handling (Section IV-E): when several users move at once the
+// RE signature is unreliable, so FADEWICH "errs on the conservative
+// side" — while the variation window continues past t_delta, Rule 2
+// puts every idle workstation in Alert State and the session machines
+// escalate to the screensaver lock on their own idle clocks.  Both
+// departed users end up locked even though at most one of them can be
+// named by Rule 1.
+#include "fadewich/core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synthetic_harness.hpp"
+
+namespace fadewich::core {
+namespace {
+
+using testing::Harness;
+
+std::set<std::size_t> all_streams() { return {0, 1, 2, 3}; }
+
+class OverlapTest : public ::testing::Test {};
+
+TEST_F(OverlapTest, SimultaneousLeavesLockBothWorkstations) {
+  Harness h;
+  h.train();
+  ASSERT_TRUE(h.system().finish_training());
+
+  // Both users stop typing and both stream groups burst at once: a
+  // single long variation window MD cannot attribute to one user.
+  h.advance(8.0, {}, all_streams());
+  h.advance(15.0, {}, {});  // empty office afterwards
+
+  EXPECT_EQ(h.system().session(0).state(), SessionState::kLocked);
+  EXPECT_EQ(h.system().session(1).state(), SessionState::kLocked);
+}
+
+TEST_F(OverlapTest, ControllerGoesNoisyDuringTheOverlap) {
+  Harness h;
+  h.train();
+  ASSERT_TRUE(h.system().finish_training());
+
+  h.advance(6.0, {}, all_streams());
+  EXPECT_EQ(h.system().controller().state(), ControlState::kNoisy);
+  h.advance(15.0, {}, {});
+  EXPECT_EQ(h.system().controller().state(), ControlState::kQuiet);
+}
+
+TEST_F(OverlapTest, StaggeredLeavesWithinOneWindowLockBoth) {
+  Harness h;
+  h.train();
+  ASSERT_TRUE(h.system().finish_training());
+
+  // User 0 starts leaving; 3 s later user 1 follows — their bursts
+  // overlap into one window (the Fig. 3 timeline).
+  h.advance(3.0, {1}, Harness::streams_of(0));
+  h.advance(6.0, {}, all_streams());
+  h.advance(4.0, {}, Harness::streams_of(1));
+  h.advance(15.0, {}, {});
+
+  EXPECT_EQ(h.system().session(0).state(), SessionState::kLocked);
+  EXPECT_EQ(h.system().session(1).state(), SessionState::kLocked);
+}
+
+TEST_F(OverlapTest, PresentTypingUserSurvivesTheOverlap) {
+  Harness h;
+  h.train();
+  ASSERT_TRUE(h.system().finish_training());
+
+  // User 0 leaves while user 1 keeps typing through the noise: Rule 2
+  // must not lock the active workstation.
+  h.advance(8.0, {1}, all_streams());
+  h.advance(10.0, {1}, {});
+
+  EXPECT_EQ(h.system().session(0).state(), SessionState::kLocked);
+  EXPECT_NE(h.system().session(1).state(), SessionState::kLocked);
+}
+
+TEST_F(OverlapTest, Rule2AlertsAreIssuedWhileWindowContinues) {
+  Harness h;
+  h.train();
+  ASSERT_TRUE(h.system().finish_training());
+
+  const auto results = h.advance(8.0, {}, all_streams());
+  std::size_t alerts = 0;
+  for (const auto& r : results) {
+    for (const auto& action : r.actions) {
+      if (action.type == ActionType::kAlert) ++alerts;
+    }
+  }
+  EXPECT_GT(alerts, 0u);
+}
+
+}  // namespace
+}  // namespace fadewich::core

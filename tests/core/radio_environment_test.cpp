@@ -1,0 +1,80 @@
+#include "fadewich/core/radio_environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::core {
+namespace {
+
+/// Synthetic per-stream windows: class 0 perturbs stream 0, class 1
+/// perturbs stream 1, class 2 perturbs stream 2.
+std::vector<std::vector<double>> windows_for_class(int cls, Rng& rng) {
+  std::vector<std::vector<double>> windows(3);
+  for (int s = 0; s < 3; ++s) {
+    const double sigma = (s == cls) ? 4.0 : 0.5;
+    for (int i = 0; i < 24; ++i) {
+      windows[static_cast<std::size_t>(s)].push_back(
+          std::round(rng.normal(-60.0, sigma)));
+    }
+  }
+  return windows;
+}
+
+TEST(RadioEnvironmentTest, FeatureWidthMatchesConfig) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  Rng rng(3);
+  const auto features = re.features_from(windows_for_class(0, rng));
+  EXPECT_EQ(features.size(), 9u);  // 3 streams x 3 features
+}
+
+TEST(RadioEnvironmentTest, UntrainedClassifierRejectsQueries) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  EXPECT_FALSE(re.trained());
+  EXPECT_THROW(re.classify({1.0, 2.0}), ContractViolation);
+}
+
+TEST(RadioEnvironmentTest, LearnsSyntheticSignatures) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  Rng rng(5);
+  ml::Dataset data;
+  for (int i = 0; i < 40; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      data.add(re.features_from(windows_for_class(cls, rng)), cls);
+    }
+  }
+  re.train(data);
+  EXPECT_TRUE(re.trained());
+
+  std::size_t correct = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const int cls = i % 3;
+    if (re.classify(re.features_from(windows_for_class(cls, rng))) ==
+        cls) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / trials, 0.9);
+}
+
+TEST(RadioEnvironmentTest, AblatedFeaturesStillWork) {
+  FeatureConfig features;
+  features.use_entropy = false;
+  features.use_autocorrelation = false;
+  RadioEnvironment re(features, ml::SvmConfig{});
+  Rng rng(7);
+  const auto f = re.features_from(windows_for_class(1, rng));
+  EXPECT_EQ(f.size(), 3u);  // variance only, one per stream
+}
+
+TEST(RadioEnvironmentTest, TrainRejectsEmptyDataset) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  EXPECT_THROW(re.train(ml::Dataset{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::core

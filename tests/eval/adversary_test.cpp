@@ -1,0 +1,103 @@
+// Deterministic unit tests for the adversary race arithmetic.
+#include "fadewich/eval/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fadewich::eval {
+namespace {
+
+/// Recording with one leave (proximity exit 102, office exit 107) and a
+/// configurable return time.
+sim::Recording one_leave_recording(Seconds return_at) {
+  sim::Recording rec(5.0, 2, 600.0, 1);
+  rec.seated_intervals().assign(2, {});
+  rec.events().push_back(
+      {sim::EventKind::kLeave, 0, 100.0, 107.0, 102.0});
+  if (return_at > 0.0) {
+    rec.events().push_back({sim::EventKind::kEnter, 0, return_at,
+                            return_at + 6.0, return_at});
+  }
+  return rec;
+}
+
+SecurityResult with_outcome(DeauthCase kind, Seconds delay) {
+  SecurityResult security;
+  LeaveOutcome outcome;
+  outcome.event_index = 0;
+  outcome.outcome = kind;
+  outcome.delay = delay;
+  security.outcomes.push_back(outcome);
+  return security;
+}
+
+TEST(AdversaryTest, FastDeauthBlocksBothAdversaries) {
+  // Case A, deauth at 102 + 3 = 105 < office exit 107: nobody wins.
+  const auto rec = one_leave_recording(400.0);
+  const auto stats = count_attack_opportunities(
+      with_outcome(DeauthCase::kCorrect, 3.0), rec);
+  EXPECT_EQ(stats.total_leaves, 1u);
+  EXPECT_EQ(stats.insider_opportunities, 0u);
+  EXPECT_EQ(stats.coworker_opportunities, 0u);
+}
+
+TEST(AdversaryTest, CaseBLetsOnlyTheCoworkerIn) {
+  // Lock at 102 + 8 = 110.  Co-worker arrives at 107 (needs 1 s): wins.
+  // Insider arrives at 111: blocked.
+  const auto rec = one_leave_recording(400.0);
+  const auto stats = count_attack_opportunities(
+      with_outcome(DeauthCase::kMisclassified, 8.0), rec);
+  EXPECT_EQ(stats.coworker_opportunities, 1u);
+  EXPECT_EQ(stats.insider_opportunities, 0u);
+}
+
+TEST(AdversaryTest, TimeoutBaselineLetsEveryoneIn) {
+  const auto rec = one_leave_recording(400.0);
+  const auto stats = count_attack_opportunities_timeout(rec, 300.0);
+  EXPECT_EQ(stats.insider_opportunities, 1u);
+  EXPECT_EQ(stats.coworker_opportunities, 1u);
+  EXPECT_DOUBLE_EQ(stats.insider_percent(), 100.0);
+}
+
+TEST(AdversaryTest, VictimReturningFirstBlocksTheAttack) {
+  // The user comes straight back: return at 109 beats the insider's 111
+  // arrival even though the deauth would land only at timeout.
+  const auto rec = one_leave_recording(109.0);
+  const auto stats = count_attack_opportunities(
+      with_outcome(DeauthCase::kMissed, 300.0), rec);
+  EXPECT_EQ(stats.insider_opportunities, 0u);
+  // The co-worker (arrives 107, return 109 + movement) still fits.
+  EXPECT_EQ(stats.coworker_opportunities, 1u);
+}
+
+TEST(AdversaryTest, MinAccessTimeDecidesKnifeEdges) {
+  // Deauth exactly when the co-worker sits down +1 s: blocked; with a
+  // zero access requirement the same timing is an opportunity.
+  const auto rec = one_leave_recording(400.0);
+  const auto security = with_outcome(DeauthCase::kCorrect, 6.0);
+  // deauth at 108; coworker at 107 + 1 = 108: not strictly before.
+  AdversaryConfig strict;
+  EXPECT_EQ(count_attack_opportunities(security, rec, strict)
+                .coworker_opportunities,
+            0u);
+  AdversaryConfig instant;
+  instant.min_access_time = 0.0;
+  EXPECT_EQ(count_attack_opportunities(security, rec, instant)
+                .coworker_opportunities,
+            1u);
+}
+
+TEST(AdversaryTest, ReturnTimeIsInfinityWithoutAnEnter) {
+  const auto rec = one_leave_recording(0.0);
+  EXPECT_TRUE(std::isinf(return_time_after(rec, 0)));
+}
+
+TEST(AdversaryTest, PercentagesHandleZeroLeaves) {
+  const AttackStats empty;
+  EXPECT_DOUBLE_EQ(empty.insider_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.coworker_percent(), 0.0);
+}
+
+}  // namespace
+}  // namespace fadewich::eval

@@ -1,0 +1,66 @@
+#include "fadewich/eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::eval {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), ContractViolation);
+}
+
+TEST(TextTableTest, PrintsHeadersAndRows) {
+  TextTable table({"sensors", "TP", "FP"});
+  table.add_row({"3", "0.47", "0.02"});
+  table.add_row({"9", "0.95", "0.05"});
+  EXPECT_EQ(table.row_count(), 2u);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("sensors"), std::string::npos);
+  EXPECT_NE(out.find("0.47"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"x", "value"});
+  table.add_row({"loooooong", "1"});
+  std::ostringstream os;
+  table.print(os);
+  std::istringstream lines(os.str());
+  std::string header;
+  std::getline(lines, header);
+  std::string separator;
+  std::getline(lines, separator);
+  std::string row;
+  std::getline(lines, row);
+  // The "value" column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("value"), row.find("1"));
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table III");
+  EXPECT_NE(os.str().find("Table III"), std::string::npos);
+  EXPECT_NE(os.str().find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fadewich::eval

@@ -1,0 +1,122 @@
+#include "fadewich/eval/window_matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadewich::eval {
+namespace {
+
+constexpr double kHz = 5.0;
+
+core::VariationWindow window_seconds(double begin, double end) {
+  return {static_cast<Tick>(begin * kHz), static_cast<Tick>(end * kHz)};
+}
+
+sim::GroundTruthEvent leave_event(double start, double end,
+                                  std::size_t workstation = 0) {
+  return {sim::EventKind::kLeave, workstation, start, end,
+          start + 1.5};
+}
+
+TEST(FilterByDurationTest, DropsShortWindows) {
+  const TickRate rate(kHz);
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(0.0, 2.0),    // 2.2 s
+      window_seconds(10.0, 14.4),  // 4.6 s
+      window_seconds(20.0, 30.0),  // 10.2 s
+  };
+  const auto kept = filter_by_duration(windows, rate, 4.5);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].begin, windows[1].begin);
+  EXPECT_EQ(kept[1].begin, windows[2].begin);
+}
+
+TEST(FilterByDurationTest, DurationIsInclusiveOfEndTick) {
+  const TickRate rate(kHz);
+  // 22 ticks + 1 = 23 ticks = 4.6 s >= 4.5.
+  const std::vector<core::VariationWindow> windows{{0, 22}};
+  EXPECT_EQ(filter_by_duration(windows, rate, 4.5).size(), 1u);
+  // 21 ticks + 1 = 4.4 s < 4.5.
+  const std::vector<core::VariationWindow> shorter{{0, 21}};
+  EXPECT_TRUE(filter_by_duration(shorter, rate, 4.5).empty());
+}
+
+TEST(MatchWindowsTest, OverlappingWindowIsTruePositive) {
+  const TickRate rate(kHz);
+  const sim::EventLog events{leave_event(100.0, 106.0)};
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(101.0, 106.5)};
+  const auto result = match_windows(windows, events, rate);
+  EXPECT_EQ(result.true_positives.size(), 1u);
+  EXPECT_EQ(result.true_positives[0].event_index, 0u);
+  EXPECT_TRUE(result.false_positives.empty());
+  EXPECT_TRUE(result.false_negatives.empty());
+}
+
+TEST(MatchWindowsTest, DeltaExtendsTheTrueWindow) {
+  const TickRate rate(kHz);
+  const sim::EventLog events{leave_event(100.0, 106.0)};
+  // Window ends 2 s before the movement starts: only matched thanks to
+  // the delta margin.
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(95.0, 98.0)};
+  MatchConfig narrow;
+  narrow.true_window_delta = 1.0;
+  EXPECT_TRUE(match_windows(windows, events, rate, narrow)
+                  .true_positives.empty());
+  MatchConfig wide;
+  wide.true_window_delta = 3.0;
+  EXPECT_EQ(match_windows(windows, events, rate, wide)
+                .true_positives.size(),
+            1u);
+}
+
+TEST(MatchWindowsTest, UnmatchedWindowIsFalsePositive) {
+  const TickRate rate(kHz);
+  const sim::EventLog events{leave_event(100.0, 106.0)};
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(500.0, 506.0)};
+  const auto result = match_windows(windows, events, rate);
+  EXPECT_TRUE(result.true_positives.empty());
+  EXPECT_EQ(result.false_positives.size(), 1u);
+  ASSERT_EQ(result.false_negatives.size(), 1u);
+  EXPECT_EQ(result.false_negatives[0], 0u);
+}
+
+TEST(MatchWindowsTest, EachEventClaimedAtMostOnce) {
+  const TickRate rate(kHz);
+  const sim::EventLog events{leave_event(100.0, 106.0)};
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(100.0, 103.0), window_seconds(104.0, 107.0)};
+  const auto result = match_windows(windows, events, rate);
+  EXPECT_EQ(result.true_positives.size(), 1u);
+  EXPECT_EQ(result.false_positives.size(), 1u);
+}
+
+TEST(MatchWindowsTest, MultipleEventsMatchIndependently) {
+  const TickRate rate(kHz);
+  const sim::EventLog events{leave_event(100.0, 106.0, 0),
+                             leave_event(300.0, 306.0, 1),
+                             leave_event(500.0, 506.0, 2)};
+  const std::vector<core::VariationWindow> windows{
+      window_seconds(100.5, 106.0), window_seconds(499.0, 505.0)};
+  const auto result = match_windows(windows, events, rate);
+  EXPECT_EQ(result.true_positives.size(), 2u);
+  ASSERT_EQ(result.false_negatives.size(), 1u);
+  EXPECT_EQ(result.false_negatives[0], 1u);
+  const auto counts = result.counts();
+  EXPECT_EQ(counts.true_positives, 2u);
+  EXPECT_EQ(counts.false_negatives, 1u);
+  EXPECT_EQ(counts.false_positives, 0u);
+}
+
+TEST(MatchWindowsTest, EmptyInputsProduceEmptyResult) {
+  const TickRate rate(kHz);
+  const auto result = match_windows({}, {}, rate);
+  EXPECT_TRUE(result.true_positives.empty());
+  EXPECT_TRUE(result.false_positives.empty());
+  EXPECT_TRUE(result.false_negatives.empty());
+  EXPECT_DOUBLE_EQ(result.counts().f_measure(), 0.0);
+}
+
+}  // namespace
+}  // namespace fadewich::eval

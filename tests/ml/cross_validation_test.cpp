@@ -1,0 +1,117 @@
+#include "fadewich/ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+std::vector<int> make_labels(std::size_t n, std::size_t classes) {
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % classes);
+  }
+  return labels;
+}
+
+void expect_valid_partition(const std::vector<FoldSplit>& folds,
+                            std::size_t n) {
+  std::vector<int> test_count(n, 0);
+  for (const auto& fold : folds) {
+    std::set<std::size_t> train(fold.train_indices.begin(),
+                                fold.train_indices.end());
+    for (std::size_t i : fold.test_indices) {
+      ++test_count[i];
+      // No index is in both train and test of the same fold.
+      EXPECT_EQ(train.count(i), 0u);
+    }
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(), n);
+  }
+  // Every index appears in exactly one fold's test set.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(test_count[i], 1);
+}
+
+TEST(KFoldTest, PartitionsAllIndices) {
+  Rng rng(3);
+  const auto folds = k_fold(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  expect_valid_partition(folds, 23);
+}
+
+TEST(KFoldTest, FoldSizesAreBalanced) {
+  Rng rng(3);
+  const auto folds = k_fold(20, 4, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test_indices.size(), 5u);
+  }
+}
+
+TEST(KFoldTest, RejectsInvalidParameters) {
+  Rng rng(3);
+  EXPECT_THROW(k_fold(10, 1, rng), ContractViolation);
+  EXPECT_THROW(k_fold(3, 5, rng), ContractViolation);
+}
+
+TEST(StratifiedKFoldTest, PartitionsAllIndices) {
+  Rng rng(7);
+  const auto labels = make_labels(37, 4);
+  const auto folds = stratified_k_fold(labels, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  expect_valid_partition(folds, labels.size());
+}
+
+TEST(StratifiedKFoldTest, PreservesClassProportions) {
+  Rng rng(7);
+  // 40 of class 0, 20 of class 1.
+  std::vector<int> labels(60, 0);
+  for (std::size_t i = 40; i < 60; ++i) labels[i] = 1;
+  const auto folds = stratified_k_fold(labels, 4, rng);
+  for (const auto& fold : folds) {
+    std::size_t c1 = 0;
+    for (std::size_t i : fold.test_indices) {
+      if (labels[i] == 1) ++c1;
+    }
+    EXPECT_EQ(fold.test_indices.size(), 15u);
+    EXPECT_EQ(c1, 5u);
+  }
+}
+
+TEST(StratifiedKFoldTest, SmallClassStillAppearsSomewhere) {
+  Rng rng(9);
+  std::vector<int> labels(20, 0);
+  labels[3] = 1;  // a single sample of class 1
+  const auto folds = stratified_k_fold(labels, 5, rng);
+  std::size_t appearances = 0;
+  for (const auto& fold : folds) {
+    appearances += std::count(fold.test_indices.begin(),
+                              fold.test_indices.end(), std::size_t{3});
+  }
+  EXPECT_EQ(appearances, 1u);
+}
+
+TEST(StratifiedKFoldTest, DifferentSeedsShuffleDifferently) {
+  Rng a(1);
+  Rng b(2);
+  const auto labels = make_labels(40, 2);
+  const auto fa = stratified_k_fold(labels, 4, a);
+  const auto fb = stratified_k_fold(labels, 4, b);
+  // At least one fold should differ.
+  bool any_difference = false;
+  for (std::size_t f = 0; f < 4; ++f) {
+    if (fa[f].test_indices != fb[f].test_indices) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(StratifiedKFoldTest, RejectsInvalidParameters) {
+  Rng rng(3);
+  EXPECT_THROW(stratified_k_fold({0, 1}, 1, rng), ContractViolation);
+  EXPECT_THROW(stratified_k_fold({0, 1}, 3, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::ml

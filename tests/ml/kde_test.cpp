@@ -1,0 +1,120 @@
+#include "fadewich/ml/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+TEST(KdeTest, RejectsEmptySamples) {
+  const std::vector<double> xs;
+  EXPECT_THROW(GaussianKde{xs}, ContractViolation);
+}
+
+TEST(KdeTest, RejectsNonPositiveBandwidth) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(GaussianKde(xs, 0.0), ContractViolation);
+  EXPECT_THROW(GaussianKde(xs, -1.0), ContractViolation);
+}
+
+TEST(KdeTest, PdfIntegratesToOne) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 5.0};
+  const GaussianKde kde(xs, 0.5);
+  // Trapezoid rule over a generous range.
+  double integral = 0.0;
+  const double lo = -10.0;
+  const double hi = 15.0;
+  const double step = 0.01;
+  for (double x = lo; x < hi; x += step) {
+    integral += 0.5 * (kde.pdf(x) + kde.pdf(x + step)) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(KdeTest, SingleSamplePdfIsGaussian) {
+  const std::vector<double> xs{3.0};
+  const GaussianKde kde(xs, 2.0);
+  const double peak = 1.0 / (2.0 * std::sqrt(2.0 * M_PI));
+  EXPECT_NEAR(kde.pdf(3.0), peak, 1e-12);
+  EXPECT_NEAR(kde.pdf(3.0 + 2.0),
+              peak * std::exp(-0.5), 1e-12);
+}
+
+TEST(KdeTest, CdfIsMonotoneFromZeroToOne) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const GaussianKde kde(xs);
+  EXPECT_NEAR(kde.cdf(-1e6), 0.0, 1e-9);
+  EXPECT_NEAR(kde.cdf(1e6), 1.0, 1e-9);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double cur = kde.cdf(x);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(KdeTest, CdfAtMedianOfSymmetricSamplesIsHalf) {
+  const std::vector<double> xs{-1.0, 1.0};
+  const GaussianKde kde(xs, 0.7);
+  EXPECT_NEAR(kde.cdf(0.0), 0.5, 1e-9);
+}
+
+TEST(KdeTest, PercentileInvertsCdf) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const GaussianKde kde(xs);
+  for (double p : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    const double x = kde.percentile(p);
+    EXPECT_NEAR(kde.cdf(x), p, 1e-6);
+  }
+}
+
+TEST(KdeTest, PercentileRejectsBoundaryProbabilities) {
+  const std::vector<double> xs{1.0, 2.0};
+  const GaussianKde kde(xs);
+  EXPECT_THROW(kde.percentile(0.0), ContractViolation);
+  EXPECT_THROW(kde.percentile(1.0), ContractViolation);
+}
+
+TEST(KdeTest, SilvermanBandwidthFormula) {
+  // sigma = 2, n = 32: h = 1.06 * 2 * 32^(-1/5).
+  std::vector<double> xs;
+  for (int i = 0; i < 16; ++i) {
+    xs.push_back(-2.0);
+    xs.push_back(2.0);
+  }
+  const double sigma = std::sqrt(4.0 * 32.0 / 31.0);  // sample stddev
+  const double expected = 1.06 * sigma * std::pow(32.0, -0.2);
+  EXPECT_NEAR(GaussianKde::silverman_bandwidth(xs), expected, 1e-12);
+}
+
+TEST(KdeTest, ConstantSamplesGetFlooredBandwidth) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_GT(GaussianKde::silverman_bandwidth(xs), 0.0);
+  const GaussianKde kde(xs);
+  EXPECT_NEAR(kde.percentile(0.5), 5.0, 1e-4);
+}
+
+TEST(KdeTest, NinetyNinthPercentileAboveMostSamples) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const GaussianKde kde(xs);
+  const double p99 = kde.percentile(0.99);
+  std::size_t above = 0;
+  for (double x : xs) {
+    if (x > p99) ++above;
+  }
+  EXPECT_LE(above, 12u);  // ~1% of 500, with KDE smoothing slack
+}
+
+}  // namespace
+}  // namespace fadewich::ml

@@ -1,0 +1,111 @@
+#include "fadewich/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+TEST(DetectionCountsTest, PerfectDetection) {
+  const DetectionCounts c{10, 0, 0};
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f_measure(), 1.0);
+}
+
+TEST(DetectionCountsTest, KnownValues) {
+  // precision = 8/10, recall = 8/16.
+  const DetectionCounts c{8, 2, 8};
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_NEAR(c.f_measure(), 2.0 * 0.8 * 0.5 / 1.3, 1e-12);
+}
+
+TEST(DetectionCountsTest, DegenerateCasesAreZeroNotNan) {
+  const DetectionCounts none{0, 0, 0};
+  EXPECT_DOUBLE_EQ(none.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(none.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(none.f_measure(), 0.0);
+
+  const DetectionCounts only_fp{0, 5, 0};
+  EXPECT_DOUBLE_EQ(only_fp.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(only_fp.f_measure(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsZeroClasses) {
+  EXPECT_THROW(ConfusionMatrix(0), ContractViolation);
+}
+
+TEST(ConfusionMatrixTest, AccuracyOfDiagonal) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(1, 1);
+  m.add(2, 2);
+  m.add(2, 0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_EQ(m.total(), 4u);
+}
+
+TEST(ConfusionMatrixTest, AccuracyRequiresObservations) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.accuracy(), ContractViolation);
+}
+
+TEST(ConfusionMatrixTest, PerClassPrecisionRecall) {
+  ConfusionMatrix m(2);
+  // Class 0: 3 actual, 2 predicted correctly; one 0 predicted as 1.
+  m.add(0, 0);
+  m.add(0, 0);
+  m.add(0, 1);
+  // Class 1: 2 actual, 1 correct, 1 predicted as 0.
+  m.add(1, 1);
+  m.add(1, 0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, UnpredictedClassHasZeroMetricsNotNan) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(1, 0);
+  EXPECT_DOUBLE_EQ(m.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.f_measure(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, MacroFMeasureAveragesClasses) {
+  ConfusionMatrix m(2);
+  m.add(0, 0);
+  m.add(1, 1);
+  EXPECT_DOUBLE_EQ(m.macro_f_measure(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRangeLabels) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(-1, 0), ContractViolation);
+  EXPECT_THROW(m.add(0, 2), ContractViolation);
+  EXPECT_THROW(m.count(2, 0), ContractViolation);
+}
+
+TEST(MeanCiTest, SingleObservationHasZeroWidth) {
+  const MeanCi ci = mean_with_ci95({5.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.ci95_half_width, 0.0);
+}
+
+TEST(MeanCiTest, KnownInterval) {
+  // Samples {1, 3}: mean 2, sample variance 2, se = 1, ci = 1.96.
+  const MeanCi ci = mean_with_ci95({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_NEAR(ci.ci95_half_width, 1.96, 1e-12);
+}
+
+TEST(MeanCiTest, RejectsEmpty) {
+  EXPECT_THROW(mean_with_ci95({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::ml

@@ -1,0 +1,139 @@
+#include "fadewich/ml/multiclass_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+Dataset gaussian_classes(const std::vector<std::pair<double, double>>& means,
+                         int per_class, double sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      data.add({rng.normal(means[c].first, sigma),
+                rng.normal(means[c].second, sigma)},
+               static_cast<int>(c));
+    }
+  }
+  return data;
+}
+
+TEST(MulticlassSvmTest, PredictBeforeTrainingThrows) {
+  MulticlassSvm svm;
+  EXPECT_THROW(svm.predict({0.0, 0.0}), ContractViolation);
+}
+
+TEST(MulticlassSvmTest, TrainRejectsEmptyDataset) {
+  MulticlassSvm svm;
+  EXPECT_THROW(svm.train(Dataset{}), ContractViolation);
+}
+
+TEST(MulticlassSvmTest, SingleClassAlwaysPredictsThatClass) {
+  Dataset data;
+  data.add({1.0}, 3);
+  data.add({2.0}, 3);
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_EQ(svm.predict({100.0}), 3);
+  EXPECT_EQ(svm.predict({-100.0}), 3);
+}
+
+TEST(MulticlassSvmTest, SeparatesFourWellSeparatedClasses) {
+  const Dataset data = gaussian_classes(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}}, 40, 1.0, 5);
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_GE(svm.accuracy(data), 0.98);
+}
+
+TEST(MulticlassSvmTest, GeneralizesAcrossDraws) {
+  const Dataset train = gaussian_classes(
+      {{0.0, 0.0}, {8.0, 0.0}, {4.0, 7.0}}, 50, 1.2, 7);
+  const Dataset test = gaussian_classes(
+      {{0.0, 0.0}, {8.0, 0.0}, {4.0, 7.0}}, 30, 1.2, 8);
+  MulticlassSvm svm;
+  svm.train(train);
+  EXPECT_GE(svm.accuracy(test), 0.95);
+}
+
+TEST(MulticlassSvmTest, HandlesNonContiguousLabels) {
+  Dataset data;
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    data.add({rng.normal(-5.0, 1.0)}, 2);
+    data.add({rng.normal(5.0, 1.0)}, 9);
+  }
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_EQ(svm.predict({-6.0}), 2);
+  EXPECT_EQ(svm.predict({6.0}), 9);
+  ASSERT_EQ(svm.classes().size(), 2u);
+  EXPECT_EQ(svm.classes()[0], 2);
+  EXPECT_EQ(svm.classes()[1], 9);
+}
+
+TEST(MulticlassSvmTest, ScalesFeaturesInternally) {
+  // One feature has a huge scale; without standardisation the small
+  // informative feature would be ignored.
+  Rng rng(11);
+  Dataset data;
+  for (int i = 0; i < 60; ++i) {
+    const double noise = rng.normal(0.0, 1.0) * 1e6;
+    data.add({noise, rng.normal(-1.0, 0.2)}, 0);
+    data.add({rng.normal(0.0, 1.0) * 1e6, rng.normal(1.0, 0.2)}, 1);
+    (void)noise;
+  }
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_GE(svm.accuracy(data), 0.95);
+}
+
+TEST(MulticlassSvmTest, AccuracyRequiresNonEmptyTestSet) {
+  Dataset data;
+  data.add({0.0}, 0);
+  data.add({1.0}, 1);
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_THROW(svm.accuracy(Dataset{}), ContractViolation);
+}
+
+TEST(MulticlassSvmTest, AccuracyCountsExactMatches) {
+  Dataset data = gaussian_classes({{-5.0, 0.0}, {5.0, 0.0}}, 30, 0.5, 13);
+  MulticlassSvm svm;
+  svm.train(data);
+  Dataset shifted;
+  shifted.add({-5.0, 0.0}, 0);
+  shifted.add({5.0, 0.0}, 0);  // deliberately wrong label
+  EXPECT_NEAR(svm.accuracy(shifted), 0.5, 1e-12);
+}
+
+// Class-count sweep: one-vs-one voting stays consistent as classes grow.
+class MulticlassSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulticlassSize, TrainsAndPredictsAllClasses) {
+  const int k = GetParam();
+  std::vector<std::pair<double, double>> means;
+  for (int c = 0; c < k; ++c) {
+    means.push_back({std::cos(2.0 * M_PI * c / k) * 12.0,
+                     std::sin(2.0 * M_PI * c / k) * 12.0});
+  }
+  const Dataset data = gaussian_classes(means, 25, 1.0, 17);
+  MulticlassSvm svm;
+  svm.train(data);
+  EXPECT_GE(svm.accuracy(data), 0.95);
+  for (int c = 0; c < k; ++c) {
+    EXPECT_EQ(svm.predict({means[c].first, means[c].second}), c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, MulticlassSize,
+                         ::testing::Values(2, 3, 4, 6));
+
+}  // namespace
+}  // namespace fadewich::ml

@@ -1,0 +1,107 @@
+#include "fadewich/ml/mutual_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+TEST(MutualInfoTest, ConstantFeatureHasZeroRmi) {
+  const std::vector<double> xs(50, 3.0);
+  const std::vector<int> ys = [] {
+    std::vector<int> v(50, 0);
+    for (std::size_t i = 25; i < 50; ++i) v[i] = 1;
+    return v;
+  }();
+  EXPECT_DOUBLE_EQ(relative_mutual_information(xs, ys), 0.0);
+}
+
+TEST(MutualInfoTest, PerfectlyDiscriminativeFeatureHasRmiOne) {
+  // Feature value determines the class exactly and classes are balanced.
+  std::vector<double> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(0.0);
+    ys.push_back(0);
+    xs.push_back(100.0);
+    ys.push_back(1);
+  }
+  EXPECT_NEAR(relative_mutual_information(xs, ys), 1.0, 1e-9);
+}
+
+TEST(MutualInfoTest, IndependentFeatureHasNearZeroRmi) {
+  Rng rng(3);
+  std::vector<double> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+  }
+  // Finite-sample bias keeps this slightly above zero.
+  EXPECT_LT(relative_mutual_information(xs, ys, 32), 0.05);
+}
+
+TEST(MutualInfoTest, PartialInformationIsBetweenZeroAndOne) {
+  Rng rng(5);
+  std::vector<double> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 2000; ++i) {
+    const int y = i % 2;
+    // Overlapping class-conditional distributions.
+    xs.push_back(rng.normal(y == 0 ? 0.0 : 1.5, 1.0));
+    ys.push_back(y);
+  }
+  const double rmi = relative_mutual_information(xs, ys, 64);
+  EXPECT_GT(rmi, 0.05);
+  EXPECT_LT(rmi, 0.9);
+}
+
+TEST(MutualInfoTest, MoreSeparationMoreInformation) {
+  Rng rng(7);
+  auto rmi_for = [&](double separation) {
+    std::vector<double> xs;
+    std::vector<int> ys;
+    for (int i = 0; i < 2000; ++i) {
+      const int y = i % 2;
+      xs.push_back(rng.normal(y * separation, 1.0));
+      ys.push_back(y);
+    }
+    return relative_mutual_information(xs, ys, 64);
+  };
+  EXPECT_LT(rmi_for(0.5), rmi_for(3.0));
+}
+
+TEST(MutualInfoTest, ConditionalEntropyAtMostMarginal) {
+  Rng rng(9);
+  std::vector<double> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(rng.normal(static_cast<double>(i % 3), 1.0));
+    ys.push_back(i % 3);
+  }
+  const double hx = quantized_entropy(xs, 64);
+  const double hxy = quantized_conditional_entropy(xs, ys, 64);
+  EXPECT_LE(hxy, hx + 1e-12);
+  EXPECT_GE(hxy, 0.0);
+}
+
+TEST(MutualInfoTest, EntropyOfUniformQuantizedValues) {
+  std::vector<double> xs;
+  for (int i = 0; i < 256; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(quantized_entropy(xs, 256), std::log(256.0), 1e-6);
+}
+
+TEST(MutualInfoTest, RejectsBadInput) {
+  const std::vector<double> xs{1.0};
+  const std::vector<int> ys{0, 1};
+  EXPECT_THROW(relative_mutual_information(xs, ys), ContractViolation);
+  EXPECT_THROW(quantized_entropy({}, 16), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::ml

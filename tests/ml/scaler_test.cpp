@@ -1,0 +1,85 @@
+#include "fadewich/ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::ml {
+namespace {
+
+TEST(ScalerTest, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+TEST(ScalerTest, FitRejectsEmpty) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit({}), ContractViolation);
+}
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({rng.normal(10.0, 3.0), rng.normal(-5.0, 0.1)});
+  }
+  StandardScaler scaler;
+  scaler.fit(rows);
+  const auto scaled = scaler.transform(rows);
+
+  for (std::size_t j = 0; j < 2; ++j) {
+    std::vector<double> column;
+    for (const auto& row : scaled) column.push_back(row[j]);
+    EXPECT_NEAR(stats::mean(column), 0.0, 1e-9);
+    EXPECT_NEAR(stats::variance(column), 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ZeroVarianceFeaturePassesThroughCentered) {
+  const std::vector<std::vector<double>> rows{{5.0, 1.0},
+                                              {5.0, 2.0},
+                                              {5.0, 3.0}};
+  StandardScaler scaler;
+  scaler.fit(rows);
+  const auto out = scaler.transform(std::vector<double>{5.0, 2.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // centered, divided by fallback scale 1
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(ScalerTest, TransformRejectsWidthMismatch) {
+  StandardScaler scaler;
+  scaler.fit({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+TEST(ScalerTest, FitRejectsRaggedRows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit({{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(ScalerTest, TransformIsAffine) {
+  StandardScaler scaler;
+  scaler.fit({{0.0}, {10.0}});
+  const auto a = scaler.transform(std::vector<double>{0.0})[0];
+  const auto b = scaler.transform(std::vector<double>{10.0})[0];
+  const auto mid = scaler.transform(std::vector<double>{5.0})[0];
+  EXPECT_NEAR(mid, 0.5 * (a + b), 1e-12);
+}
+
+TEST(ScalerTest, StoresMeansAndScales) {
+  StandardScaler scaler;
+  scaler.fit({{2.0}, {4.0}});
+  ASSERT_EQ(scaler.means().size(), 1u);
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 3.0);
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 1.0);  // population stddev of {2,4}
+}
+
+}  // namespace
+}  // namespace fadewich::ml

@@ -1,0 +1,119 @@
+#include "fadewich/net/central_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+namespace {
+
+/// Publish every directed measurement for one tick with value
+/// base - stream_index.
+void publish_full_round(MessageBus& bus, std::size_t devices, Tick tick,
+                        double base) {
+  CentralStation index(devices);
+  for (DeviceId tx = 0; tx < devices; ++tx) {
+    for (DeviceId rx = 0; rx < devices; ++rx) {
+      if (tx == rx) continue;
+      bus.publish({tx, rx, tick,
+                   base - static_cast<double>(index.stream_index(tx, rx))});
+    }
+  }
+}
+
+TEST(CentralStationTest, RejectsTooFewDevices) {
+  EXPECT_THROW(CentralStation(1), ContractViolation);
+}
+
+TEST(CentralStationTest, StreamIndexIsDenseAndUnique) {
+  CentralStation station(4);
+  std::vector<bool> seen(station.stream_count(), false);
+  for (DeviceId tx = 0; tx < 4; ++tx) {
+    for (DeviceId rx = 0; rx < 4; ++rx) {
+      if (tx == rx) continue;
+      const std::size_t s = station.stream_index(tx, rx);
+      ASSERT_LT(s, station.stream_count());
+      EXPECT_FALSE(seen[s]);
+      seen[s] = true;
+    }
+  }
+}
+
+TEST(CentralStationTest, IncompleteTickIsNotReported) {
+  CentralStation station(3);
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  bus.publish({1, 0, 0, -52.0});
+  EXPECT_TRUE(station.ingest(bus).empty());
+}
+
+TEST(CentralStationTest, CompleteTickAssemblesRow) {
+  CentralStation station(3);
+  MessageBus bus;
+  publish_full_round(bus, 3, 7, -40.0);
+  const auto complete = station.ingest(bus);
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0], 7);
+  const auto row = station.take_row(7);
+  ASSERT_EQ(row.size(), 6u);
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    EXPECT_DOUBLE_EQ(row[s], -40.0 - static_cast<double>(s));
+  }
+}
+
+TEST(CentralStationTest, InterleavedTicksCompleteIndependently) {
+  CentralStation station(2);
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  bus.publish({0, 1, 1, -51.0});
+  bus.publish({1, 0, 1, -61.0});
+  // Tick 1 is complete (both streams), tick 0 is not.
+  const auto complete = station.ingest(bus);
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0], 1);
+  // Completing tick 0 later works.
+  bus.publish({1, 0, 0, -60.0});
+  const auto complete2 = station.ingest(bus);
+  // Tick 1 still pending (not yet taken) plus the newly complete tick 0.
+  ASSERT_EQ(complete2.size(), 2u);
+  EXPECT_EQ(complete2[0], 0);
+  EXPECT_EQ(complete2[1], 1);
+}
+
+TEST(CentralStationTest, TakeRowRemovesTheTick) {
+  CentralStation station(2);
+  MessageBus bus;
+  publish_full_round(bus, 2, 3, -45.0);
+  station.ingest(bus);
+  (void)station.take_row(3);
+  EXPECT_THROW(station.take_row(3), ContractViolation);
+}
+
+TEST(CentralStationTest, TakeRowRejectsIncompleteTick) {
+  CentralStation station(2);
+  MessageBus bus;
+  bus.publish({0, 1, 5, -50.0});
+  station.ingest(bus);
+  EXPECT_THROW(station.take_row(5), ContractViolation);
+}
+
+TEST(CentralStationTest, DuplicateReportsKeepTheLatest) {
+  CentralStation station(2);
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  bus.publish({0, 1, 0, -55.0});
+  bus.publish({1, 0, 0, -60.0});
+  const auto complete = station.ingest(bus);
+  ASSERT_EQ(complete.size(), 1u);
+  const auto row = station.take_row(0);
+  EXPECT_DOUBLE_EQ(row[station.stream_index(0, 1)], -55.0);
+}
+
+TEST(CentralStationTest, RejectsOutOfRangeDevices) {
+  CentralStation station(3);
+  EXPECT_THROW(station.stream_index(3, 0), ContractViolation);
+  EXPECT_THROW(station.stream_index(0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::net

@@ -1,0 +1,63 @@
+#include "fadewich/net/live_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+namespace {
+
+std::vector<rf::Point> sensors() {
+  return {{0.0, 0.0}, {6.0, 0.0}, {3.0, 3.0}};
+}
+
+rf::ChannelConfig quiet_config() {
+  rf::ChannelConfig config;
+  config.interference_mean_gap_s = 0.0;
+  return config;
+}
+
+TEST(LiveNetworkTest, RoundProducesOneRowPerTick) {
+  LiveSensorNetwork net(sensors(), quiet_config(), 5.0, 1);
+  EXPECT_EQ(net.stream_count(), 6u);
+  EXPECT_EQ(net.current_tick(), 0);
+  const auto row = net.round({});
+  EXPECT_EQ(row.size(), 6u);
+  EXPECT_EQ(net.current_tick(), 1);
+}
+
+TEST(LiveNetworkTest, RowsMatchChannelOrdering) {
+  LiveSensorNetwork net(sensors(), quiet_config(), 5.0, 2);
+  const auto row = net.round({});
+  for (double v : row) {
+    EXPECT_GE(v, -100.0);
+    EXPECT_LE(v, -20.0);
+  }
+}
+
+TEST(LiveNetworkTest, BodiesAffectTheRound) {
+  rf::ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.fading.sigma_db = 0.0;
+  LiveSensorNetwork net(sensors(), config, 5.0, 3);
+  const auto baseline = net.round({});
+  const std::vector<rf::BodyState> bodies{
+      rf::BodyState{{3.0, 0.0}, 0.0}};  // on the 0-1 link
+  const auto blocked = net.round(bodies);
+  const auto s = net.channel().stream_index(0, 1);
+  EXPECT_LT(blocked[s], baseline[s] - 5.0);
+}
+
+TEST(LiveNetworkTest, TickCounterAdvancesPerRound) {
+  LiveSensorNetwork net(sensors(), quiet_config(), 5.0, 5);
+  for (int i = 0; i < 10; ++i) net.round({});
+  EXPECT_EQ(net.current_tick(), 10);
+}
+
+TEST(LiveNetworkTest, RejectsNonPositiveTickRate) {
+  EXPECT_THROW(LiveSensorNetwork(sensors(), quiet_config(), 0.0, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::net

@@ -1,0 +1,49 @@
+#include "fadewich/net/message_bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadewich::net {
+namespace {
+
+TEST(MessageBusTest, StartsEmpty) {
+  MessageBus bus;
+  EXPECT_EQ(bus.pending(), 0u);
+  EXPECT_TRUE(bus.drain().empty());
+}
+
+TEST(MessageBusTest, DrainReturnsPublishOrder) {
+  MessageBus bus;
+  bus.publish({0, 1, 10, -50.0});
+  bus.publish({1, 0, 10, -60.0});
+  bus.publish({0, 1, 11, -51.0});
+  EXPECT_EQ(bus.pending(), 3u);
+  const auto msgs = bus.drain();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].tx, 0);
+  EXPECT_EQ(msgs[0].rx, 1);
+  EXPECT_EQ(msgs[0].tick, 10);
+  EXPECT_DOUBLE_EQ(msgs[0].rssi_dbm, -50.0);
+  EXPECT_EQ(msgs[1].tx, 1);
+  EXPECT_EQ(msgs[2].tick, 11);
+}
+
+TEST(MessageBusTest, DrainEmptiesTheQueue) {
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  (void)bus.drain();
+  EXPECT_EQ(bus.pending(), 0u);
+  EXPECT_TRUE(bus.drain().empty());
+}
+
+TEST(MessageBusTest, PublishAfterDrainWorks) {
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  (void)bus.drain();
+  bus.publish({2, 3, 5, -70.0});
+  const auto msgs = bus.drain();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].tx, 2);
+}
+
+}  // namespace
+}  // namespace fadewich::net

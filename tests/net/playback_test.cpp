@@ -1,0 +1,83 @@
+#include "fadewich/net/playback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+namespace {
+
+sim::Recording make_recording() {
+  sim::Recording rec(5.0, 3, 10.0, 1);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> row(rec.stream_count());
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      row[s] = -40.0 - static_cast<double>(s) - (t % 2);
+    }
+    rec.append_samples(row);
+  }
+  return rec;
+}
+
+TEST(PlaybackTest, PlaysAllStreamsByDefault) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec);
+  EXPECT_EQ(playback.stream_count(), rec.stream_count());
+  EXPECT_DOUBLE_EQ(playback.tick_hz(), 5.0);
+}
+
+TEST(PlaybackTest, NextReturnsRecordedValuesInOrder) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec);
+  std::vector<double> row(playback.stream_count());
+  ASSERT_TRUE(playback.next(row));
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    EXPECT_DOUBLE_EQ(row[s], rec.rssi(s, 0));
+  }
+  ASSERT_TRUE(playback.next(row));
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    EXPECT_DOUBLE_EQ(row[s], rec.rssi(s, 1));
+  }
+}
+
+TEST(PlaybackTest, ExhaustsAfterAllTicks) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec);
+  std::vector<double> row(playback.stream_count());
+  std::size_t ticks = 0;
+  while (playback.next(row)) ++ticks;
+  EXPECT_EQ(ticks, static_cast<std::size_t>(rec.tick_count()));
+  EXPECT_FALSE(playback.next(row));
+}
+
+TEST(PlaybackTest, RewindRestartsFromTheBeginning) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec);
+  std::vector<double> row(playback.stream_count());
+  playback.next(row);
+  playback.next(row);
+  playback.rewind();
+  EXPECT_EQ(playback.position(), 0);
+  ASSERT_TRUE(playback.next(row));
+  EXPECT_DOUBLE_EQ(row[0], rec.rssi(0, 0));
+}
+
+TEST(PlaybackTest, SensorSubsetSelectsTheRightStreams) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec, {0, 2});
+  EXPECT_EQ(playback.stream_count(), 2u);
+  std::vector<double> row(2);
+  ASSERT_TRUE(playback.next(row));
+  EXPECT_DOUBLE_EQ(row[0], rec.rssi(rec.stream_index(0, 2), 0));
+  EXPECT_DOUBLE_EQ(row[1], rec.rssi(rec.stream_index(2, 0), 0));
+}
+
+TEST(PlaybackTest, NextRejectsWrongBufferSize) {
+  const sim::Recording rec = make_recording();
+  RecordingPlayback playback(rec);
+  std::vector<double> wrong(2);
+  EXPECT_THROW(playback.next(wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::net

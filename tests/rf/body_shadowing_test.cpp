@@ -1,0 +1,115 @@
+#include "fadewich/rf/body_shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+const Segment kLink{{0.0, 0.0}, {6.0, 0.0}};
+
+TEST(BodyShadowingTest, MaxAttenuationOnTheLineOfSight) {
+  const BodyShadowingModel model;
+  const BodyState body{{3.0, 0.0}, 0.0};
+  EXPECT_NEAR(model.attenuation_db(body, kLink),
+              model.config().max_attenuation_db, 1e-9);
+}
+
+TEST(BodyShadowingTest, AttenuationDecaysAwayFromTheLink) {
+  const BodyShadowingModel model;
+  const double on_los =
+      model.attenuation_db({{3.0, 0.0}, 0.0}, kLink);
+  const double near = model.attenuation_db({{3.0, 0.3}, 0.0}, kLink);
+  const double far = model.attenuation_db({{3.0, 2.0}, 0.0}, kLink);
+  EXPECT_GT(on_los, near);
+  EXPECT_GT(near, far);
+  EXPECT_LT(far, 0.1);
+}
+
+TEST(BodyShadowingTest, AttenuationIsNonNegativeEverywhere) {
+  const BodyShadowingModel model;
+  for (double x = -2.0; x <= 8.0; x += 0.5) {
+    for (double y = -2.0; y <= 2.0; y += 0.5) {
+      EXPECT_GE(model.attenuation_db({{x, y}, 1.0}, kLink), 0.0);
+    }
+  }
+}
+
+TEST(BodyShadowingTest, BehindTheEndpointsDecaysToo) {
+  const BodyShadowingModel model;
+  const double behind = model.attenuation_db({{-1.0, 0.0}, 0.0}, kLink);
+  const double mid = model.attenuation_db({{3.0, 0.0}, 0.0}, kLink);
+  EXPECT_LT(behind, mid);
+}
+
+TEST(BodyShadowingTest, StationaryBodyCausesNoMotionNoise) {
+  const BodyShadowingModel model;
+  EXPECT_DOUBLE_EQ(model.motion_noise_std_db({{3.0, 0.0}, 0.0}, kLink),
+                   0.0);
+  EXPECT_DOUBLE_EQ(model.ambient_noise_std_db({{3.0, 0.0}, 0.0}, kLink),
+                   0.0);
+}
+
+TEST(BodyShadowingTest, MotionNoiseScalesWithSpeedUpToCap) {
+  const BodyShadowingModel model;
+  const BodyState slow{{3.0, 0.0}, 0.7};
+  const BodyState walk{{3.0, 0.0}, 1.4};
+  const BodyState sprint{{3.0, 0.0}, 10.0};
+  EXPECT_LT(model.motion_noise_std_db(slow, kLink),
+            model.motion_noise_std_db(walk, kLink));
+  // Speed factor caps at 1.5x the reference speed.
+  EXPECT_NEAR(model.motion_noise_std_db(sprint, kLink),
+              model.config().motion_noise_db * 1.5, 1e-9);
+}
+
+TEST(BodyShadowingTest, MotionNoiseDecaysWithDistance) {
+  const BodyShadowingModel model;
+  const double near = model.motion_noise_std_db({{3.0, 0.1}, 1.4}, kLink);
+  const double far = model.motion_noise_std_db({{3.0, 3.0}, 1.4}, kLink);
+  EXPECT_GT(near, far);
+}
+
+TEST(BodyShadowingTest, AmbientNoiseTracksSpeed) {
+  const BodyShadowingModel model;
+  const double walking =
+      model.ambient_noise_std_db({{3.0, 0.0}, 1.4}, kLink);
+  const double still =
+      model.ambient_noise_std_db({{3.0, 0.0}, 0.0}, kLink);
+  EXPECT_DOUBLE_EQ(still, 0.0);
+  // On the link itself there is no distance decay.
+  EXPECT_NEAR(walking, model.config().ambient_motion_db * 1.4, 1e-12);
+}
+
+TEST(BodyShadowingTest, AmbientNoiseDecaysWithDistanceFromTheLink) {
+  const BodyShadowingModel model;
+  const double near =
+      model.ambient_noise_std_db({{3.0, 1.0}, 1.4}, kLink);
+  const double far =
+      model.ambient_noise_std_db({{3.0, 12.0}, 1.4}, kLink);
+  EXPECT_GT(near, far);
+  EXPECT_LT(far, near * 0.2);
+}
+
+TEST(BodyShadowingTest, RejectsInvalidConfig) {
+  BodyModelConfig bad;
+  bad.shadow_decay_m = 0.0;
+  EXPECT_THROW(BodyShadowingModel{bad}, ContractViolation);
+  bad = {};
+  bad.max_attenuation_db = -1.0;
+  EXPECT_THROW(BodyShadowingModel{bad}, ContractViolation);
+}
+
+// Spatial selectivity property: bodies near link A's LoS but far from
+// link B's attenuate A much more than B — what RE's classifier exploits.
+TEST(BodyShadowingTest, SpatiallySelectiveBetweenLinks) {
+  const BodyShadowingModel model;
+  const Segment link_a{{0.0, 0.0}, {6.0, 0.0}};
+  const Segment link_b{{0.0, 3.0}, {6.0, 3.0}};
+  const BodyState on_a{{3.0, 0.05}, 1.0};
+  EXPECT_GT(model.attenuation_db(on_a, link_a),
+            10.0 * model.attenuation_db(on_a, link_b));
+}
+
+}  // namespace
+}  // namespace fadewich::rf

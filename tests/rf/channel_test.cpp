@@ -1,0 +1,248 @@
+#include "fadewich/rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+std::vector<Point> square_sensors() {
+  return {{0.0, 0.0}, {6.0, 0.0}, {6.0, 3.0}, {0.0, 3.0}};
+}
+
+ChannelConfig quiet_config() {
+  ChannelConfig config;
+  config.interference_mean_gap_s = 0.0;  // disabled for determinism
+  return config;
+}
+
+TEST(ChannelTest, RejectsFewerThanTwoSensors) {
+  EXPECT_THROW(ChannelMatrix({{0.0, 0.0}}, quiet_config(), 1),
+               ContractViolation);
+}
+
+TEST(ChannelTest, StreamCountIsOrderedPairs) {
+  const ChannelMatrix channel(square_sensors(), quiet_config(), 1);
+  EXPECT_EQ(channel.sensor_count(), 4u);
+  EXPECT_EQ(channel.stream_count(), 12u);
+}
+
+TEST(ChannelTest, StreamIndexRoundTrips) {
+  const ChannelMatrix channel(square_sensors(), quiet_config(), 1);
+  for (std::size_t tx = 0; tx < 4; ++tx) {
+    for (std::size_t rx = 0; rx < 4; ++rx) {
+      if (tx == rx) continue;
+      const std::size_t s = channel.stream_index(tx, rx);
+      EXPECT_LT(s, channel.stream_count());
+      const auto [tx2, rx2] = channel.stream_pair(s);
+      EXPECT_EQ(tx2, tx);
+      EXPECT_EQ(rx2, rx);
+    }
+  }
+}
+
+TEST(ChannelTest, StreamIndexRejectsDiagonal) {
+  const ChannelMatrix channel(square_sensors(), quiet_config(), 1);
+  EXPECT_THROW(channel.stream_index(1, 1), ContractViolation);
+}
+
+TEST(ChannelTest, LinkGeometryMatchesSensors) {
+  const ChannelMatrix channel(square_sensors(), quiet_config(), 1);
+  const auto s = channel.stream_index(0, 2);
+  const Segment& link = channel.link(s);
+  EXPECT_DOUBLE_EQ(link.a.x, 0.0);
+  EXPECT_DOUBLE_EQ(link.b.x, 6.0);
+  EXPECT_DOUBLE_EQ(link.b.y, 3.0);
+}
+
+TEST(ChannelTest, QuantizedSamplesAreWholeDbm) {
+  ChannelMatrix channel(square_sensors(), quiet_config(), 3);
+  const auto row = channel.sample({});
+  for (double v : row) {
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+    EXPECT_GE(v, -100.0);
+    EXPECT_LE(v, -20.0);
+  }
+}
+
+TEST(ChannelTest, UnquantizedWhenConfigured) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  ChannelMatrix channel(square_sensors(), config, 3);
+  const auto row = channel.sample({});
+  bool any_fractional = false;
+  for (double v : row) {
+    if (v != std::round(v)) any_fractional = true;
+  }
+  EXPECT_TRUE(any_fractional);
+}
+
+TEST(ChannelTest, CloserLinksAreStronger) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.link_shadow_sigma_db = 0.0;
+  config.direction_offset_sigma_db = 0.0;
+  config.fading.sigma_db = 0.0;
+  ChannelMatrix channel({{0.0, 0.0}, {1.0, 0.0}, {6.0, 0.0}}, config, 5);
+  const auto row = channel.sample({});
+  const double near = row[channel.stream_index(0, 1)];  // 1 m
+  const double far = row[channel.stream_index(0, 2)];   // 6 m
+  EXPECT_GT(near, far + 15.0);  // 10 * 3 * log10(6) ~ 23 dB
+}
+
+TEST(ChannelTest, BodyOnLinkAttenuatesThatStream) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.fading.sigma_db = 0.0;
+  ChannelMatrix channel(square_sensors(), config, 7);
+  const auto baseline = channel.sample({});
+  const BodyState body{{3.0, 0.0}, 0.0};  // on the 0-1 link (bottom wall)
+  const std::vector<BodyState> bodies{body};
+  const auto blocked = channel.sample(bodies);
+  const auto s01 = channel.stream_index(0, 1);
+  EXPECT_LT(blocked[s01], baseline[s01] - 5.0);
+  // The far link 2-3 (top wall) is barely affected.
+  const auto s23 = channel.stream_index(2, 3);
+  EXPECT_NEAR(blocked[s23], baseline[s23], 1.0);
+}
+
+TEST(ChannelTest, ReciprocalStreamsShareBodyAttenuation) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.fading.sigma_db = 0.0;
+  config.direction_offset_sigma_db = 0.0;
+  ChannelMatrix channel(square_sensors(), config, 9);
+  const std::vector<BodyState> bodies{BodyState{{3.0, 0.0}, 0.0}};
+  const auto base = channel.sample({});
+  const auto blocked = channel.sample(bodies);
+  const auto fwd = channel.stream_index(0, 1);
+  const auto rev = channel.stream_index(1, 0);
+  const double drop_fwd = base[fwd] - blocked[fwd];
+  const double drop_rev = base[rev] - blocked[rev];
+  EXPECT_NEAR(drop_fwd, drop_rev, 1e-9);
+}
+
+TEST(ChannelTest, MovingBodyRaisesSampleVariance) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  ChannelMatrix channel(square_sensors(), config, 11);
+  const auto s = channel.stream_index(0, 1);
+
+  std::vector<double> quiet;
+  std::vector<double> moving;
+  std::vector<double> row(channel.stream_count());
+  for (int i = 0; i < 4000; ++i) {
+    channel.sample({}, row);
+    quiet.push_back(row[s]);
+  }
+  const std::vector<BodyState> bodies{BodyState{{3.0, 0.3}, 1.4}};
+  for (int i = 0; i < 4000; ++i) {
+    channel.sample(bodies, row);
+    moving.push_back(row[s]);
+  }
+  EXPECT_GT(stats::stddev(moving), 1.5 * stats::stddev(quiet));
+}
+
+TEST(ChannelTest, DeterministicGivenSeed) {
+  ChannelMatrix a(square_sensors(), quiet_config(), 42);
+  ChannelMatrix b(square_sensors(), quiet_config(), 42);
+  const std::vector<BodyState> bodies{BodyState{{2.0, 1.0}, 1.0}};
+  for (int i = 0; i < 50; ++i) {
+    const auto ra = a.sample(bodies);
+    const auto rb = b.sample(bodies);
+    for (std::size_t s = 0; s < ra.size(); ++s) {
+      EXPECT_DOUBLE_EQ(ra[s], rb[s]);
+    }
+  }
+}
+
+TEST(ChannelTest, DifferentSeedsProduceDifferentNoise) {
+  ChannelMatrix a(square_sensors(), quiet_config(), 1);
+  ChannelMatrix b(square_sensors(), quiet_config(), 2);
+  const auto ra = a.sample({});
+  const auto rb = b.sample({});
+  bool any_difference = false;
+  for (std::size_t s = 0; s < ra.size(); ++s) {
+    if (ra[s] != rb[s]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChannelTest, InterferenceBurstsRaiseVarianceOccasionally) {
+  ChannelConfig config;
+  config.quantize = false;
+  config.tick_hz = 5.0;
+  config.interference_mean_gap_s = 20.0;  // frequent, for the test
+  config.interference_mean_duration_s = 3.0;
+  config.interference_max_std_db = 3.5;
+  ChannelMatrix channel(square_sensors(), config, 13);
+  // Collect long-run per-tick absolute deltas; bursts should create
+  // heavy tails relative to a burst-free channel.
+  ChannelConfig no_burst = config;
+  no_burst.interference_mean_gap_s = 0.0;
+  ChannelMatrix quiet_channel(square_sensors(), no_burst, 13);
+
+  auto tail_spread = [](ChannelMatrix& ch) {
+    std::vector<double> values;
+    std::vector<double> row(ch.stream_count());
+    for (int i = 0; i < 20000; ++i) {
+      ch.sample({}, row);
+      values.push_back(row[0]);
+    }
+    return stats::percentile(values, 99.9) -
+           stats::percentile(values, 0.1);
+  };
+  EXPECT_GT(tail_spread(channel), tail_spread(quiet_channel) + 1.0);
+}
+
+TEST(ChannelTest, BaselineDriftMovesTheMeanSlowly) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.fading.sigma_db = 0.0;
+  config.baseline_drift_amplitude_db = 2.0;
+  config.baseline_drift_period_s = 400.0;  // fast, for the test
+  config.tick_hz = 5.0;
+  ChannelMatrix channel(square_sensors(), config, 21);
+  // Mean over a short stretch now vs a quarter period later should move
+  // by up to the drift amplitude.
+  std::vector<double> row(channel.stream_count());
+  auto mean_of_next = [&](int ticks) {
+    double acc = 0.0;
+    for (int i = 0; i < ticks; ++i) {
+      channel.sample({}, row);
+      acc += row[0];
+    }
+    return acc / ticks;
+  };
+  const double early = mean_of_next(50);
+  (void)mean_of_next(450);  // advance ~90 s
+  const double later = mean_of_next(50);
+  EXPECT_GT(std::abs(later - early), 0.5);
+}
+
+TEST(ChannelTest, ZeroDriftAmplitudeKeepsBaselineStatic) {
+  ChannelConfig config = quiet_config();
+  config.quantize = false;
+  config.fading.sigma_db = 0.0;
+  ChannelMatrix channel(square_sensors(), config, 23);
+  std::vector<double> row(channel.stream_count());
+  channel.sample({}, row);
+  const double first = row[0];
+  for (int i = 0; i < 2000; ++i) {
+    channel.sample({}, row);
+    EXPECT_DOUBLE_EQ(row[0], first);
+  }
+}
+
+TEST(ChannelTest, SampleRejectsWrongOutputSize) {
+  ChannelMatrix channel(square_sensors(), quiet_config(), 1);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(channel.sample({}, wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

@@ -1,0 +1,136 @@
+#include "fadewich/rf/csi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+std::vector<Point> triangle_sensors() {
+  return {{0.0, 0.0}, {6.0, 0.0}, {3.0, 3.0}};
+}
+
+CsiConfig quiet_config() {
+  CsiConfig config;
+  config.channel.interference_mean_gap_s = 0.0;
+  return config;
+}
+
+TEST(CsiTest, RejectsInvalidConstruction) {
+  CsiConfig bad = quiet_config();
+  bad.subcarriers = 0;
+  EXPECT_THROW(CsiChannelMatrix(triangle_sensors(), bad, 1),
+               ContractViolation);
+  bad = quiet_config();
+  bad.quantize_step_db = 0.0;
+  EXPECT_THROW(CsiChannelMatrix(triangle_sensors(), bad, 1),
+               ContractViolation);
+  EXPECT_THROW(CsiChannelMatrix({{0.0, 0.0}}, quiet_config(), 1),
+               ContractViolation);
+}
+
+TEST(CsiTest, StreamCountIsLinksTimesSubcarriers) {
+  CsiChannelMatrix csi(triangle_sensors(), quiet_config(), 1);
+  EXPECT_EQ(csi.link_count(), 6u);
+  EXPECT_EQ(csi.stream_count(), 48u);
+}
+
+TEST(CsiTest, SamplesAreQuantisedAtCsiResolution) {
+  CsiChannelMatrix csi(triangle_sensors(), quiet_config(), 3);
+  std::vector<double> row(csi.stream_count());
+  csi.sample({}, row);
+  for (double v : row) {
+    const double steps = v / 0.25;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    EXPECT_GE(v, -100.0);
+    EXPECT_LE(v, -20.0);
+  }
+}
+
+TEST(CsiTest, SubcarriersOfOneLinkDiffer) {
+  // Frequency selectivity: subcarriers sit at distinct static levels.
+  CsiChannelMatrix csi(triangle_sensors(), quiet_config(), 5);
+  std::vector<double> row(csi.stream_count());
+  csi.sample({}, row);
+  bool any_difference = false;
+  for (std::size_t k = 1; k < 8; ++k) {
+    if (row[k] != row[0]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CsiTest, BodyOnLinkAttenuatesAllItsSubcarriers) {
+  CsiConfig config = quiet_config();
+  config.channel.fading.sigma_db = 0.0;
+  CsiChannelMatrix csi(triangle_sensors(), config, 7);
+  std::vector<double> base(csi.stream_count());
+  std::vector<double> blocked(csi.stream_count());
+  csi.sample({}, base);
+  const std::vector<BodyState> bodies{BodyState{{3.0, 0.0}, 0.0}};
+  csi.sample(bodies, blocked);
+  // Link 0 is sensor0 -> sensor1 (the bottom segment): subcarriers 0..7.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_LT(blocked[k], base[k] - 3.0) << "subcarrier " << k;
+  }
+}
+
+TEST(CsiTest, BodyResponseVariesAcrossSubcarriers) {
+  CsiConfig config = quiet_config();
+  config.channel.fading.sigma_db = 0.0;
+  config.body_response_spread = 0.3;
+  CsiChannelMatrix csi(triangle_sensors(), config, 9);
+  std::vector<double> base(csi.stream_count());
+  std::vector<double> blocked(csi.stream_count());
+  csi.sample({}, base);
+  const std::vector<BodyState> bodies{BodyState{{3.0, 0.0}, 0.0}};
+  csi.sample(bodies, blocked);
+  std::vector<double> drops;
+  for (std::size_t k = 0; k < 8; ++k) {
+    drops.push_back(base[k] - blocked[k]);
+  }
+  EXPECT_GT(stats::max(drops) - stats::min(drops), 0.4);
+}
+
+TEST(CsiTest, FinerQuantisationThanRssi) {
+  // The quiet-channel noise floor is visible at CSI resolution even
+  // when a 1 dB-quantised RSSI stream would flatline.
+  CsiConfig config = quiet_config();
+  config.channel.fading.sigma_db = 0.1;
+  CsiChannelMatrix csi(triangle_sensors(), config, 11);
+  std::vector<double> row(csi.stream_count());
+  std::vector<double> series;
+  for (int i = 0; i < 500; ++i) {
+    csi.sample({}, row);
+    series.push_back(row[0]);
+  }
+  EXPECT_GT(stats::stddev(series), 0.05);
+}
+
+TEST(CsiTest, DeterministicGivenSeed) {
+  CsiChannelMatrix a(triangle_sensors(), quiet_config(), 42);
+  CsiChannelMatrix b(triangle_sensors(), quiet_config(), 42);
+  std::vector<double> ra(a.stream_count());
+  std::vector<double> rb(b.stream_count());
+  const std::vector<BodyState> bodies{BodyState{{2.0, 1.0}, 1.0}};
+  for (int i = 0; i < 50; ++i) {
+    a.sample(bodies, ra);
+    b.sample(bodies, rb);
+    for (std::size_t s = 0; s < ra.size(); ++s) {
+      EXPECT_DOUBLE_EQ(ra[s], rb[s]);
+    }
+  }
+}
+
+TEST(CsiTest, SampleRejectsWrongBufferSize) {
+  CsiChannelMatrix csi(triangle_sensors(), quiet_config(), 1);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(csi.sample({}, wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

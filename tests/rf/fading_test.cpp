@@ -1,0 +1,93 @@
+#include "fadewich/rf/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/stats/autocorrelation.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+TEST(FadingTest, RejectsInvalidConfig) {
+  FadingConfig bad;
+  bad.rho = 1.0;
+  EXPECT_THROW(Ar1Fading(bad, Rng(1)), ContractViolation);
+  bad = {};
+  bad.sigma_db = -0.1;
+  EXPECT_THROW(Ar1Fading(bad, Rng(1)), ContractViolation);
+}
+
+TEST(FadingTest, StationaryMomentsMatchConfig) {
+  FadingConfig config;
+  config.sigma_db = 1.5;
+  config.rho = 0.9;
+  Ar1Fading fading(config, Rng(7));
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(fading.step());
+  EXPECT_NEAR(stats::mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stats::stddev(xs), 1.5, 0.05);
+}
+
+TEST(FadingTest, AutocorrelationMatchesRho) {
+  FadingConfig config;
+  config.rho = 0.8;
+  Ar1Fading fading(config, Rng(9));
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(fading.step());
+  EXPECT_NEAR(stats::autocorrelation(xs, 1), 0.8, 0.02);
+  EXPECT_NEAR(stats::autocorrelation(xs, 2), 0.64, 0.03);
+}
+
+TEST(FadingTest, ZeroRhoIsWhiteNoise) {
+  FadingConfig config;
+  config.rho = 0.0;
+  Ar1Fading fading(config, Rng(11));
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(fading.step());
+  EXPECT_NEAR(stats::autocorrelation(xs, 1), 0.0, 0.02);
+}
+
+TEST(FadingTest, ZeroSigmaStaysAtZero) {
+  FadingConfig config;
+  config.sigma_db = 0.0;
+  Ar1Fading fading(config, Rng(13));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(fading.step(), 0.0);
+  }
+}
+
+TEST(FadingTest, ValueReportsWithoutAdvancing) {
+  Ar1Fading fading(FadingConfig{}, Rng(15));
+  const double v = fading.value();
+  EXPECT_DOUBLE_EQ(fading.value(), v);
+  fading.step();
+  // After a step the value should (almost surely) change.
+  EXPECT_NE(fading.value(), v);
+}
+
+TEST(FadingTest, DeterministicGivenSeed) {
+  Ar1Fading a(FadingConfig{}, Rng(21));
+  Ar1Fading b(FadingConfig{}, Rng(21));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.step(), b.step());
+  }
+}
+
+TEST(FadingTest, StartsFromStationaryDistribution) {
+  // Initial values across many independent processes should already have
+  // the stationary spread (no warm-up bias toward zero).
+  FadingConfig config;
+  config.sigma_db = 2.0;
+  std::vector<double> initials;
+  for (int i = 0; i < 5000; ++i) {
+    Ar1Fading fading(config, Rng(1000 + static_cast<std::uint64_t>(i)));
+    initials.push_back(fading.value());
+  }
+  EXPECT_NEAR(stats::stddev(initials), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

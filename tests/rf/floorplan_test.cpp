@@ -1,0 +1,104 @@
+#include "fadewich/rf/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+TEST(FloorPlanTest, PaperOfficeDimensions) {
+  const FloorPlan plan = paper_office();
+  EXPECT_DOUBLE_EQ(plan.width, 6.0);
+  EXPECT_DOUBLE_EQ(plan.height, 3.0);
+  EXPECT_EQ(plan.sensor_count(), 9u);
+  EXPECT_EQ(plan.workstation_count(), 3u);
+}
+
+TEST(FloorPlanTest, EverythingInsideTheRoom) {
+  const FloorPlan plan = paper_office();
+  for (const Point& s : plan.sensors) EXPECT_TRUE(plan.contains(s));
+  for (const auto& ws : plan.workstations) {
+    EXPECT_TRUE(plan.contains(ws.seat));
+    EXPECT_TRUE(plan.contains(ws.stand_point));
+  }
+  EXPECT_TRUE(plan.contains(plan.door));
+  EXPECT_TRUE(plan.contains(plan.corridor));
+}
+
+TEST(FloorPlanTest, SensorsAreOnWalls) {
+  const FloorPlan plan = paper_office();
+  for (const Point& s : plan.sensors) {
+    const bool on_wall = s.x == 0.0 || s.x == plan.width || s.y == 0.0 ||
+                         s.y == plan.height;
+    EXPECT_TRUE(on_wall) << "sensor at (" << s.x << ", " << s.y << ")";
+  }
+}
+
+TEST(FloorPlanTest, AverageSeatToDoorDistanceNearFourMeters) {
+  // Section VII-A: "4-meter distance" on average.
+  const FloorPlan plan = paper_office();
+  double total = 0.0;
+  for (const auto& ws : plan.workstations) {
+    total += distance(ws.seat, plan.door);
+  }
+  EXPECT_NEAR(total / 3.0, 4.0, 0.6);
+}
+
+TEST(FloorPlanTest, ContainsRejectsOutsidePoints) {
+  const FloorPlan plan = paper_office();
+  EXPECT_FALSE(plan.contains({-0.1, 1.0}));
+  EXPECT_FALSE(plan.contains({1.0, 3.1}));
+  EXPECT_FALSE(plan.contains({6.1, 1.0}));
+}
+
+TEST(FloorPlanTest, DeploymentPriorityIsAPermutation) {
+  const auto& order = FloorPlan::deployment_priority();
+  EXPECT_EQ(order.size(), 9u);
+  const std::set<std::size_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 9u);
+  for (std::size_t idx : order) EXPECT_LT(idx, 9u);
+}
+
+TEST(FloorPlanTest, WithSensorCountKeepsPriorityOrder) {
+  const FloorPlan plan = paper_office();
+  const FloorPlan three = plan.with_sensor_count(3);
+  ASSERT_EQ(three.sensor_count(), 3u);
+  const auto& order = FloorPlan::deployment_priority();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(three.sensors[i].x, plan.sensors[order[i]].x);
+    EXPECT_DOUBLE_EQ(three.sensors[i].y, plan.sensors[order[i]].y);
+  }
+  // Other fields survive the subset.
+  EXPECT_EQ(three.workstation_count(), 3u);
+  EXPECT_DOUBLE_EQ(three.width, plan.width);
+}
+
+TEST(FloorPlanTest, WithSensorCountFullKeepsAll) {
+  const FloorPlan plan = paper_office();
+  EXPECT_EQ(plan.with_sensor_count(9).sensor_count(), 9u);
+}
+
+TEST(FloorPlanTest, WithSensorCountRejectsBadValues) {
+  const FloorPlan plan = paper_office();
+  EXPECT_THROW(plan.with_sensor_count(0), ContractViolation);
+  EXPECT_THROW(plan.with_sensor_count(10), ContractViolation);
+}
+
+TEST(FloorPlanTest, SmallDeploymentsSpreadAcrossTheRoom) {
+  // The first three priority sensors should not be clustered on one wall.
+  const FloorPlan three = paper_office().with_sensor_count(3);
+  double max_pairwise = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      max_pairwise = std::max(
+          max_pairwise, distance(three.sensors[i], three.sensors[j]));
+    }
+  }
+  EXPECT_GT(max_pairwise, 3.0);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

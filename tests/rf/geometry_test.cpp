@@ -1,0 +1,85 @@
+#include "fadewich/rf/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fadewich::rf {
+namespace {
+
+TEST(GeometryTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeometryTest, PointArithmetic) {
+  const Point p = Point{1, 2} + Point{3, 4};
+  EXPECT_DOUBLE_EQ(p.x, 4.0);
+  EXPECT_DOUBLE_EQ(p.y, 6.0);
+  const Point q = Point{5, 5} - Point{1, 2};
+  EXPECT_DOUBLE_EQ(q.x, 4.0);
+  EXPECT_DOUBLE_EQ(q.y, 3.0);
+  const Point r = Point{1, -2} * 2.0;
+  EXPECT_DOUBLE_EQ(r.x, 2.0);
+  EXPECT_DOUBLE_EQ(r.y, -4.0);
+}
+
+TEST(GeometryTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ((Point{1, 2}).dot(Point{3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ((Point{3, 4}).norm(), 5.0);
+}
+
+TEST(GeometryTest, PointSegmentDistancePerpendicular) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, -3}, s), 3.0);
+}
+
+TEST(GeometryTest, PointSegmentDistanceBeyondEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, s), 5.0);
+}
+
+TEST(GeometryTest, PointOnSegmentHasZeroDistance) {
+  const Segment s{{0, 0}, {10, 10}};
+  EXPECT_NEAR(point_segment_distance({5, 5}, s), 0.0, 1e-12);
+}
+
+TEST(GeometryTest, DegenerateSegmentIsAPoint) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 6}, s), 5.0);
+  EXPECT_DOUBLE_EQ(s.length(), 0.0);
+}
+
+TEST(GeometryTest, ExcessPathZeroOnTheSegment) {
+  const Segment s{{0, 0}, {6, 0}};
+  EXPECT_NEAR(excess_path_length({3, 0}, s), 0.0, 1e-12);
+}
+
+TEST(GeometryTest, ExcessPathGrowsWithPerpendicularOffset) {
+  const Segment s{{0, 0}, {6, 0}};
+  const double near = excess_path_length({3, 0.2}, s);
+  const double far = excess_path_length({3, 1.5}, s);
+  EXPECT_GT(near, 0.0);
+  EXPECT_GT(far, near);
+}
+
+TEST(GeometryTest, ExcessPathKnownValue) {
+  // Midpoint at height 4 above a segment of half-length 3:
+  // 2 * 5 - 6 = 4.
+  const Segment s{{-3, 0}, {3, 0}};
+  EXPECT_NEAR(excess_path_length({0, 4}, s), 4.0, 1e-12);
+}
+
+TEST(GeometryTest, LerpEndpointsAndMidpoint) {
+  const Point a{0, 0};
+  const Point b{10, 20};
+  EXPECT_DOUBLE_EQ(lerp(a, b, 0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(lerp(a, b, 1.0).y, 20.0);
+  EXPECT_DOUBLE_EQ(lerp(a, b, 0.5).x, 5.0);
+  EXPECT_DOUBLE_EQ(lerp(a, b, 0.5).y, 10.0);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

@@ -1,0 +1,117 @@
+#include "fadewich/rf/jammer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/rf/channel.hpp"
+#include "fadewich/stats/descriptive.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+TEST(JammerTest, NoiseDecaysWithDistance) {
+  const LogDistancePathLoss path_loss;
+  // Modest power so no distance saturates the cap.
+  const Jammer jammer{{0.0, 0.0}, -10.0};
+  const double near = jammer_noise_std_db(jammer, {1.0, 0.0}, path_loss);
+  const double mid = jammer_noise_std_db(jammer, {4.0, 0.0}, path_loss);
+  const double far = jammer_noise_std_db(jammer, {10.0, 0.0}, path_loss);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GE(far, 0.0);
+}
+
+TEST(JammerTest, NoiseGrowsWithPower) {
+  const LogDistancePathLoss path_loss;
+  const Point rx{2.0, 0.0};
+  const Jammer weak{{0.0, 0.0}, -20.0};
+  const Jammer strong{{0.0, 0.0}, 20.0};
+  EXPECT_LT(jammer_noise_std_db(weak, rx, path_loss),
+            jammer_noise_std_db(strong, rx, path_loss));
+}
+
+TEST(JammerTest, NoiseIsCapped) {
+  const LogDistancePathLoss path_loss;
+  const Jammer point_blank{{0.0, 0.0}, 60.0};
+  EXPECT_LE(jammer_noise_std_db(point_blank, {0.1, 0.0}, path_loss),
+            12.0 + 1e-12);
+}
+
+TEST(JammerTest, WeakDistantJammerIsNegligible) {
+  const LogDistancePathLoss path_loss;
+  const Jammer faint{{50.0, 50.0}, -30.0};
+  EXPECT_LT(jammer_noise_std_db(faint, {0.0, 0.0}, path_loss), 0.01);
+}
+
+class JammedChannelTest : public ::testing::Test {
+ protected:
+  JammedChannelTest()
+      : channel_(
+            {{0.0, 0.0}, {6.0, 0.0}, {6.0, 3.0}, {0.0, 3.0}},
+            [] {
+              ChannelConfig config;
+              config.interference_mean_gap_s = 0.0;
+              config.quantize = false;
+              return config;
+            }(),
+            7) {}
+
+  double stream_std(std::span<const Jammer> jammers, std::size_t stream,
+                    int ticks = 4000) {
+    std::vector<double> values;
+    std::vector<double> row(channel_.stream_count());
+    for (int i = 0; i < ticks; ++i) {
+      channel_.sample({}, jammers, row);
+      values.push_back(row[stream]);
+    }
+    return stats::stddev(values);
+  }
+
+  ChannelMatrix channel_;
+};
+
+TEST_F(JammedChannelTest, JammingRaisesVarianceItCannotLowerIt) {
+  // The paper's core argument (Section V-C): injected interference adds
+  // fluctuation; it cannot steady the channel.
+  const std::size_t s = channel_.stream_index(0, 1);
+  const double quiet = stream_std({}, s);
+  const std::vector<Jammer> jammers{Jammer{{3.0, 1.5}, 10.0}};
+  const double jammed = stream_std(jammers, s);
+  EXPECT_GT(jammed, 1.5 * quiet);
+}
+
+TEST_F(JammedChannelTest, AllReceiversNearTheJammerAreAffected) {
+  // "the alteration of one transmission ... is measured by all the other
+  // devices. Therefore, such attacks are detectable."
+  const std::vector<Jammer> jammers{Jammer{{3.0, 1.5}, 10.0}};
+  std::size_t affected = 0;
+  for (std::size_t s = 0; s < channel_.stream_count(); ++s) {
+    const double quiet = stream_std({}, s, 1500);
+    const double jammed = stream_std(jammers, s, 1500);
+    if (jammed > 1.3 * quiet) ++affected;
+  }
+  // A room-centre jammer is near every receiver in a 6 x 3 office.
+  EXPECT_GE(affected, channel_.stream_count() - 2);
+}
+
+TEST_F(JammedChannelTest, EmptyJammerSpanMatchesPlainSample) {
+  // The jammer overload with no jammers must behave exactly like the
+  // plain overload (same RNG consumption).
+  ChannelConfig config;
+  config.interference_mean_gap_s = 0.0;
+  ChannelMatrix a({{0.0, 0.0}, {6.0, 0.0}}, config, 3);
+  ChannelMatrix b({{0.0, 0.0}, {6.0, 0.0}}, config, 3);
+  std::vector<double> row_a(a.stream_count());
+  std::vector<double> row_b(b.stream_count());
+  for (int i = 0; i < 100; ++i) {
+    a.sample({}, std::span<const Jammer>{}, row_a);
+    b.sample({}, row_b);
+    for (std::size_t s = 0; s < row_a.size(); ++s) {
+      EXPECT_DOUBLE_EQ(row_a[s], row_b[s]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fadewich::rf

@@ -1,0 +1,125 @@
+#include "fadewich/rf/office_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+TEST(OfficeBuilderTest, DefaultSpecResemblesPaperOffice) {
+  const FloorPlan plan = build_office(OfficeSpec{});
+  EXPECT_DOUBLE_EQ(plan.width, 6.0);
+  EXPECT_DOUBLE_EQ(plan.height, 3.0);
+  EXPECT_EQ(plan.sensor_count(), 9u);
+  EXPECT_EQ(plan.workstation_count(), 3u);
+}
+
+TEST(OfficeBuilderTest, EverythingInsideTheRoom) {
+  for (const OfficeSpec spec :
+       {OfficeSpec{4.0, 3.0, 2, 4}, OfficeSpec{8.0, 4.0, 4, 12},
+        OfficeSpec{10.0, 5.0, 6, 16}}) {
+    const FloorPlan plan = build_office(spec);
+    for (const Point& s : plan.sensors) {
+      EXPECT_TRUE(plan.contains(s));
+    }
+    for (const auto& ws : plan.workstations) {
+      EXPECT_TRUE(plan.contains(ws.seat));
+      EXPECT_TRUE(plan.contains(ws.stand_point));
+    }
+    EXPECT_TRUE(plan.contains(plan.door));
+    EXPECT_TRUE(plan.contains(plan.corridor));
+  }
+}
+
+TEST(OfficeBuilderTest, SensorsSitOnWalls) {
+  const FloorPlan plan = build_office(OfficeSpec{8.0, 4.0, 3, 10});
+  for (const Point& s : plan.sensors) {
+    const bool on_wall = s.x == 0.0 || s.x == plan.width || s.y == 0.0 ||
+                         s.y == plan.height;
+    EXPECT_TRUE(on_wall) << "(" << s.x << ", " << s.y << ")";
+  }
+}
+
+TEST(OfficeBuilderTest, SensorsAreDistinctAndSpread) {
+  const FloorPlan plan = build_office(OfficeSpec{6.0, 3.0, 3, 9});
+  for (std::size_t i = 0; i < plan.sensor_count(); ++i) {
+    for (std::size_t j = i + 1; j < plan.sensor_count(); ++j) {
+      EXPECT_GT(distance(plan.sensors[i], plan.sensors[j]), 0.5)
+          << "sensors " << i << " and " << j << " nearly coincide";
+    }
+  }
+}
+
+TEST(OfficeBuilderTest, WorkstationsDoNotOverlap) {
+  const FloorPlan plan = build_office(OfficeSpec{10.0, 5.0, 7, 8});
+  for (std::size_t i = 0; i < plan.workstation_count(); ++i) {
+    for (std::size_t j = i + 1; j < plan.workstation_count(); ++j) {
+      EXPECT_GT(distance(plan.workstations[i].seat,
+                         plan.workstations[j].seat),
+                1.0);
+    }
+  }
+}
+
+TEST(OfficeBuilderTest, WorkstationNamesAreSequential) {
+  const FloorPlan plan = build_office(OfficeSpec{8.0, 4.0, 4, 6});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan.workstations[i].name, "w" + std::to_string(i + 1));
+  }
+}
+
+TEST(OfficeBuilderTest, RejectsImpossibleSpecs) {
+  EXPECT_THROW(build_office(OfficeSpec{2.0, 3.0, 1, 4}),
+               ContractViolation);
+  EXPECT_THROW(build_office(OfficeSpec{6.0, 3.0, 0, 4}),
+               ContractViolation);
+  EXPECT_THROW(build_office(OfficeSpec{6.0, 3.0, 3, 1}),
+               ContractViolation);
+  // Too many desks for the walls: a domain error, not a contract bug.
+  EXPECT_THROW(build_office(OfficeSpec{4.0, 3.0, 12, 4}), Error);
+}
+
+TEST(OfficeBuilderTest, IsDeterministic) {
+  const FloorPlan a = build_office(OfficeSpec{7.0, 4.0, 3, 7});
+  const FloorPlan b = build_office(OfficeSpec{7.0, 4.0, 3, 7});
+  ASSERT_EQ(a.sensor_count(), b.sensor_count());
+  for (std::size_t i = 0; i < a.sensor_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sensors[i].x, b.sensors[i].x);
+    EXPECT_DOUBLE_EQ(a.sensors[i].y, b.sensors[i].y);
+  }
+}
+
+// Property sweep: generated offices always support a full simulation
+// setup (distinct seats, reachable door).
+class OfficeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(OfficeSweep, PlansAreWellFormed) {
+  const auto [width, height, sensors] = GetParam();
+  OfficeSpec spec;
+  spec.width = width;
+  spec.height = height;
+  spec.sensors = static_cast<std::size_t>(sensors);
+  spec.workstations = 3;
+  const FloorPlan plan = build_office(spec);
+  EXPECT_EQ(plan.sensor_count(), spec.sensors);
+  EXPECT_EQ(plan.workstation_count(), 3u);
+  for (const auto& ws : plan.workstations) {
+    // Seat-to-door path length is finite and plausible.
+    const double d = distance(ws.seat, plan.door);
+    EXPECT_GT(d, 0.5);
+    EXPECT_LT(d, width + height);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, OfficeSweep,
+    ::testing::Combine(::testing::Values(5.0, 6.0, 8.0, 10.0),
+                       ::testing::Values(3.0, 4.0, 5.0),
+                       ::testing::Values(4, 9, 14)));
+
+}  // namespace
+}  // namespace fadewich::rf

@@ -1,0 +1,64 @@
+#include "fadewich/rf/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::rf {
+namespace {
+
+TEST(PathLossTest, ReferenceDistanceGivesReferenceLoss) {
+  const LogDistancePathLoss model;
+  EXPECT_DOUBLE_EQ(model.loss_db(1.0), 40.0);
+}
+
+TEST(PathLossTest, TenfoldDistanceAddsTenNDb) {
+  PathLossConfig config;
+  config.exponent = 3.0;
+  const LogDistancePathLoss model(config);
+  EXPECT_NEAR(model.loss_db(10.0) - model.loss_db(1.0), 30.0, 1e-9);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  const LogDistancePathLoss model;
+  double prev = model.loss_db(0.3);
+  for (double d = 0.5; d <= 20.0; d += 0.5) {
+    const double cur = model.loss_db(d);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PathLossTest, ClampsBelowMinimumDistance) {
+  const LogDistancePathLoss model;
+  EXPECT_DOUBLE_EQ(model.loss_db(0.0), model.loss_db(0.2));
+  EXPECT_DOUBLE_EQ(model.loss_db(0.1), model.loss_db(0.2));
+}
+
+TEST(PathLossTest, ExponentScalesSlope) {
+  PathLossConfig gentle;
+  gentle.exponent = 2.0;
+  PathLossConfig steep;
+  steep.exponent = 4.0;
+  const LogDistancePathLoss a(gentle);
+  const LogDistancePathLoss b(steep);
+  EXPECT_LT(a.loss_db(8.0), b.loss_db(8.0));
+  EXPECT_DOUBLE_EQ(a.loss_db(1.0), b.loss_db(1.0));
+}
+
+TEST(PathLossTest, RejectsInvalidConfig) {
+  PathLossConfig bad;
+  bad.exponent = 0.0;
+  EXPECT_THROW(LogDistancePathLoss{bad}, ContractViolation);
+  bad = {};
+  bad.min_distance_m = 0.0;
+  EXPECT_THROW(LogDistancePathLoss{bad}, ContractViolation);
+}
+
+TEST(PathLossTest, RejectsNegativeDistance) {
+  const LogDistancePathLoss model;
+  EXPECT_THROW(model.loss_db(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::rf

@@ -1,0 +1,74 @@
+// The non-default arrival mode (start_seated = false): each day begins
+// with every user walking in, as in an office where the system records
+// around the clock.
+#include <gtest/gtest.h>
+
+#include "fadewich/sim/simulator.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+Recording run_arrival_day(std::uint64_t seed) {
+  DayScheduleConfig day;
+  day.day_length = 25.0 * 60.0;
+  day.start_seated = false;
+  day.calibration = 2.0 * 60.0;
+  day.arrival_window = 4.0 * 60.0;
+  day.departure_window = 4.0 * 60.0;
+  day.min_breaks = 0;
+  day.max_breaks = 1;
+  day.break_min = 60.0;
+  day.break_max = 3.0 * 60.0;
+
+  const rf::FloorPlan plan = rf::paper_office();
+  Rng rng(seed);
+  const WeekSchedule week =
+      generate_week_schedule(day, plan.workstation_count(), 1, rng);
+  SimulationConfig config;
+  config.seed = seed;
+  return simulate_week(plan, week, config);
+}
+
+TEST(ArrivalModeTest, EveryUserEntersBeforeLeaving) {
+  const Recording rec = run_arrival_day(11);
+  std::vector<bool> entered(3, false);
+  for (const auto& e : rec.events()) {
+    if (e.kind == EventKind::kEnter) {
+      entered[e.workstation] = true;
+    } else {
+      EXPECT_TRUE(entered[e.workstation])
+          << "w" << e.workstation + 1 << " left before arriving";
+    }
+  }
+  for (bool flag : entered) EXPECT_TRUE(flag);
+}
+
+TEST(ArrivalModeTest, ArrivalsProduceEnterEvents) {
+  const Recording rec = run_arrival_day(13);
+  std::size_t enters = 0;
+  for (const auto& e : rec.events()) {
+    if (e.kind == EventKind::kEnter) ++enters;
+  }
+  // 3 arrivals plus up to 3 break returns.
+  EXPECT_GE(enters, 3u);
+}
+
+TEST(ArrivalModeTest, SeatedIntervalsBeginAfterArrival) {
+  const Recording rec = run_arrival_day(17);
+  for (std::size_t w = 0; w < 3; ++w) {
+    ASSERT_FALSE(rec.seated_intervals()[w].empty());
+    // Nobody is seated during the pre-arrival calibration.
+    EXPECT_GT(rec.seated_intervals()[w].front().begin, 60.0);
+  }
+}
+
+TEST(ArrivalModeTest, RoomIsEmptyDuringCalibration) {
+  const Recording rec = run_arrival_day(19);
+  for (const auto& e : rec.events()) {
+    EXPECT_GT(e.movement_start, 100.0)
+        << "movement during the calibration period";
+  }
+}
+
+}  // namespace
+}  // namespace fadewich::sim

@@ -1,0 +1,87 @@
+#include "fadewich/sim/input_activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+TEST(InputActivityTest, RejectsInvalidConfig) {
+  InputActivityConfig bad;
+  bad.interval = 0.0;
+  EXPECT_THROW(InputActivitySimulator(bad, Rng(1)), ContractViolation);
+  bad = {};
+  bad.active_probability = 1.5;
+  EXPECT_THROW(InputActivitySimulator(bad, Rng(1)), ContractViolation);
+}
+
+TEST(InputActivityTest, EventsAreSortedAndInRange) {
+  InputActivitySimulator sim({}, Rng(3));
+  const auto events = sim.generate(600.0, [](Seconds) { return true; });
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end()));
+  for (Seconds t : events) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 600.0);
+  }
+}
+
+TEST(InputActivityTest, ActivityRateMatchesPaperModel) {
+  // 78% of 5-second intervals active (Mikkelsen et al.).
+  InputActivitySimulator sim({}, Rng(5));
+  const Seconds duration = 3600.0 * 10.0;
+  const auto events = sim.generate(duration, [](Seconds) { return true; });
+  const double intervals = duration / 5.0;
+  EXPECT_NEAR(static_cast<double>(events.size()) / intervals, 0.78, 0.01);
+}
+
+TEST(InputActivityTest, NoEventsWhileAway) {
+  InputActivitySimulator sim({}, Rng(7));
+  // Seated only during [100, 200).
+  const auto events = sim.generate(300.0, [](Seconds t) {
+    return t >= 100.0 && t < 200.0;
+  });
+  EXPECT_FALSE(events.empty());
+  for (Seconds t : events) {
+    EXPECT_GE(t, 100.0);
+    EXPECT_LT(t, 200.0);
+  }
+}
+
+TEST(InputActivityTest, AtMostOneEventPerInterval) {
+  InputActivitySimulator sim({}, Rng(9));
+  const auto events = sim.generate(1000.0, [](Seconds) { return true; });
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto bin_prev = static_cast<long>(events[i - 1] / 5.0);
+    const auto bin_cur = static_cast<long>(events[i] / 5.0);
+    EXPECT_NE(bin_prev, bin_cur);
+  }
+}
+
+TEST(InputActivityTest, ProbabilityZeroMeansNoEvents) {
+  InputActivityConfig config;
+  config.active_probability = 0.0;
+  InputActivitySimulator sim(config, Rng(11));
+  EXPECT_TRUE(sim.generate(1000.0, [](Seconds) { return true; }).empty());
+}
+
+TEST(InputActivityTest, ProbabilityOneFillsEveryInterval) {
+  InputActivityConfig config;
+  config.active_probability = 1.0;
+  InputActivitySimulator sim(config, Rng(13));
+  const auto events = sim.generate(100.0, [](Seconds) { return true; });
+  EXPECT_EQ(events.size(), 20u);
+}
+
+TEST(InputActivityTest, DeterministicGivenSeed) {
+  InputActivitySimulator a({}, Rng(17));
+  InputActivitySimulator b({}, Rng(17));
+  const auto ea = a.generate(500.0, [](Seconds) { return true; });
+  const auto eb = b.generate(500.0, [](Seconds) { return true; });
+  EXPECT_EQ(ea, eb);
+}
+
+}  // namespace
+}  // namespace fadewich::sim

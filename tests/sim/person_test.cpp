@@ -1,0 +1,182 @@
+#include "fadewich/sim/person.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+class PersonTest : public ::testing::Test {
+ protected:
+  PersonTest() : plan_(rf::paper_office()) {}
+
+  Person make_person(std::size_t workstation = 0) {
+    return Person(plan_, workstation, PersonConfig{}, Rng(7));
+  }
+
+  /// Advance until the predicate holds or `limit` seconds pass.
+  template <typename Pred>
+  Seconds advance_until(Person& p, Pred pred, Seconds limit = 60.0) {
+    const Seconds dt = 0.2;
+    Seconds t = 0.0;
+    while (t < limit && !pred()) {
+      p.advance(dt);
+      t += dt;
+    }
+    return t;
+  }
+
+  rf::FloorPlan plan_;
+};
+
+TEST_F(PersonTest, StartsOutside) {
+  Person p = make_person();
+  EXPECT_EQ(p.phase(), Person::Phase::kOutside);
+  EXPECT_FALSE(p.inside());
+  EXPECT_FALSE(p.seated());
+  EXPECT_FALSE(p.in_transit());
+}
+
+TEST_F(PersonTest, BodyQueryRequiresInside) {
+  Person p = make_person();
+  EXPECT_THROW(p.body(), ContractViolation);
+}
+
+TEST_F(PersonTest, RejectsInvalidWorkstation) {
+  EXPECT_THROW(Person(plan_, 3, PersonConfig{}, Rng(1)),
+               ContractViolation);
+}
+
+TEST_F(PersonTest, EnterSequenceEndsSeatedAtTheSeat) {
+  Person p = make_person(1);
+  p.start_entering();
+  EXPECT_TRUE(p.in_transit());
+  const Seconds took = advance_until(p, [&] { return p.seated(); });
+  EXPECT_LT(took, 15.0);
+  EXPECT_TRUE(p.seated());
+  EXPECT_NEAR(rf::distance(p.body().position,
+                           plan_.workstations[1].seat),
+              0.0, 0.2);
+}
+
+TEST_F(PersonTest, LeaveSequenceEndsOutside) {
+  Person p = make_person(2);
+  p.sit_down_immediately();
+  p.start_leaving();
+  EXPECT_TRUE(p.in_transit());
+  const Seconds took = advance_until(
+      p, [&] { return p.phase() == Person::Phase::kOutside; });
+  EXPECT_LT(took, 15.0);
+  EXPECT_FALSE(p.inside());
+}
+
+TEST_F(PersonTest, LeaveTakesRoughlyPaperDuration) {
+  // Walk ~4 m at ~1.4 m/s plus stand-up and door time: ~5-8 s.
+  Person p = make_person(2);  // w3, the farthest seat
+  p.sit_down_immediately();
+  p.start_leaving();
+  Seconds took = 0.0;
+  const Seconds dt = 0.1;
+  while (p.inside() && took < 30.0) {
+    p.advance(dt);
+    took += dt;
+  }
+  EXPECT_GT(took, 4.0);
+  EXPECT_LT(took, 10.0);
+}
+
+TEST_F(PersonTest, SitDownImmediatelySeats) {
+  Person p = make_person(0);
+  p.sit_down_immediately();
+  EXPECT_TRUE(p.seated());
+  EXPECT_FALSE(p.in_transit());
+}
+
+TEST_F(PersonTest, CannotLeaveUnlessSeated) {
+  Person p = make_person();
+  EXPECT_THROW(p.start_leaving(), ContractViolation);
+}
+
+TEST_F(PersonTest, CannotEnterUnlessOutside) {
+  Person p = make_person();
+  p.sit_down_immediately();
+  EXPECT_THROW(p.start_entering(), ContractViolation);
+  EXPECT_THROW(p.sit_down_immediately(), ContractViolation);
+}
+
+TEST_F(PersonTest, WalkPathStaysInsideTheRoom) {
+  Person p = make_person(2);
+  p.sit_down_immediately();
+  p.start_leaving();
+  const Seconds dt = 0.1;
+  for (int i = 0; i < 300 && p.inside(); ++i) {
+    p.advance(dt);
+    if (p.inside()) {
+      EXPECT_TRUE(plan_.contains(p.body().position))
+          << "at (" << p.body().position.x << ", "
+          << p.body().position.y << ")";
+    }
+  }
+}
+
+TEST_F(PersonTest, WalkingSpeedIsNearConfigured) {
+  Person p = make_person(2);
+  p.sit_down_immediately();
+  p.start_leaving();
+  advance_until(p, [&] { return p.phase() == Person::Phase::kWalkOut; });
+  ASSERT_EQ(p.phase(), Person::Phase::kWalkOut);
+  EXPECT_NEAR(p.body().speed, 1.4, 0.5);
+}
+
+TEST_F(PersonTest, SeatedBodyStaysNearSeatWithLowSpeed) {
+  Person p = make_person(0);
+  p.sit_down_immediately();
+  const rf::Point seat = plan_.workstations[0].seat;
+  for (int i = 0; i < 500; ++i) {
+    p.advance(0.2);
+    EXPECT_LT(rf::distance(p.body().position, seat), 0.3);
+    EXPECT_LE(p.body().speed, 0.2);
+  }
+}
+
+TEST_F(PersonTest, SeatedFidgetingOccasionallyMoves) {
+  Person p = make_person(0);
+  p.sit_down_immediately();
+  bool any_speed = false;
+  for (int i = 0; i < 5000; ++i) {
+    p.advance(0.2);
+    if (p.body().speed > 0.0) any_speed = true;
+  }
+  EXPECT_TRUE(any_speed);
+}
+
+TEST_F(PersonTest, DeterministicGivenSeed) {
+  Person a(plan_, 1, PersonConfig{}, Rng(99));
+  Person b(plan_, 1, PersonConfig{}, Rng(99));
+  a.start_entering();
+  b.start_entering();
+  for (int i = 0; i < 200; ++i) {
+    a.advance(0.2);
+    b.advance(0.2);
+    EXPECT_EQ(a.phase(), b.phase());
+    if (a.inside() && b.inside()) {
+      EXPECT_DOUBLE_EQ(a.body().position.x, b.body().position.x);
+      EXPECT_DOUBLE_EQ(a.body().speed, b.body().speed);
+    }
+  }
+}
+
+TEST_F(PersonTest, RoundTripLeaveAndReturn) {
+  Person p = make_person(0);
+  p.sit_down_immediately();
+  p.start_leaving();
+  advance_until(p, [&] { return !p.inside(); });
+  ASSERT_FALSE(p.inside());
+  p.start_entering();
+  advance_until(p, [&] { return p.seated(); });
+  EXPECT_TRUE(p.seated());
+}
+
+}  // namespace
+}  // namespace fadewich::sim

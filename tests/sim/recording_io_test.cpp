@@ -1,0 +1,107 @@
+#include "fadewich/sim/recording_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+Recording make_recording() {
+  Recording rec(5.0, 3, 20.0, 2);
+  Rng rng(7);
+  std::vector<double> row(rec.stream_count());
+  for (int t = 0; t < 200; ++t) {
+    for (auto& v : row) v = std::round(rng.normal(-60.0, 3.0));
+    rec.append_samples(row);
+  }
+  rec.events().push_back(
+      {EventKind::kLeave, 1, 5.0, 11.5, 7.25});
+  rec.events().push_back(
+      {EventKind::kEnter, 1, 25.0, 31.0, 25.0});
+  rec.seated_intervals().assign(3, {});
+  rec.seated_intervals()[0].push_back({0.0, 40.0});
+  rec.seated_intervals()[1].push_back({0.0, 5.0});
+  rec.seated_intervals()[1].push_back({31.0, 40.0});
+  return rec;
+}
+
+TEST(RecordingIoTest, RoundTripPreservesEverything) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  const Recording loaded = load_recording(buffer);
+
+  EXPECT_DOUBLE_EQ(loaded.rate().hz(), original.rate().hz());
+  EXPECT_EQ(loaded.sensor_count(), original.sensor_count());
+  EXPECT_DOUBLE_EQ(loaded.day_length(), original.day_length());
+  EXPECT_EQ(loaded.day_count(), original.day_count());
+  ASSERT_EQ(loaded.tick_count(), original.tick_count());
+
+  for (std::size_t s = 0; s < original.stream_count(); ++s) {
+    for (Tick t = 0; t < original.tick_count(); ++t) {
+      ASSERT_DOUBLE_EQ(loaded.rssi(s, t), original.rssi(s, t))
+          << "stream " << s << " tick " << t;
+    }
+  }
+
+  ASSERT_EQ(loaded.events().size(), original.events().size());
+  for (std::size_t e = 0; e < original.events().size(); ++e) {
+    EXPECT_EQ(loaded.events()[e].kind, original.events()[e].kind);
+    EXPECT_EQ(loaded.events()[e].workstation,
+              original.events()[e].workstation);
+    EXPECT_DOUBLE_EQ(loaded.events()[e].movement_start,
+                     original.events()[e].movement_start);
+    EXPECT_DOUBLE_EQ(loaded.events()[e].proximity_exit,
+                     original.events()[e].proximity_exit);
+  }
+
+  ASSERT_EQ(loaded.seated_intervals().size(),
+            original.seated_intervals().size());
+  EXPECT_EQ(loaded.seated_intervals()[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.seated_intervals()[1][1].begin, 31.0);
+}
+
+TEST(RecordingIoTest, FileRoundTrip) {
+  const Recording original = make_recording();
+  const std::string path = ::testing::TempDir() + "/fadewich_rec.bin";
+  save_recording(original, path);
+  const Recording loaded = load_recording(path);
+  EXPECT_EQ(loaded.tick_count(), original.tick_count());
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+}
+
+TEST(RecordingIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOPE and some garbage";
+  EXPECT_THROW(load_recording(buffer), Error);
+}
+
+TEST(RecordingIoTest, RejectsTruncatedStream) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_recording(truncated), Error);
+}
+
+TEST(RecordingIoTest, RejectsWrongVersion) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_recording(tampered), Error);
+}
+
+TEST(RecordingIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_recording("/nonexistent/path/rec.bin"), Error);
+}
+
+}  // namespace
+}  // namespace fadewich::sim

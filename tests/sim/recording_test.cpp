@@ -1,0 +1,106 @@
+#include "fadewich/sim/recording.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+Recording make_recording(std::size_t sensors = 3) {
+  return Recording(5.0, sensors, 60.0, 2);
+}
+
+TEST(RecordingTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(Recording(5.0, 1, 60.0, 1), ContractViolation);
+  EXPECT_THROW(Recording(5.0, 3, 0.0, 1), ContractViolation);
+  EXPECT_THROW(Recording(5.0, 3, 60.0, 0), ContractViolation);
+}
+
+TEST(RecordingTest, StreamCountIsOrderedPairs) {
+  const Recording rec = make_recording(4);
+  EXPECT_EQ(rec.stream_count(), 12u);
+  EXPECT_EQ(rec.sensor_count(), 4u);
+}
+
+TEST(RecordingTest, DurationAccounting) {
+  const Recording rec = make_recording();
+  EXPECT_DOUBLE_EQ(rec.day_length(), 60.0);
+  EXPECT_EQ(rec.day_count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.total_duration(), 120.0);
+  EXPECT_EQ(rec.tick_count(), 0);
+}
+
+TEST(RecordingTest, AppendAndReadBack) {
+  Recording rec = make_recording();
+  std::vector<double> row(rec.stream_count(), -55.4);
+  rec.append_samples(row);
+  row.assign(rec.stream_count(), -60.6);
+  rec.append_samples(row);
+  EXPECT_EQ(rec.tick_count(), 2);
+  EXPECT_DOUBLE_EQ(rec.rssi(0, 0), -55.0);  // rounded to int8 dBm
+  EXPECT_DOUBLE_EQ(rec.rssi(0, 1), -61.0);
+}
+
+TEST(RecordingTest, AppendRejectsWrongWidth) {
+  Recording rec = make_recording();
+  std::vector<double> row(2, -50.0);
+  EXPECT_THROW(rec.append_samples(row), ContractViolation);
+}
+
+TEST(RecordingTest, RssiRejectsOutOfRange) {
+  Recording rec = make_recording();
+  std::vector<double> row(rec.stream_count(), -50.0);
+  rec.append_samples(row);
+  EXPECT_THROW(rec.rssi(0, 1), ContractViolation);
+  EXPECT_THROW(rec.rssi(rec.stream_count(), 0), ContractViolation);
+}
+
+TEST(RecordingTest, ValuesClampToInt8Range) {
+  Recording rec = make_recording();
+  std::vector<double> row(rec.stream_count(), -500.0);
+  rec.append_samples(row);
+  EXPECT_DOUBLE_EQ(rec.rssi(0, 0), -128.0);
+}
+
+TEST(RecordingTest, StreamIndexMatchesRowMajorOrder) {
+  const Recording rec = make_recording(3);
+  EXPECT_EQ(rec.stream_index(0, 1), 0u);
+  EXPECT_EQ(rec.stream_index(0, 2), 1u);
+  EXPECT_EQ(rec.stream_index(1, 0), 2u);
+  EXPECT_EQ(rec.stream_index(1, 2), 3u);
+  EXPECT_EQ(rec.stream_index(2, 0), 4u);
+  EXPECT_EQ(rec.stream_index(2, 1), 5u);
+  EXPECT_THROW(rec.stream_index(1, 1), ContractViolation);
+}
+
+TEST(RecordingTest, StreamsForSensorSubset) {
+  const Recording rec = make_recording(4);
+  const auto streams = rec.streams_for_sensors({0, 2});
+  // Ordered pairs among {0, 2}: (0,2) then (2,0).
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0], rec.stream_index(0, 2));
+  EXPECT_EQ(streams[1], rec.stream_index(2, 0));
+}
+
+TEST(RecordingTest, StreamsForSensorsRejectsSingleton) {
+  const Recording rec = make_recording();
+  EXPECT_THROW(rec.streams_for_sensors({0}), ContractViolation);
+}
+
+TEST(RecordingTest, SeatedAtQueriesIntervals) {
+  Recording rec = make_recording();
+  rec.seated_intervals().assign(2, {});
+  rec.seated_intervals()[0].push_back({10.0, 20.0});
+  rec.seated_intervals()[0].push_back({30.0, 40.0});
+  EXPECT_TRUE(rec.seated_at(0, 15.0));
+  EXPECT_TRUE(rec.seated_at(0, 10.0));
+  EXPECT_FALSE(rec.seated_at(0, 25.0));
+  EXPECT_FALSE(rec.seated_at(1, 15.0));
+  EXPECT_THROW(rec.seated_at(2, 15.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::sim

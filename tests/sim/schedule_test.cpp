@@ -1,0 +1,205 @@
+#include "fadewich/sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+DayScheduleConfig short_day() {
+  DayScheduleConfig config;
+  config.day_length = 2.0 * 3600.0;
+  config.calibration = 5.0 * 60.0;
+  config.arrival_window = 5.0 * 60.0;
+  config.departure_window = 10.0 * 60.0;
+  config.min_breaks = 1;
+  config.max_breaks = 3;
+  config.break_min = 60.0;
+  config.break_max = 5.0 * 60.0;
+  return config;
+}
+
+TEST(ScheduleTest, MovementsAreSorted) {
+  Rng rng(3);
+  const auto day = generate_day_schedule(short_day(), 3, rng);
+  EXPECT_TRUE(std::is_sorted(
+      day.begin(), day.end(),
+      [](const Movement& a, const Movement& b) { return a.time < b.time; }));
+}
+
+TEST(ScheduleTest, AllMovementsWithinTheDay) {
+  Rng rng(5);
+  const auto config = short_day();
+  const auto day = generate_day_schedule(config, 3, rng);
+  for (const auto& m : day) {
+    EXPECT_GE(m.time, 0.0);
+    EXPECT_LE(m.time, config.day_length);
+  }
+}
+
+TEST(ScheduleTest, CalibrationPeriodIsQuiet) {
+  Rng rng(7);
+  const auto config = short_day();
+  const auto day = generate_day_schedule(config, 3, rng);
+  for (const auto& m : day) {
+    EXPECT_GE(m.time, config.calibration);
+  }
+}
+
+TEST(ScheduleTest, MovementsRespectSeparation) {
+  Rng rng(9);
+  const auto config = short_day();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto day = generate_day_schedule(config, 3, rng);
+    for (std::size_t i = 1; i < day.size(); ++i) {
+      EXPECT_GE(day[i].time - day[i - 1].time,
+                config.movement_separation - 1e-9)
+          << "movements " << i - 1 << " and " << i;
+    }
+  }
+}
+
+TEST(ScheduleTest, StartSeatedDayHasNoArrivals) {
+  Rng rng(11);
+  auto config = short_day();
+  config.start_seated = true;
+  const auto day = generate_day_schedule(config, 3, rng);
+  // First movement of every person must be a leave.
+  std::map<std::size_t, Movement::Kind> first;
+  for (const auto& m : day) {
+    if (!first.count(m.person)) first[m.person] = m.kind;
+  }
+  for (const auto& [person, kind] : first) {
+    EXPECT_EQ(kind, Movement::Kind::kLeave) << "person " << person;
+  }
+}
+
+TEST(ScheduleTest, ArrivalDayStartsWithEnter) {
+  Rng rng(11);
+  auto config = short_day();
+  config.start_seated = false;
+  const auto day = generate_day_schedule(config, 3, rng);
+  std::map<std::size_t, Movement::Kind> first;
+  for (const auto& m : day) {
+    if (!first.count(m.person)) first[m.person] = m.kind;
+  }
+  for (const auto& [person, kind] : first) {
+    EXPECT_EQ(kind, Movement::Kind::kEnter) << "person " << person;
+  }
+}
+
+TEST(ScheduleTest, PerPersonLeavesAndEntersAlternate) {
+  Rng rng(13);
+  const auto day = generate_day_schedule(short_day(), 3, rng);
+  std::map<std::size_t, std::vector<Movement>> by_person;
+  for (const auto& m : day) by_person[m.person].push_back(m);
+  for (auto& [person, moves] : by_person) {
+    std::sort(moves.begin(), moves.end(),
+              [](const Movement& a, const Movement& b) {
+                return a.time < b.time;
+              });
+    // start_seated: sequence must be L, E, L, E, ..., ending with L.
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const auto expected = (i % 2 == 0) ? Movement::Kind::kLeave
+                                         : Movement::Kind::kEnter;
+      EXPECT_EQ(moves[i].kind, expected)
+          << "person " << person << " movement " << i;
+    }
+    EXPECT_EQ(moves.back().kind, Movement::Kind::kLeave);
+  }
+}
+
+TEST(ScheduleTest, EveryPersonDepartsAtDayEnd) {
+  Rng rng(17);
+  const auto config = short_day();
+  const auto day = generate_day_schedule(config, 4, rng);
+  std::map<std::size_t, Seconds> last_leave;
+  for (const auto& m : day) {
+    if (m.kind == Movement::Kind::kLeave) {
+      last_leave[m.person] = std::max(last_leave[m.person], m.time);
+    }
+  }
+  EXPECT_EQ(last_leave.size(), 4u);
+  for (const auto& [person, t] : last_leave) {
+    EXPECT_GE(t, config.day_length - config.departure_window - 1.0);
+  }
+}
+
+TEST(ScheduleTest, BreakCountsWithinConfiguredRange) {
+  Rng rng(19);
+  auto config = short_day();
+  config.min_breaks = 2;
+  config.max_breaks = 2;
+  config.day_length = 4.0 * 3600.0;  // room for everything
+  const auto day = generate_day_schedule(config, 1, rng);
+  std::size_t leaves = 0;
+  for (const auto& m : day) {
+    if (m.kind == Movement::Kind::kLeave) ++leaves;
+  }
+  // 2 breaks + final departure.
+  EXPECT_EQ(leaves, 3u);
+}
+
+TEST(ScheduleTest, WeekHasOneScheduleDayPerDay) {
+  Rng rng(23);
+  const auto week = generate_week_schedule(short_day(), 3, 5, rng);
+  EXPECT_EQ(week.days.size(), 5u);
+  EXPECT_GT(week.total_movements(), 0u);
+  std::size_t total = 0;
+  for (const auto& day : week.days) total += day.size();
+  EXPECT_EQ(week.total_movements(), total);
+}
+
+TEST(ScheduleTest, DifferentDaysDiffer) {
+  Rng rng(29);
+  const auto week = generate_week_schedule(short_day(), 3, 2, rng);
+  ASSERT_GE(week.days[0].size(), 1u);
+  ASSERT_GE(week.days[1].size(), 1u);
+  bool any_difference = week.days[0].size() != week.days[1].size();
+  if (!any_difference) {
+    for (std::size_t i = 0; i < week.days[0].size(); ++i) {
+      if (week.days[0][i].time != week.days[1][i].time) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScheduleTest, RejectsInvalidConfig) {
+  Rng rng(1);
+  DayScheduleConfig config = short_day();
+  config.day_length = config.calibration;  // no room for anything
+  EXPECT_THROW(generate_day_schedule(config, 3, rng), ContractViolation);
+  EXPECT_THROW(generate_day_schedule(short_day(), 0, rng),
+               ContractViolation);
+  EXPECT_THROW(generate_week_schedule(short_day(), 3, 0, rng),
+               ContractViolation);
+}
+
+// Property: across many seeds, schedules stay structurally valid.
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, AbsencesNeverInterleavePerPerson) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto day = generate_day_schedule(short_day(), 3, rng);
+  std::map<std::size_t, bool> away;
+  for (const auto& m : day) {
+    if (m.kind == Movement::Kind::kLeave) {
+      EXPECT_FALSE(away[m.person]) << "double leave by " << m.person;
+      away[m.person] = true;
+    } else {
+      EXPECT_TRUE(away[m.person]) << "enter while present " << m.person;
+      away[m.person] = false;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace fadewich::sim

@@ -1,0 +1,187 @@
+#include "fadewich/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::sim {
+namespace {
+
+DayScheduleConfig tiny_day() {
+  DayScheduleConfig config;
+  config.day_length = 15.0 * 60.0;
+  config.calibration = 2.0 * 60.0;
+  config.departure_window = 3.0 * 60.0;
+  config.min_breaks = 1;
+  config.max_breaks = 1;
+  config.break_min = 60.0;
+  config.break_max = 2.0 * 60.0;
+  return config;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : plan_(rf::paper_office()) {}
+
+  Recording run(std::size_t days = 1, std::uint64_t seed = 42) {
+    Rng rng(seed);
+    const WeekSchedule week =
+        generate_week_schedule(tiny_day(), plan_.workstation_count(),
+                               days, rng);
+    SimulationConfig config;
+    config.seed = seed;
+    return simulate_week(plan_, week, config);
+  }
+
+  rf::FloorPlan plan_;
+};
+
+TEST_F(SimulatorTest, RecordsExpectedTickCount) {
+  const Recording rec = run();
+  EXPECT_EQ(rec.tick_count(), static_cast<Tick>(15 * 60 * 5));
+  EXPECT_EQ(rec.stream_count(), 72u);
+}
+
+TEST_F(SimulatorTest, EventsComeInPairsPerBreak) {
+  const Recording rec = run();
+  std::size_t leaves = 0;
+  std::size_t enters = 0;
+  for (const auto& e : rec.events()) {
+    (e.kind == EventKind::kLeave ? leaves : enters)++;
+  }
+  // 3 users x (final departure + up to 1 break); congested days may drop
+  // an unplaceable break, but the leave/enter pairing invariant holds.
+  EXPECT_GE(leaves, 3u);
+  EXPECT_LE(leaves, 6u);
+  EXPECT_EQ(enters, leaves - 3u);
+}
+
+TEST_F(SimulatorTest, EventTimesAreOrderedAndConsistent) {
+  const Recording rec = run();
+  for (const auto& e : rec.events()) {
+    EXPECT_LT(e.movement_start, e.movement_end);
+    EXPECT_GE(e.proximity_exit, e.movement_start);
+    EXPECT_LE(e.proximity_exit, e.movement_end);
+    EXPECT_GE(e.movement_start, 0.0);
+    EXPECT_LE(e.movement_end, rec.total_duration());
+    // A movement takes seconds, not minutes.
+    EXPECT_LT(e.movement_end - e.movement_start, 15.0);
+  }
+}
+
+TEST_F(SimulatorTest, LeaveProximityExitIsAfterStandUp) {
+  const Recording rec = run();
+  for (const auto& e : rec.events()) {
+    if (e.kind != EventKind::kLeave) continue;
+    // Getting >1 m away takes at least the stand-up time.
+    EXPECT_GT(e.proximity_exit - e.movement_start, 0.5);
+  }
+}
+
+TEST_F(SimulatorTest, SeatedIntervalsCoverMostOfTheDay) {
+  const Recording rec = run();
+  ASSERT_EQ(rec.seated_intervals().size(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    double seated_time = 0.0;
+    for (const Interval& iv : rec.seated_intervals()[w]) {
+      EXPECT_LT(iv.begin, iv.end);
+      seated_time += iv.duration();
+    }
+    // Present except one short break and the departure tail.
+    EXPECT_GT(seated_time, rec.total_duration() * 0.5);
+    EXPECT_LT(seated_time, rec.total_duration());
+  }
+}
+
+TEST_F(SimulatorTest, SeatedIntervalsMatchEvents) {
+  const Recording rec = run();
+  // During a leave movement the user must not be seated shortly after
+  // departure; before it they must be seated.
+  for (const auto& e : rec.events()) {
+    if (e.kind != EventKind::kLeave) continue;
+    EXPECT_TRUE(rec.seated_at(e.workstation, e.movement_start - 1.0));
+    EXPECT_FALSE(rec.seated_at(e.workstation, e.movement_end + 1.0));
+  }
+}
+
+TEST_F(SimulatorTest, RssiValuesAreInPhysicalRange) {
+  const Recording rec = run();
+  for (std::size_t s = 0; s < rec.stream_count(); s += 7) {
+    for (Tick t = 0; t < rec.tick_count(); t += 97) {
+      const double v = rec.rssi(s, t);
+      EXPECT_GE(v, -100.0);
+      EXPECT_LE(v, -20.0);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, DeterministicGivenSeed) {
+  const Recording a = run(1, 7);
+  const Recording b = run(1, 7);
+  ASSERT_EQ(a.tick_count(), b.tick_count());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t s = 0; s < a.stream_count(); s += 11) {
+    for (Tick t = 0; t < a.tick_count(); t += 131) {
+      EXPECT_DOUBLE_EQ(a.rssi(s, t), b.rssi(s, t));
+    }
+  }
+}
+
+TEST_F(SimulatorTest, DifferentSeedsGiveDifferentData) {
+  const Recording a = run(1, 7);
+  const Recording b = run(1, 8);
+  bool any_difference = false;
+  for (Tick t = 0; t < std::min(a.tick_count(), b.tick_count()) &&
+                   !any_difference;
+       t += 13) {
+    if (a.rssi(0, t) != b.rssi(0, t)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(SimulatorTest, MultiDayEventsLandInTheirDays) {
+  const Recording rec = run(2);
+  EXPECT_EQ(rec.day_count(), 2u);
+  bool day0 = false;
+  bool day1 = false;
+  for (const auto& e : rec.events()) {
+    if (e.movement_start < rec.day_length()) day0 = true;
+    if (e.movement_start >= rec.day_length()) day1 = true;
+  }
+  EXPECT_TRUE(day0);
+  EXPECT_TRUE(day1);
+}
+
+TEST_F(SimulatorTest, MovementRaisesStreamActivity) {
+  const Recording rec = run();
+  // Pick a leave event and compare short-term variability of one stream
+  // crossing the room against a quiet period.
+  const auto it = std::find_if(
+      rec.events().begin(), rec.events().end(), [](const auto& e) {
+        return e.kind == EventKind::kLeave;
+      });
+  ASSERT_NE(it, rec.events().end());
+  const Tick move_begin = rec.rate().to_ticks_floor(it->movement_start);
+  const Tick move_end = rec.rate().to_ticks_floor(it->movement_end);
+
+  // Aggregate absolute tick-to-tick deltas over all streams.
+  auto activity = [&](Tick begin, Tick end) {
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < rec.stream_count(); ++s) {
+      for (Tick t = begin + 1; t <= end; ++t) {
+        acc += std::abs(rec.rssi(s, t) - rec.rssi(s, t - 1));
+        ++count;
+      }
+    }
+    return acc / static_cast<double>(count);
+  };
+  const double moving = activity(move_begin, move_end);
+  const double quiet = activity(60 * 5, 70 * 5);  // during calibration
+  EXPECT_GT(moving, quiet * 1.3);
+}
+
+}  // namespace
+}  // namespace fadewich::sim

@@ -1,0 +1,76 @@
+#include "fadewich/stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::stats {
+namespace {
+
+TEST(AutocorrelationTest, LagZeroIsOneForNonConstant) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, ConstantWindowIsZeroByConvention) {
+  const std::vector<double> xs{4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSignalIsNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);
+}
+
+TEST(AutocorrelationTest, AlternatingSignalIsPositiveAtLagTwo) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(autocorrelation(xs, 2), 0.9);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseDecorrelatesQuickly) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, Ar1ProcessShowsItsCoefficient) {
+  Rng rng(7);
+  std::vector<double> xs;
+  double state = 0.0;
+  const double rho = 0.8;
+  for (int i = 0; i < 20000; ++i) {
+    state = rho * state + rng.normal(0.0, std::sqrt(1.0 - rho * rho));
+    xs.push_back(state);
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), rho, 0.03);
+  EXPECT_NEAR(autocorrelation(xs, 2), rho * rho, 0.04);
+}
+
+TEST(AutocorrelationTest, RejectsLagBeyondWindow) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(autocorrelation(xs, 3), ContractViolation);
+}
+
+TEST(AutocorrelationTest, RejectsEmptyWindow) {
+  const std::vector<double> xs;
+  EXPECT_THROW(autocorrelation(xs, 0), ContractViolation);
+}
+
+TEST(AutocorrelationsTest, ReturnsOnePerLag) {
+  const std::vector<double> xs{1.0, 2.0, 1.0, 2.0, 1.0, 2.0};
+  const auto acs = autocorrelations(xs, 3);
+  ASSERT_EQ(acs.size(), 3u);
+  EXPECT_DOUBLE_EQ(acs[0], autocorrelation(xs, 1));
+  EXPECT_DOUBLE_EQ(acs[2], autocorrelation(xs, 3));
+}
+
+}  // namespace
+}  // namespace fadewich::stats

@@ -1,0 +1,102 @@
+#include "fadewich/stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(PearsonTest, ScaleAndShiftInvariant) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.normal();
+    x.push_back(v);
+    y.push_back(5.0 * v - 100.0);
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-9);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(PearsonTest, RejectsSizeMismatchAndTooFew) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(pearson(x, y), ContractViolation);
+  EXPECT_THROW(pearson(y, y), ContractViolation);
+}
+
+TEST(CorrelationMatrixTest, UnitDiagonalAndSymmetry) {
+  Rng rng(11);
+  std::vector<std::vector<double>> series(4);
+  for (auto& s : series) {
+    for (int i = 0; i < 100; ++i) s.push_back(rng.normal());
+  }
+  const auto m = correlation_matrix(series);
+  ASSERT_EQ(m.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+      EXPECT_LE(std::abs(m[i][j]), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(CorrelationMatrixTest, DetectsLinkedSeries) {
+  Rng rng(13);
+  std::vector<double> base;
+  for (int i = 0; i < 300; ++i) base.push_back(rng.normal());
+  std::vector<double> noisy = base;
+  for (auto& v : noisy) v = 0.9 * v + 0.1 * rng.normal();
+  std::vector<double> independent;
+  for (int i = 0; i < 300; ++i) independent.push_back(rng.normal());
+
+  const auto m = correlation_matrix({base, noisy, independent});
+  EXPECT_GT(m[0][1], 0.9);
+  EXPECT_LT(std::abs(m[0][2]), 0.2);
+}
+
+TEST(CorrelationMatrixTest, RejectsMismatchedLengths) {
+  const std::vector<std::vector<double>> series{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(correlation_matrix(series), ContractViolation);
+}
+
+TEST(CorrelationMatrixTest, RejectsEmpty) {
+  EXPECT_THROW(correlation_matrix({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::stats

@@ -1,0 +1,133 @@
+#include "fadewich/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+
+namespace fadewich::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(DescriptiveTest, MeanOfSingleton) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 42.0);
+}
+
+TEST(DescriptiveTest, EmptyInputThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), ContractViolation);
+  EXPECT_THROW(variance(xs), ContractViolation);
+  EXPECT_THROW(min(xs), ContractViolation);
+  EXPECT_THROW(max(xs), ContractViolation);
+  EXPECT_THROW(quantile(xs, 0.5), ContractViolation);
+}
+
+TEST(DescriptiveTest, PopulationVsSampleVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_NEAR(sample_variance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, SampleVarianceNeedsTwoPoints) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(sample_variance(xs), ContractViolation);
+}
+
+TEST(DescriptiveTest, StddevIsSqrtVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 0.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(DescriptiveTest, QuantileEndpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(DescriptiveTest, PercentileMatchesQuantile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), quantile(xs, 0.99));
+}
+
+TEST(DescriptiveTest, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), ContractViolation);
+  EXPECT_THROW(quantile(xs, 1.1), ContractViolation);
+  EXPECT_THROW(percentile(xs, 101.0), ContractViolation);
+}
+
+TEST(DescriptiveTest, QuantileDoesNotMutateInput) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  (void)quantile(xs, 0.5);
+  EXPECT_DOUBLE_EQ(xs[0], 5.0);
+  EXPECT_DOUBLE_EQ(xs[1], 1.0);
+}
+
+TEST(WelfordTest, MatchesBatchMoments) {
+  Rng rng(31);
+  Welford acc;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-9);
+  EXPECT_NEAR(acc.sample_variance(), sample_variance(xs), 1e-9);
+}
+
+TEST(WelfordTest, EmptyAccumulatorThrows) {
+  Welford acc;
+  EXPECT_THROW(acc.mean(), ContractViolation);
+  EXPECT_THROW(acc.variance(), ContractViolation);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_THROW(acc.sample_variance(), ContractViolation);
+}
+
+// Quantile property: for sorted distinct values, quantile is monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform(-10.0, 10.0));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace fadewich::stats
