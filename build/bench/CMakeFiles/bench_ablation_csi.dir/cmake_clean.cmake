@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csi.dir/bench_ablation_csi.cpp.o"
+  "CMakeFiles/bench_ablation_csi.dir/bench_ablation_csi.cpp.o.d"
+  "bench_ablation_csi"
+  "bench_ablation_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_environment.dir/bench_ablation_environment.cpp.o"
+  "CMakeFiles/bench_ablation_environment.dir/bench_ablation_environment.cpp.o.d"
+  "bench_ablation_environment"
+  "bench_ablation_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

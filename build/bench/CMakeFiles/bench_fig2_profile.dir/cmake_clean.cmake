@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_profile.dir/bench_fig2_profile.cpp.o"
+  "CMakeFiles/bench_fig2_profile.dir/bench_fig2_profile.cpp.o.d"
+  "bench_fig2_profile"
+  "bench_fig2_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fmeasure.dir/bench_fig7_fmeasure.cpp.o"
+  "CMakeFiles/bench_fig7_fmeasure.dir/bench_fig7_fmeasure.cpp.o.d"
+  "bench_fig7_fmeasure"
+  "bench_fig7_fmeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fmeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

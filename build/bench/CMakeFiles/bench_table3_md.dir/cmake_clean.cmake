@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_md.dir/bench_table3_md.cpp.o"
+  "CMakeFiles/bench_table3_md.dir/bench_table3_md.cpp.o.d"
+  "bench_table3_md"
+  "bench_table3_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rmi_top.dir/bench_table5_rmi_top.cpp.o"
+  "CMakeFiles/bench_table5_rmi_top.dir/bench_table5_rmi_top.cpp.o.d"
+  "bench_table5_rmi_top"
+  "bench_table5_rmi_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rmi_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

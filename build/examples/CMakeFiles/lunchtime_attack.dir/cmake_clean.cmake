@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunchtime_attack.dir/lunchtime_attack.cpp.o"
+  "CMakeFiles/lunchtime_attack.dir/lunchtime_attack.cpp.o.d"
+  "lunchtime_attack"
+  "lunchtime_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunchtime_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

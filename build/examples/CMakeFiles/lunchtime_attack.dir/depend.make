@@ -1,0 +1,2 @@
+# Empty dependencies file for lunchtime_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_week.dir/office_week.cpp.o"
+  "CMakeFiles/office_week.dir/office_week.cpp.o.d"
+  "office_week"
+  "office_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_dataset.dir/record_dataset.cpp.o"
+  "CMakeFiles/record_dataset.dir/record_dataset.cpp.o.d"
+  "record_dataset"
+  "record_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

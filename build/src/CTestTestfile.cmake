@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fadewich/common")
+subdirs("fadewich/stats")
+subdirs("fadewich/ml")
+subdirs("fadewich/rf")
+subdirs("fadewich/sim")
+subdirs("fadewich/net")
+subdirs("fadewich/core")
+subdirs("fadewich/eval")

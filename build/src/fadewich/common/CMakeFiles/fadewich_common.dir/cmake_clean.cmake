@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_common.dir/error.cpp.o"
+  "CMakeFiles/fadewich_common.dir/error.cpp.o.d"
+  "CMakeFiles/fadewich_common.dir/rng.cpp.o"
+  "CMakeFiles/fadewich_common.dir/rng.cpp.o.d"
+  "libfadewich_common.a"
+  "libfadewich_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

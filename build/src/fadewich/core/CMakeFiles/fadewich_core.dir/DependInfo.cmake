@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/core/auto_labeler.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/auto_labeler.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/auto_labeler.cpp.o.d"
+  "/root/repo/src/fadewich/core/controller.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/controller.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/controller.cpp.o.d"
+  "/root/repo/src/fadewich/core/features.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/features.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/features.cpp.o.d"
+  "/root/repo/src/fadewich/core/kma.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/kma.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/kma.cpp.o.d"
+  "/root/repo/src/fadewich/core/movement_detector.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/movement_detector.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/movement_detector.cpp.o.d"
+  "/root/repo/src/fadewich/core/normal_profile.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/normal_profile.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/normal_profile.cpp.o.d"
+  "/root/repo/src/fadewich/core/radio_environment.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/radio_environment.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/radio_environment.cpp.o.d"
+  "/root/repo/src/fadewich/core/system.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/system.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/system.cpp.o.d"
+  "/root/repo/src/fadewich/core/workstation.cpp" "src/fadewich/core/CMakeFiles/fadewich_core.dir/workstation.cpp.o" "gcc" "src/fadewich/core/CMakeFiles/fadewich_core.dir/workstation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/stats/CMakeFiles/fadewich_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/ml/CMakeFiles/fadewich_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/net/CMakeFiles/fadewich_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/sim/CMakeFiles/fadewich_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/rf/CMakeFiles/fadewich_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_core.dir/auto_labeler.cpp.o"
+  "CMakeFiles/fadewich_core.dir/auto_labeler.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/controller.cpp.o"
+  "CMakeFiles/fadewich_core.dir/controller.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/features.cpp.o"
+  "CMakeFiles/fadewich_core.dir/features.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/kma.cpp.o"
+  "CMakeFiles/fadewich_core.dir/kma.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/movement_detector.cpp.o"
+  "CMakeFiles/fadewich_core.dir/movement_detector.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/normal_profile.cpp.o"
+  "CMakeFiles/fadewich_core.dir/normal_profile.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/radio_environment.cpp.o"
+  "CMakeFiles/fadewich_core.dir/radio_environment.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/system.cpp.o"
+  "CMakeFiles/fadewich_core.dir/system.cpp.o.d"
+  "CMakeFiles/fadewich_core.dir/workstation.cpp.o"
+  "CMakeFiles/fadewich_core.dir/workstation.cpp.o.d"
+  "libfadewich_core.a"
+  "libfadewich_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfadewich_core.a"
+)

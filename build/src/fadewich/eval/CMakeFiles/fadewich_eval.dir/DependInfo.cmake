@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/eval/adversary.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/adversary.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/adversary.cpp.o.d"
+  "/root/repo/src/fadewich/eval/md_evaluation.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/md_evaluation.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/md_evaluation.cpp.o.d"
+  "/root/repo/src/fadewich/eval/paper_setup.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/paper_setup.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/paper_setup.cpp.o.d"
+  "/root/repo/src/fadewich/eval/report.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/report.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/report.cpp.o.d"
+  "/root/repo/src/fadewich/eval/sample_extraction.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/sample_extraction.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/sample_extraction.cpp.o.d"
+  "/root/repo/src/fadewich/eval/security.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/security.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/security.cpp.o.d"
+  "/root/repo/src/fadewich/eval/usability.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/usability.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/usability.cpp.o.d"
+  "/root/repo/src/fadewich/eval/window_matching.cpp" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/window_matching.cpp.o" "gcc" "src/fadewich/eval/CMakeFiles/fadewich_eval.dir/window_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/stats/CMakeFiles/fadewich_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/ml/CMakeFiles/fadewich_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/rf/CMakeFiles/fadewich_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/sim/CMakeFiles/fadewich_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/net/CMakeFiles/fadewich_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/core/CMakeFiles/fadewich_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

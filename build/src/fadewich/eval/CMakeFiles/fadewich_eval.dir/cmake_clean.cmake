@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_eval.dir/adversary.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/adversary.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/md_evaluation.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/md_evaluation.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/paper_setup.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/paper_setup.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/report.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/report.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/sample_extraction.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/sample_extraction.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/security.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/security.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/usability.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/usability.cpp.o.d"
+  "CMakeFiles/fadewich_eval.dir/window_matching.cpp.o"
+  "CMakeFiles/fadewich_eval.dir/window_matching.cpp.o.d"
+  "libfadewich_eval.a"
+  "libfadewich_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

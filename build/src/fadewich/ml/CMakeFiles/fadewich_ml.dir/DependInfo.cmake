@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/ml/cross_validation.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/cross_validation.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/fadewich/ml/kde.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/kde.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/kde.cpp.o.d"
+  "/root/repo/src/fadewich/ml/metrics.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/metrics.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/fadewich/ml/multiclass_svm.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/multiclass_svm.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/multiclass_svm.cpp.o.d"
+  "/root/repo/src/fadewich/ml/mutual_info.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/mutual_info.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/mutual_info.cpp.o.d"
+  "/root/repo/src/fadewich/ml/scaler.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/scaler.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/fadewich/ml/svm.cpp" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/svm.cpp.o" "gcc" "src/fadewich/ml/CMakeFiles/fadewich_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/stats/CMakeFiles/fadewich_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/kde.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/kde.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/metrics.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/multiclass_svm.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/multiclass_svm.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/mutual_info.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/mutual_info.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/scaler.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/fadewich_ml.dir/svm.cpp.o"
+  "CMakeFiles/fadewich_ml.dir/svm.cpp.o.d"
+  "libfadewich_ml.a"
+  "libfadewich_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/net/central_station.cpp" "src/fadewich/net/CMakeFiles/fadewich_net.dir/central_station.cpp.o" "gcc" "src/fadewich/net/CMakeFiles/fadewich_net.dir/central_station.cpp.o.d"
+  "/root/repo/src/fadewich/net/live_network.cpp" "src/fadewich/net/CMakeFiles/fadewich_net.dir/live_network.cpp.o" "gcc" "src/fadewich/net/CMakeFiles/fadewich_net.dir/live_network.cpp.o.d"
+  "/root/repo/src/fadewich/net/message_bus.cpp" "src/fadewich/net/CMakeFiles/fadewich_net.dir/message_bus.cpp.o" "gcc" "src/fadewich/net/CMakeFiles/fadewich_net.dir/message_bus.cpp.o.d"
+  "/root/repo/src/fadewich/net/playback.cpp" "src/fadewich/net/CMakeFiles/fadewich_net.dir/playback.cpp.o" "gcc" "src/fadewich/net/CMakeFiles/fadewich_net.dir/playback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/rf/CMakeFiles/fadewich_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/sim/CMakeFiles/fadewich_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_net.dir/central_station.cpp.o"
+  "CMakeFiles/fadewich_net.dir/central_station.cpp.o.d"
+  "CMakeFiles/fadewich_net.dir/live_network.cpp.o"
+  "CMakeFiles/fadewich_net.dir/live_network.cpp.o.d"
+  "CMakeFiles/fadewich_net.dir/message_bus.cpp.o"
+  "CMakeFiles/fadewich_net.dir/message_bus.cpp.o.d"
+  "CMakeFiles/fadewich_net.dir/playback.cpp.o"
+  "CMakeFiles/fadewich_net.dir/playback.cpp.o.d"
+  "libfadewich_net.a"
+  "libfadewich_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/rf/body_shadowing.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/body_shadowing.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/body_shadowing.cpp.o.d"
+  "/root/repo/src/fadewich/rf/channel.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/channel.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/fadewich/rf/csi.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/csi.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/csi.cpp.o.d"
+  "/root/repo/src/fadewich/rf/fading.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/fading.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/fading.cpp.o.d"
+  "/root/repo/src/fadewich/rf/floorplan.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/floorplan.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/floorplan.cpp.o.d"
+  "/root/repo/src/fadewich/rf/geometry.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/geometry.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/geometry.cpp.o.d"
+  "/root/repo/src/fadewich/rf/jammer.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/jammer.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/jammer.cpp.o.d"
+  "/root/repo/src/fadewich/rf/office_builder.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/office_builder.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/office_builder.cpp.o.d"
+  "/root/repo/src/fadewich/rf/pathloss.cpp" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/pathloss.cpp.o" "gcc" "src/fadewich/rf/CMakeFiles/fadewich_rf.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_rf.dir/body_shadowing.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/body_shadowing.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/channel.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/csi.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/csi.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/fading.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/fading.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/floorplan.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/floorplan.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/geometry.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/geometry.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/jammer.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/jammer.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/office_builder.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/office_builder.cpp.o.d"
+  "CMakeFiles/fadewich_rf.dir/pathloss.cpp.o"
+  "CMakeFiles/fadewich_rf.dir/pathloss.cpp.o.d"
+  "libfadewich_rf.a"
+  "libfadewich_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

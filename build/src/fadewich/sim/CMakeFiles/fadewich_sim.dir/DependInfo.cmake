@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/sim/input_activity.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/input_activity.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/input_activity.cpp.o.d"
+  "/root/repo/src/fadewich/sim/person.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/person.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/person.cpp.o.d"
+  "/root/repo/src/fadewich/sim/recording.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/recording.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/recording.cpp.o.d"
+  "/root/repo/src/fadewich/sim/recording_io.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/recording_io.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/recording_io.cpp.o.d"
+  "/root/repo/src/fadewich/sim/schedule.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/schedule.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/fadewich/sim/simulator.cpp" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/simulator.cpp.o" "gcc" "src/fadewich/sim/CMakeFiles/fadewich_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/rf/CMakeFiles/fadewich_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_sim.dir/input_activity.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/input_activity.cpp.o.d"
+  "CMakeFiles/fadewich_sim.dir/person.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/person.cpp.o.d"
+  "CMakeFiles/fadewich_sim.dir/recording.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/recording.cpp.o.d"
+  "CMakeFiles/fadewich_sim.dir/recording_io.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/recording_io.cpp.o.d"
+  "CMakeFiles/fadewich_sim.dir/schedule.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/fadewich_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fadewich_sim.dir/simulator.cpp.o.d"
+  "libfadewich_sim.a"
+  "libfadewich_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

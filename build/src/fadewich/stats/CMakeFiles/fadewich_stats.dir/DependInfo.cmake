@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fadewich/stats/autocorrelation.cpp" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/autocorrelation.cpp.o" "gcc" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/fadewich/stats/correlation.cpp" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/correlation.cpp.o" "gcc" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/fadewich/stats/descriptive.cpp" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/descriptive.cpp.o" "gcc" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/fadewich/stats/histogram.cpp" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/histogram.cpp.o" "gcc" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/fadewich/stats/rolling_window.cpp" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/rolling_window.cpp.o" "gcc" "src/fadewich/stats/CMakeFiles/fadewich_stats.dir/rolling_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fadewich_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/fadewich_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/fadewich_stats.dir/correlation.cpp.o"
+  "CMakeFiles/fadewich_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/fadewich_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fadewich_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fadewich_stats.dir/histogram.cpp.o"
+  "CMakeFiles/fadewich_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/fadewich_stats.dir/rolling_window.cpp.o"
+  "CMakeFiles/fadewich_stats.dir/rolling_window.cpp.o.d"
+  "libfadewich_stats.a"
+  "libfadewich_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fadewich_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/error_test.cpp" "tests/common/CMakeFiles/error_test.dir/error_test.cpp.o" "gcc" "tests/common/CMakeFiles/error_test.dir/error_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fadewich/eval/CMakeFiles/fadewich_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/core/CMakeFiles/fadewich_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/ml/CMakeFiles/fadewich_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/stats/CMakeFiles/fadewich_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/net/CMakeFiles/fadewich_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/sim/CMakeFiles/fadewich_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/rf/CMakeFiles/fadewich_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fadewich/common/CMakeFiles/fadewich_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_labeler_test.dir/auto_labeler_test.cpp.o"
+  "CMakeFiles/auto_labeler_test.dir/auto_labeler_test.cpp.o.d"
+  "auto_labeler_test"
+  "auto_labeler_test.pdb"
+  "auto_labeler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_labeler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kma_test.dir/kma_test.cpp.o"
+  "CMakeFiles/kma_test.dir/kma_test.cpp.o.d"
+  "kma_test"
+  "kma_test.pdb"
+  "kma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

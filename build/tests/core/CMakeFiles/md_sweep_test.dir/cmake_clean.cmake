@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_sweep_test.dir/md_sweep_test.cpp.o"
+  "CMakeFiles/md_sweep_test.dir/md_sweep_test.cpp.o.d"
+  "md_sweep_test"
+  "md_sweep_test.pdb"
+  "md_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

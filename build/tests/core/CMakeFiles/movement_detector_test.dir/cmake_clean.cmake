@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movement_detector_test.dir/movement_detector_test.cpp.o"
+  "CMakeFiles/movement_detector_test.dir/movement_detector_test.cpp.o.d"
+  "movement_detector_test"
+  "movement_detector_test.pdb"
+  "movement_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movement_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_profile_test.dir/normal_profile_test.cpp.o"
+  "CMakeFiles/normal_profile_test.dir/normal_profile_test.cpp.o.d"
+  "normal_profile_test"
+  "normal_profile_test.pdb"
+  "normal_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

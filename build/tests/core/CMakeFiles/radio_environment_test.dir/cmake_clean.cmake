@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_environment_test.dir/radio_environment_test.cpp.o"
+  "CMakeFiles/radio_environment_test.dir/radio_environment_test.cpp.o.d"
+  "radio_environment_test"
+  "radio_environment_test.pdb"
+  "radio_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_history_test.dir/stream_history_test.cpp.o"
+  "CMakeFiles/stream_history_test.dir/stream_history_test.cpp.o.d"
+  "stream_history_test"
+  "stream_history_test.pdb"
+  "stream_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

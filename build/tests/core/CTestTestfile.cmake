@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/kma_test[1]_include.cmake")
+include("/root/repo/build/tests/core/normal_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/core/movement_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/core/md_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/core/features_test[1]_include.cmake")
+include("/root/repo/build/tests/core/stream_history_test[1]_include.cmake")
+include("/root/repo/build/tests/core/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/core/workstation_test[1]_include.cmake")
+include("/root/repo/build/tests/core/auto_labeler_test[1]_include.cmake")
+include("/root/repo/build/tests/core/radio_environment_test[1]_include.cmake")
+include("/root/repo/build/tests/core/system_test[1]_include.cmake")
+include("/root/repo/build/tests/core/overlap_test[1]_include.cmake")
+include("/root/repo/build/tests/core/physical_attack_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_matching_test.dir/window_matching_test.cpp.o"
+  "CMakeFiles/window_matching_test.dir/window_matching_test.cpp.o.d"
+  "window_matching_test"
+  "window_matching_test.pdb"
+  "window_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/eval
+# Build directory: /root/repo/build/tests/eval
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/eval/window_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/report_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/usability_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/adversary_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kde_test.dir/kde_test.cpp.o"
+  "CMakeFiles/kde_test.dir/kde_test.cpp.o.d"
+  "kde_test"
+  "kde_test.pdb"
+  "kde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

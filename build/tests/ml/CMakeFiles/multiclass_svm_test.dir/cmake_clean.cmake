@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_svm_test.dir/multiclass_svm_test.cpp.o"
+  "CMakeFiles/multiclass_svm_test.dir/multiclass_svm_test.cpp.o.d"
+  "multiclass_svm_test"
+  "multiclass_svm_test.pdb"
+  "multiclass_svm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_svm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

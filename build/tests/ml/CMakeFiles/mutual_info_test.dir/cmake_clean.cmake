@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_info_test.dir/mutual_info_test.cpp.o"
+  "CMakeFiles/mutual_info_test.dir/mutual_info_test.cpp.o.d"
+  "mutual_info_test"
+  "mutual_info_test.pdb"
+  "mutual_info_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ml
+# Build directory: /root/repo/build/tests/ml
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ml/kde_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/scaler_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/svm_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/multiclass_svm_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/cross_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/mutual_info_test[1]_include.cmake")

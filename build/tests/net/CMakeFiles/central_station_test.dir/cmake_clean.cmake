@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_station_test.dir/central_station_test.cpp.o"
+  "CMakeFiles/central_station_test.dir/central_station_test.cpp.o.d"
+  "central_station_test"
+  "central_station_test.pdb"
+  "central_station_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_station_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

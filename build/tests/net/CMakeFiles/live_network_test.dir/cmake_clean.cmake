@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_network_test.dir/live_network_test.cpp.o"
+  "CMakeFiles/live_network_test.dir/live_network_test.cpp.o.d"
+  "live_network_test"
+  "live_network_test.pdb"
+  "live_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

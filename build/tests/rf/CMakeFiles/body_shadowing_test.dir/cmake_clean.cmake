@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/body_shadowing_test.dir/body_shadowing_test.cpp.o"
+  "CMakeFiles/body_shadowing_test.dir/body_shadowing_test.cpp.o.d"
+  "body_shadowing_test"
+  "body_shadowing_test.pdb"
+  "body_shadowing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/body_shadowing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

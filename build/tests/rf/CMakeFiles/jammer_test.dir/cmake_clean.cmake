@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jammer_test.dir/jammer_test.cpp.o"
+  "CMakeFiles/jammer_test.dir/jammer_test.cpp.o.d"
+  "jammer_test"
+  "jammer_test.pdb"
+  "jammer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_builder_test.dir/office_builder_test.cpp.o"
+  "CMakeFiles/office_builder_test.dir/office_builder_test.cpp.o.d"
+  "office_builder_test"
+  "office_builder_test.pdb"
+  "office_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rf
+# Build directory: /root/repo/build/tests/rf
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rf/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/floorplan_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/pathloss_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/fading_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/body_shadowing_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/jammer_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/office_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/rf/csi_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_mode_test.dir/arrival_mode_test.cpp.o"
+  "CMakeFiles/arrival_mode_test.dir/arrival_mode_test.cpp.o.d"
+  "arrival_mode_test"
+  "arrival_mode_test.pdb"
+  "arrival_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

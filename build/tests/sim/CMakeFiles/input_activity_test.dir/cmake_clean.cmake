@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_activity_test.dir/input_activity_test.cpp.o"
+  "CMakeFiles/input_activity_test.dir/input_activity_test.cpp.o.d"
+  "input_activity_test"
+  "input_activity_test.pdb"
+  "input_activity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_activity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/person_test.dir/person_test.cpp.o"
+  "CMakeFiles/person_test.dir/person_test.cpp.o.d"
+  "person_test"
+  "person_test.pdb"
+  "person_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/person_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocorrelation_test.dir/autocorrelation_test.cpp.o"
+  "CMakeFiles/autocorrelation_test.dir/autocorrelation_test.cpp.o.d"
+  "autocorrelation_test"
+  "autocorrelation_test.pdb"
+  "autocorrelation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocorrelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

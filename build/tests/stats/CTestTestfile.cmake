@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stats
+# Build directory: /root/repo/build/tests/stats
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats/rolling_window_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/descriptive_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/autocorrelation_test[1]_include.cmake")
+include("/root/repo/build/tests/stats/correlation_test[1]_include.cmake")
