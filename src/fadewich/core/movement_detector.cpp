@@ -27,18 +27,20 @@ MdState MovementDetector::step(std::span<const double> rssi_row) {
   FADEWICH_EXPECTS(rssi_row.size() == windows_.size());
   const Tick tick = now_++;
 
+  // Single pass: one O(1) incremental window update plus one O(1) stddev
+  // query per stream — constant work per (stream, tick) regardless of the
+  // window length d.
   double st = 0.0;
-  bool all_full = true;
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     windows_[i].push(rssi_row[i]);
-    all_full = all_full && windows_[i].full();
-    if (all_full) st += windows_[i].stddev();
+    st += windows_[i].stddev();
   }
-  if (!all_full) return MdState::kCalibrating;
-  // Recompute cleanly: the loop above only accumulated while the prefix
-  // was full; with all windows full, sum every stream.
-  st = 0.0;
-  for (const auto& w : windows_) st += w.stddev();
+  if (!windows_warm_) {
+    // Every stream receives exactly one sample per tick, so the windows
+    // fill in lockstep: the first window's state speaks for all.
+    if (!windows_[0].full()) return MdState::kCalibrating;
+    windows_warm_ = true;
+  }
   last_st_ = st;
 
   if (!profile_.initialized()) {

@@ -77,6 +77,7 @@ class MovementDetector {
   TickRate rate_;
   MovementDetectorConfig config_;
   std::vector<stats::RollingWindow> windows_;
+  bool windows_warm_ = false;  // all per-stream windows have filled once
   NormalProfile profile_;
   std::vector<double> calibration_buffer_;
   Tick calibration_ticks_;

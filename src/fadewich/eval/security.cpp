@@ -30,19 +30,16 @@ SecurityResult evaluate_security(
   const ml::Dataset data = build_dataset(recording, sensors, result.matches,
                                          config.t_delta, config.features);
 
-  // 3. Stratified k-fold predictions for every TP sample.
+  // 3. Stratified k-fold predictions for every TP sample; the folds
+  // train concurrently on the shared pool.
   std::vector<int> fold_prediction(data.size(), core::kLabelEntered);
   if (data.size() >= config.folds && data.max_label_plus_one() >= 2) {
     Rng rng(config.seed);
     const auto folds =
         ml::stratified_k_fold(data.labels, config.folds, rng);
-    for (const auto& fold : folds) {
-      if (fold.train_indices.empty() || fold.test_indices.empty()) continue;
-      ml::MulticlassSvm svm(config.svm);
-      svm.train(data.subset(fold.train_indices));
-      for (std::size_t i : fold.test_indices) {
-        fold_prediction[i] = svm.predict(data.features[i]);
-      }
+    const auto cv = ml::cross_validate(data, folds, config.svm);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (cv.predictions[i] >= 0) fold_prediction[i] = cv.predictions[i];
     }
     std::size_t correct = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {

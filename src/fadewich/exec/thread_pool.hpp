@@ -1,0 +1,116 @@
+// Parallel execution layer: a fixed-size work-stealing thread pool with
+// data-parallel primitives.
+//
+// The evaluation pipeline is embarrassingly parallel at several levels —
+// days of a simulated week, streams of a channel block, one-vs-one SVM
+// problems, cross-validation folds — and every one of those units is
+// seeded deterministically, so results never depend on the number of
+// threads or the interleaving.  The pool provides:
+//
+//   * submit():       fire-and-forget task, pushed to the submitting
+//                     worker's own deque (LIFO hot path) or round-robin
+//                     across workers from outside the pool; idle workers
+//                     steal FIFO from their siblings.
+//   * parallel_for(): blocking index-range loop with chunked atomic
+//                     work claiming; the caller participates, so nested
+//                     parallel_for never deadlocks and a pool of size 1
+//                     degenerates to a plain serial loop.
+//   * parallel_map(): parallel_for that collects fn(items[i]) into a
+//                     vector, preserving input order.
+//
+// The first exception thrown by any task of a parallel_for/parallel_map
+// is captured and rethrown at the call site; remaining chunks are
+// abandoned.
+//
+// Thread count resolution order: explicit constructor argument, then the
+// FADEWICH_THREADS environment variable, then hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fadewich::exec {
+
+/// Worker count the global pool uses: FADEWICH_THREADS if set (clamped to
+/// >= 1), otherwise std::thread::hardware_concurrency().
+std::size_t default_thread_count();
+
+/// Deterministic per-task seed: a SplitMix64 mix of a root seed and a task
+/// index.  Tasks seeded this way draw decorrelated streams regardless of
+/// which thread runs them or in what order, which is what keeps parallel
+/// runs bit-identical to serial ones.
+std::uint64_t task_seed(std::uint64_t root_seed, std::uint64_t task_index);
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 resolves via default_thread_count().  A pool of size 1
+  /// still spawns one worker but parallel_for runs entirely on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task.  Uncaught task exceptions terminate; use
+  /// parallel_for/parallel_map when exceptions must propagate.
+  void submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [begin, end), distributing chunks of
+  /// `grain` indices across the workers and the calling thread.  Blocks
+  /// until all indices ran; rethrows the first task exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Parallel transform preserving order: out[i] = fn(items[i]).
+  template <typename T, typename F>
+  auto parallel_map(const std::vector<T>& items, F&& fn)
+      -> std::vector<decltype(fn(items[0], std::size_t{0}))> {
+    using R = decltype(fn(items[0], std::size_t{0}));
+    std::vector<R> out(items.size());
+    parallel_for(0, items.size(),
+                 [&](std::size_t i) { out[i] = fn(items[i], i); });
+    return out;
+  }
+
+  /// Pop-and-run one queued task if any is available.  Used internally by
+  /// waiting parallel_for callers; exposed for tests.
+  bool try_run_pending_task();
+
+  /// Process-wide shared pool, sized by default_thread_count() on first
+  /// use.  Intended for library entry points whose callers did not pass a
+  /// pool of their own.
+  static ThreadPool& global();
+
+ private:
+  struct ForLoop;  // shared state of one parallel_for invocation
+
+  void worker_loop(std::size_t self);
+  bool pop_task(std::size_t self, std::function<void()>& task);
+  static void run_loop_chunks(ForLoop& loop);
+  static void leave_loop(ForLoop& loop);
+
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace fadewich::exec

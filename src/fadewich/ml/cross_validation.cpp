@@ -1,9 +1,13 @@
 #include "fadewich/ml/cross_validation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/exec/thread_pool.hpp"
+#include "fadewich/ml/multiclass_svm.hpp"
 
 namespace fadewich::ml {
 
@@ -61,6 +65,61 @@ std::vector<FoldSplit> k_fold(std::size_t n, std::size_t k, Rng& rng) {
     fold_of[order[pos]] = pos % k;
   }
   return folds_from_assignment(fold_of, k);
+}
+
+CrossValidationResult cross_validate(const Dataset& data,
+                                     const std::vector<FoldSplit>& folds,
+                                     const SvmConfig& config,
+                                     exec::ThreadPool* pool) {
+  FADEWICH_EXPECTS(!data.empty());
+  FADEWICH_EXPECTS(!folds.empty());
+  if (pool == nullptr) pool = &exec::ThreadPool::global();
+
+  struct FoldOutcome {
+    std::vector<int> predictions;  // parallel to fold.test_indices
+    double accuracy = std::numeric_limits<double>::quiet_NaN();
+  };
+  // Folds write disjoint outcome slots; every fold trains from scratch on
+  // its own subset, so fold order and thread placement are irrelevant.
+  const auto outcomes = pool->parallel_map(
+      folds, [&](const FoldSplit& fold, std::size_t) {
+        FoldOutcome outcome;
+        if (fold.train_indices.empty() || fold.test_indices.empty()) {
+          return outcome;
+        }
+        MulticlassSvm svm(config);
+        svm.train(data.subset(fold.train_indices), pool);
+        outcome.predictions.reserve(fold.test_indices.size());
+        std::size_t correct = 0;
+        for (std::size_t i : fold.test_indices) {
+          const int predicted = svm.predict(data.features[i]);
+          outcome.predictions.push_back(predicted);
+          if (predicted == data.labels[i]) ++correct;
+        }
+        outcome.accuracy = static_cast<double>(correct) /
+                           static_cast<double>(fold.test_indices.size());
+        return outcome;
+      });
+
+  CrossValidationResult result;
+  result.predictions.assign(data.size(), -1);
+  result.fold_accuracy.reserve(folds.size());
+  std::size_t correct = 0;
+  std::size_t predicted = 0;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    result.fold_accuracy.push_back(outcomes[f].accuracy);
+    for (std::size_t j = 0; j < outcomes[f].predictions.size(); ++j) {
+      const std::size_t i = folds[f].test_indices[j];
+      FADEWICH_EXPECTS(i < data.size());
+      result.predictions[i] = outcomes[f].predictions[j];
+      ++predicted;
+      if (result.predictions[i] == data.labels[i]) ++correct;
+    }
+  }
+  result.accuracy = predicted > 0 ? static_cast<double>(correct) /
+                                        static_cast<double>(predicted)
+                                  : 0.0;
+  return result;
 }
 
 }  // namespace fadewich::ml

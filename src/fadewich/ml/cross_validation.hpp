@@ -9,6 +9,11 @@
 
 #include "fadewich/common/rng.hpp"
 #include "fadewich/ml/dataset.hpp"
+#include "fadewich/ml/svm.hpp"
+
+namespace fadewich::exec {
+class ThreadPool;
+}  // namespace fadewich::exec
 
 namespace fadewich::ml {
 
@@ -26,5 +31,31 @@ std::vector<FoldSplit> stratified_k_fold(const std::vector<int>& labels,
 
 /// Plain (unstratified) k-fold on shuffled indices.
 std::vector<FoldSplit> k_fold(std::size_t n, std::size_t k, Rng& rng);
+
+struct CrossValidationResult {
+  /// Test-fold prediction per sample; -1 where a sample's fold was
+  /// skipped (empty train or test split).
+  std::vector<int> predictions;
+  /// Accuracy per fold over its test indices; NaN for skipped folds.
+  std::vector<double> fold_accuracy;
+  /// Accuracy over every predicted sample.
+  double accuracy = 0.0;
+
+  std::size_t predicted_count() const {
+    std::size_t n = 0;
+    for (int p : predictions) n += p >= 0 ? 1 : 0;
+    return n;
+  }
+};
+
+/// Evaluate a one-vs-one SVM over precomputed folds: train one
+/// MulticlassSvm per fold on its training split and predict its test
+/// split.  Folds run concurrently on `pool` (the process-wide pool when
+/// nullptr); each fold's model depends only on its own split and the
+/// config seed, so the result is identical at any thread count.
+CrossValidationResult cross_validate(const Dataset& data,
+                                     const std::vector<FoldSplit>& folds,
+                                     const SvmConfig& config,
+                                     exec::ThreadPool* pool = nullptr);
 
 }  // namespace fadewich::ml

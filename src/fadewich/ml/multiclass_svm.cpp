@@ -2,40 +2,54 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/exec/thread_pool.hpp"
 
 namespace fadewich::ml {
 
 MulticlassSvm::MulticlassSvm(SvmConfig config) : config_(config) {}
 
-void MulticlassSvm::train(const Dataset& data) {
+void MulticlassSvm::train(const Dataset& data, exec::ThreadPool* pool) {
   FADEWICH_EXPECTS(!data.empty());
   const std::set<int> class_set(data.labels.begin(), data.labels.end());
   classes_.assign(class_set.begin(), class_set.end());
   scaler_.fit(data.features);
   const auto scaled = scaler_.transform(data.features);
 
-  machines_.clear();
+  std::vector<std::pair<int, int>> pairs;
   for (std::size_t a = 0; a < classes_.size(); ++a) {
     for (std::size_t b = a + 1; b < classes_.size(); ++b) {
-      const int ca = classes_[a];
-      const int cb = classes_[b];
-      std::vector<std::vector<double>> x;
-      std::vector<int> y;
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        if (data.labels[i] == ca) {
-          x.push_back(scaled[i]);
-          y.push_back(1);
-        } else if (data.labels[i] == cb) {
-          x.push_back(scaled[i]);
-          y.push_back(-1);
-        }
-      }
-      BinarySvm svm(config_);
-      svm.train(x, y);
-      machines_.emplace(std::make_pair(ca, cb), std::move(svm));
+      pairs.emplace_back(classes_[a], classes_[b]);
     }
+  }
+
+  // Each one-vs-one problem reads the shared scaled matrix and trains a
+  // self-seeded solver, so the problems run concurrently without any
+  // cross-talk; collecting by pair index keeps the model order fixed.
+  if (pool == nullptr) pool = &exec::ThreadPool::global();
+  auto trained = pool->parallel_map(
+      pairs, [&](const std::pair<int, int>& pair, std::size_t) {
+        std::vector<std::vector<double>> x;
+        std::vector<int> y;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data.labels[i] == pair.first) {
+            x.push_back(scaled[i]);
+            y.push_back(1);
+          } else if (data.labels[i] == pair.second) {
+            x.push_back(scaled[i]);
+            y.push_back(-1);
+          }
+        }
+        BinarySvm svm(config_);
+        svm.train(x, y);
+        return svm;
+      });
+
+  machines_.clear();
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    machines_.emplace(pairs[p], std::move(trained[p]));
   }
   trained_ = true;
 }

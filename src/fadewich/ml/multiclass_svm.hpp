@@ -11,6 +11,10 @@
 #include "fadewich/ml/scaler.hpp"
 #include "fadewich/ml/svm.hpp"
 
+namespace fadewich::exec {
+class ThreadPool;
+}  // namespace fadewich::exec
+
 namespace fadewich::ml {
 
 class MulticlassSvm {
@@ -20,7 +24,12 @@ class MulticlassSvm {
   /// Train on the dataset.  Labels may be any non-negative integers; at
   /// least one sample is required.  With a single class present, predict()
   /// always returns that class (no pairwise machines are trained).
-  void train(const Dataset& data);
+  ///
+  /// The pairwise binary problems are independent SMO solves; they train
+  /// concurrently on `pool` (the process-wide pool when nullptr).  Each
+  /// machine is seeded from the config alone, so the trained model is
+  /// identical at any thread count.
+  void train(const Dataset& data, exec::ThreadPool* pool = nullptr);
 
   /// Predict the class of a sample.  Requires trained.
   int predict(const std::vector<double>& x) const;

@@ -15,29 +15,68 @@ BodyShadowingModel::BodyShadowingModel(BodyModelConfig config)
   FADEWICH_EXPECTS(config_.reference_speed > 0.0);
 }
 
+namespace {
+
+// The three kernels are identical for plain and precomputed segments;
+// only the geometry queries differ in cost.
+template <typename SegmentLike>
+double attenuation_impl(const BodyModelConfig& config, const BodyState& body,
+                        const SegmentLike& link) {
+  const double excess = excess_path_length(body.position, link);
+  return config.max_attenuation_db *
+         std::exp(-excess / config.shadow_decay_m);
+}
+
+template <typename SegmentLike>
+double motion_noise_impl(const BodyModelConfig& config, const BodyState& body,
+                         const SegmentLike& link) {
+  if (body.speed <= 0.0) return 0.0;
+  const double excess = excess_path_length(body.position, link);
+  const double speed_factor =
+      std::min(body.speed / config.reference_speed, 1.5);
+  return config.motion_noise_db * speed_factor *
+         std::exp(-excess / config.motion_decay_m);
+}
+
+template <typename SegmentLike>
+double ambient_noise_impl(const BodyModelConfig& config, const BodyState& body,
+                          const SegmentLike& link) {
+  if (body.speed <= 0.0) return 0.0;
+  const double d = point_segment_distance(body.position, link);
+  return config.ambient_motion_db * std::min(body.speed, 2.0) *
+         std::exp(-d / config.ambient_decay_m);
+}
+
+}  // namespace
+
 double BodyShadowingModel::attenuation_db(const BodyState& body,
                                           const Segment& link) const {
-  const double excess = excess_path_length(body.position, link);
-  return config_.max_attenuation_db *
-         std::exp(-excess / config_.shadow_decay_m);
+  return attenuation_impl(config_, body, link);
+}
+
+double BodyShadowingModel::attenuation_db(
+    const BodyState& body, const PrecomputedSegment& link) const {
+  return attenuation_impl(config_, body, link);
 }
 
 double BodyShadowingModel::motion_noise_std_db(const BodyState& body,
                                                const Segment& link) const {
-  if (body.speed <= 0.0) return 0.0;
-  const double excess = excess_path_length(body.position, link);
-  const double speed_factor =
-      std::min(body.speed / config_.reference_speed, 1.5);
-  return config_.motion_noise_db * speed_factor *
-         std::exp(-excess / config_.motion_decay_m);
+  return motion_noise_impl(config_, body, link);
+}
+
+double BodyShadowingModel::motion_noise_std_db(
+    const BodyState& body, const PrecomputedSegment& link) const {
+  return motion_noise_impl(config_, body, link);
 }
 
 double BodyShadowingModel::ambient_noise_std_db(
     const BodyState& body, const Segment& link) const {
-  if (body.speed <= 0.0) return 0.0;
-  const double d = point_segment_distance(body.position, link);
-  return config_.ambient_motion_db * std::min(body.speed, 2.0) *
-         std::exp(-d / config_.ambient_decay_m);
+  return ambient_noise_impl(config_, body, link);
+}
+
+double BodyShadowingModel::ambient_noise_std_db(
+    const BodyState& body, const PrecomputedSegment& link) const {
+  return ambient_noise_impl(config_, body, link);
 }
 
 }  // namespace fadewich::rf

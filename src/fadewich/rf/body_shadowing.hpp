@@ -43,11 +43,15 @@ class BodyShadowingModel {
 
   /// Mean attenuation (dB, >= 0) a single body adds to the link.
   double attenuation_db(const BodyState& body, const Segment& link) const;
+  double attenuation_db(const BodyState& body,
+                        const PrecomputedSegment& link) const;
 
   /// Extra RSSI noise standard deviation (dB) caused by a single moving
   /// body near the link, excluding the room-wide term.
   double motion_noise_std_db(const BodyState& body,
                              const Segment& link) const;
+  double motion_noise_std_db(const BodyState& body,
+                             const PrecomputedSegment& link) const;
 
   /// Diffuse scattered-multipath noise a moving body adds to a link even
   /// without touching its LoS; decays with the body's distance from the
@@ -55,6 +59,8 @@ class BodyShadowingModel {
   /// but not in a hall).
   double ambient_noise_std_db(const BodyState& body,
                               const Segment& link) const;
+  double ambient_noise_std_db(const BodyState& body,
+                              const PrecomputedSegment& link) const;
 
   const BodyModelConfig& config() const { return config_; }
 

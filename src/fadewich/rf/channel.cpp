@@ -4,22 +4,28 @@
 #include <cmath>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/exec/thread_pool.hpp"
 
 namespace fadewich::rf {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}  // namespace
 
 ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
                              ChannelConfig config, std::uint64_t seed)
     : sensors_(std::move(sensors)),
       config_(config),
       body_model_(config.body),
+      path_loss_(config.path_loss),
       noise_rng_(seed) {  // reseeded from a split stream below
   FADEWICH_EXPECTS(sensors_.size() >= 2);
   Rng root(seed);
   Rng shadow_rng = root.split(1);
   Rng fading_seed_rng = root.split(2);
   noise_rng_ = root.split(3);
+  Rng link_noise_seed_rng = root.split(4);
 
-  const LogDistancePathLoss path_loss(config_.path_loss);
   const std::size_t m = sensors_.size();
   links_.reserve(m * (m - 1));
 
@@ -38,16 +44,16 @@ ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
     for (std::size_t rx = 0; rx < m; ++rx) {
       if (tx == rx) continue;
       Segment seg{sensors_[tx], sensors_[rx]};
+      const PrecomputedSegment geom(seg);
       const double offset =
           shadow_rng.normal(0.0, config_.direction_offset_sigma_db);
-      const double static_rssi =
-          config_.tx_power_dbm - path_loss.loss_db(seg.length()) -
-          undirected_shadow[tx][rx] - offset;
+      const double static_rssi = config_.tx_power_dbm -
+                                 path_loss_.loss_db(geom.length) -
+                                 undirected_shadow[tx][rx] - offset;
       links_.push_back(LinkState{
-          seg, static_rssi,
-          shadow_rng.uniform(0.0, 2.0 * 3.14159265358979323846),
-          Ar1Fading(config_.fading,
-                    fading_seed_rng.split(links_.size()))});
+          seg, geom, static_rssi, shadow_rng.uniform(0.0, kTwoPi),
+          Ar1Fading(config_.fading, fading_seed_rng.split(links_.size())),
+          link_noise_seed_rng.split(links_.size())});
     }
   }
 
@@ -105,6 +111,7 @@ void ChannelMatrix::advance_interference() {
   }
   interference_gap_ticks_ = noise_rng_.exponential(
       1.0 / (config_.interference_mean_gap_s * config_.tick_hz));
+  ++interference_burst_seq_;
 }
 
 void ChannelMatrix::sample(std::span<const BodyState> bodies,
@@ -116,12 +123,11 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
     return;
   }
   // Receiver-side interference: one noise level per RX sensor.
-  const LogDistancePathLoss path_loss(config_.path_loss);
   std::vector<double> jam_var(sensors_.size(), 0.0);
   for (std::size_t rx = 0; rx < sensors_.size(); ++rx) {
     for (const Jammer& jammer : jammers) {
       const double std_db =
-          jammer_noise_std_db(jammer, sensors_[rx], path_loss);
+          jammer_noise_std_db(jammer, sensors_[rx], path_loss_);
       jam_var[rx] += std_db * std_db;
     }
   }
@@ -129,12 +135,50 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
   for (std::size_t s = 0; s < links_.size(); ++s) {
     const std::size_t rx = stream_pair(s).second;
     if (jam_var[rx] <= 0.0) continue;
-    double rssi = out[s] + noise_rng_.normal(0.0, std::sqrt(jam_var[rx]));
+    double rssi =
+        out[s] + links_[s].noise_rng.normal(0.0, std::sqrt(jam_var[rx]));
     rssi = std::clamp(rssi, config_.rssi_floor_dbm,
                       config_.rssi_ceiling_dbm);
     if (config_.quantize) rssi = std::round(rssi);
     out[s] = rssi;
   }
+}
+
+// One stream, one tick.  Every random draw comes from the link's own
+// generators (fading + noise_rng), so the per-stream value sequence is
+// invariant to which thread computes it and to how other streams advance.
+double ChannelMatrix::sample_stream_tick(
+    LinkState& ls, std::span<const BodyState> bodies, double drift_arg,
+    double interference_std_db) const {
+  double fading = ls.fading.step();
+  if (config_.noise_drift_fraction > 0.0) {
+    // Common phase across links: co-channel load raises the noise of
+    // the whole band together, which is exactly what shifts MD's
+    // sum-of-std statistic (per-link random phases would cancel in
+    // the sum).
+    fading *= 1.0 + config_.noise_drift_fraction * std::sin(drift_arg);
+  }
+  double rssi = ls.static_rssi_dbm + fading;
+  if (config_.baseline_drift_amplitude_db > 0.0) {
+    rssi += config_.baseline_drift_amplitude_db *
+            std::sin(drift_arg + ls.drift_phase);
+  }
+
+  double noise_var = 0.0;
+  for (const BodyState& body : bodies) {
+    rssi -= body_model_.attenuation_db(body, ls.geom);
+    const double motion = body_model_.motion_noise_std_db(body, ls.geom);
+    const double ambient = body_model_.ambient_noise_std_db(body, ls.geom);
+    noise_var += motion * motion + ambient * ambient;
+  }
+  noise_var += interference_std_db * interference_std_db;
+  if (noise_var > 0.0) {
+    rssi += ls.noise_rng.normal(0.0, std::sqrt(noise_var));
+  }
+
+  rssi = std::clamp(rssi, config_.rssi_floor_dbm, config_.rssi_ceiling_dbm);
+  if (config_.quantize) rssi = std::round(rssi);
+  return rssi;
 }
 
 void ChannelMatrix::sample(std::span<const BodyState> bodies,
@@ -146,43 +190,65 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
   const bool drifting = config_.baseline_drift_amplitude_db > 0.0 ||
                         config_.noise_drift_fraction > 0.0;
   const double drift_arg =
-      drifting ? 2.0 * 3.14159265358979323846 * now_s /
-                     config_.baseline_drift_period_s
-               : 0.0;
+      drifting ? kTwoPi * now_s / config_.baseline_drift_period_s : 0.0;
   for (std::size_t s = 0; s < links_.size(); ++s) {
+    const double interference_std =
+        interfering && interference_affected_[s] ? interference_std_db_
+                                                 : 0.0;
+    out[s] = sample_stream_tick(links_[s], bodies, drift_arg,
+                                interference_std);
+  }
+}
+
+void ChannelMatrix::sample_block(
+    std::span<const std::vector<BodyState>> bodies_per_tick,
+    std::span<double> out, exec::ThreadPool* pool) {
+  const std::size_t ticks = bodies_per_tick.size();
+  const std::size_t streams = links_.size();
+  FADEWICH_EXPECTS(out.size() == ticks * streams);
+  if (ticks == 0) return;
+
+  // Serial prologue: advance the global per-tick state (interference
+  // schedule, drift clock) exactly as `ticks` successive sample() calls
+  // would, recording what each tick saw.
+  const bool drifting = config_.baseline_drift_amplitude_db > 0.0 ||
+                        config_.noise_drift_fraction > 0.0;
+  std::vector<double> drift_args(ticks, 0.0);
+  std::vector<double> tick_std(ticks, 0.0);
+  std::vector<std::uint32_t> burst_of(ticks, 0);
+  std::vector<std::vector<bool>> affected;  // one snapshot per burst seen
+  std::uint64_t snapshot_seq = 0;           // burst seq of affected.back()
+  for (std::size_t t = 0; t < ticks; ++t) {
+    advance_interference();
+    const double now_s = static_cast<double>(tick_++) / config_.tick_hz;
+    if (drifting) {
+      drift_args[t] = kTwoPi * now_s / config_.baseline_drift_period_s;
+    }
+    if (interference_remaining_ticks_ > 0.0) {
+      tick_std[t] = interference_std_db_;
+      if (affected.empty() || snapshot_seq != interference_burst_seq_) {
+        affected.push_back(interference_affected_);
+        snapshot_seq = interference_burst_seq_;
+      }
+      burst_of[t] = static_cast<std::uint32_t>(affected.size() - 1);
+    }
+  }
+
+  // Per-stream time series are mutually independent: each draws only from
+  // its own link state.  Output layout is [tick][stream].
+  const auto compute_stream = [&](std::size_t s) {
     LinkState& ls = links_[s];
-    double fading = ls.fading.step();
-    if (config_.noise_drift_fraction > 0.0) {
-      // Common phase across links: co-channel load raises the noise of
-      // the whole band together, which is exactly what shifts MD's
-      // sum-of-std statistic (per-link random phases would cancel in
-      // the sum).
-      fading *= 1.0 + config_.noise_drift_fraction * std::sin(drift_arg);
+    for (std::size_t t = 0; t < ticks; ++t) {
+      const double interference_std =
+          tick_std[t] > 0.0 && affected[burst_of[t]][s] ? tick_std[t] : 0.0;
+      out[t * streams + s] = sample_stream_tick(
+          ls, bodies_per_tick[t], drift_args[t], interference_std);
     }
-    double rssi = ls.static_rssi_dbm + fading;
-    if (config_.baseline_drift_amplitude_db > 0.0) {
-      rssi += config_.baseline_drift_amplitude_db *
-              std::sin(drift_arg + ls.drift_phase);
-    }
-
-    double noise_var = 0.0;
-    for (const BodyState& body : bodies) {
-      rssi -= body_model_.attenuation_db(body, ls.segment);
-      const double motion = body_model_.motion_noise_std_db(body, ls.segment);
-      const double ambient =
-          body_model_.ambient_noise_std_db(body, ls.segment);
-      noise_var += motion * motion + ambient * ambient;
-    }
-    if (interfering && interference_affected_[s]) {
-      noise_var += interference_std_db_ * interference_std_db_;
-    }
-    if (noise_var > 0.0) {
-      rssi += noise_rng_.normal(0.0, std::sqrt(noise_var));
-    }
-
-    rssi = std::clamp(rssi, config_.rssi_floor_dbm, config_.rssi_ceiling_dbm);
-    if (config_.quantize) rssi = std::round(rssi);
-    out[s] = rssi;
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for(0, streams, compute_stream, /*grain=*/4);
+  } else {
+    for (std::size_t s = 0; s < streams; ++s) compute_stream(s);
   }
 }
 

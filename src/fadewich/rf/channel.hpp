@@ -12,6 +12,11 @@
 // (i->j and j->i) share geometry and body attenuation but carry
 // independent fading/noise, which is what makes their variances correlate
 // strongly in Fig. 11 without being identical.
+//
+// Every stream owns its noise generator (seeded deterministically at
+// construction), so streams are statistically and computationally
+// independent: sample_block() can compute them on different threads and
+// still produce output bit-identical to tick-by-tick sample() calls.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,10 @@
 #include "fadewich/rf/geometry.hpp"
 #include "fadewich/rf/jammer.hpp"
 #include "fadewich/rf/pathloss.hpp"
+
+namespace fadewich::exec {
+class ThreadPool;
+}  // namespace fadewich::exec
 
 namespace fadewich::rf {
 
@@ -98,29 +107,51 @@ class ChannelMatrix {
   /// Convenience allocating overload.
   std::vector<double> sample(std::span<const BodyState> bodies);
 
+  /// Batched sampling: advance `bodies_per_tick.size()` consecutive ticks
+  /// in one call.  `bodies_per_tick[t]` lists the bodies present at tick
+  /// t; `out` is row-major [tick][stream] and must hold
+  /// bodies_per_tick.size() * stream_count() values.
+  ///
+  /// The per-tick global state (interference bursts, drift clock) is
+  /// advanced serially first; the per-stream time series are then
+  /// computed independently — in parallel when `pool` is given — each
+  /// from its own RNG.  Output is bit-identical to the equivalent
+  /// sequence of sample() calls at any thread count.
+  void sample_block(std::span<const std::vector<BodyState>> bodies_per_tick,
+                    std::span<double> out,
+                    exec::ThreadPool* pool = nullptr);
+
   const ChannelConfig& config() const { return config_; }
 
  private:
   struct LinkState {
     Segment segment;
+    PrecomputedSegment geom;       // cached length/direction for hot loops
     double static_rssi_dbm = 0.0;  // P_tx - PL - shadowing - offset
     double drift_phase = 0.0;      // baseline drift phase offset
     Ar1Fading fading;
+    Rng noise_rng;  // per-stream: keeps streams independent across threads
   };
 
   void advance_interference();
+  double sample_stream_tick(LinkState& ls,
+                            std::span<const BodyState> bodies,
+                            double drift_arg,
+                            double interference_std_db) const;
 
   std::vector<Point> sensors_;
   ChannelConfig config_;
   BodyShadowingModel body_model_;
+  LogDistancePathLoss path_loss_;  // constants cached once, not per call
   std::vector<LinkState> links_;
-  Rng noise_rng_;
+  Rng noise_rng_;  // interference burst scheduling only
 
   // Interference burst state.
   double interference_gap_ticks_ = 0.0;       // until the next burst
   double interference_remaining_ticks_ = 0.0;  // of the current burst
   double interference_std_db_ = 0.0;
   std::vector<bool> interference_affected_;
+  std::uint64_t interference_burst_seq_ = 0;  // bursts started so far
 
   Tick tick_ = 0;  // samples taken, for the baseline drift clock
 };

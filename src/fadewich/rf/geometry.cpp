@@ -18,6 +18,23 @@ double excess_path_length(const Point& p, const Segment& s) {
   return distance(s.a, p) + distance(p, s.b) - s.length();
 }
 
+PrecomputedSegment::PrecomputedSegment(const Segment& s)
+    : a(s.a), b(s.b), dir(s.b - s.a) {
+  const double len2 = dir.dot(dir);
+  length = std::sqrt(len2);
+  inv_len2 = len2 > 0.0 ? 1.0 / len2 : 0.0;
+}
+
+double point_segment_distance(const Point& p, const PrecomputedSegment& s) {
+  if (s.inv_len2 == 0.0) return distance(p, s.a);
+  const double t = std::clamp((p - s.a).dot(s.dir) * s.inv_len2, 0.0, 1.0);
+  return distance(p, s.a + s.dir * t);
+}
+
+double excess_path_length(const Point& p, const PrecomputedSegment& s) {
+  return distance(s.a, p) + distance(p, s.b) - s.length;
+}
+
 Point lerp(const Point& a, const Point& b, double t) {
   return a + (b - a) * t;
 }

@@ -31,6 +31,31 @@ struct Segment {
 /// Shortest distance from point p to the segment.
 double point_segment_distance(const Point& p, const Segment& s);
 
+/// A segment with its derived quantities cached.  The channel hot path
+/// evaluates body/link geometry for every (body, link) pair on every
+/// tick; the length and direction of a link never change, so they are
+/// computed once here instead of per query.
+struct PrecomputedSegment {
+  Point a;
+  Point b;
+  Point dir;            // b - a
+  double length = 0.0;  // |b - a|
+  double inv_len2 = 0.0;  // 1 / dir.dot(dir); 0 for degenerate segments
+
+  PrecomputedSegment() = default;
+  explicit PrecomputedSegment(const Segment& s);
+
+  Segment segment() const { return {a, b}; }
+};
+
+/// Shortest distance from point p to the precomputed segment; identical
+/// to the Segment overload.
+double point_segment_distance(const Point& p, const PrecomputedSegment& s);
+
+/// Excess path length via the precomputed segment; identical to the
+/// Segment overload.
+double excess_path_length(const Point& p, const PrecomputedSegment& s);
+
 /// Excess path length of a reflection/diffraction via p:
 ///   d(a, p) + d(p, b) - d(a, b)  (>= 0; 0 iff p lies on the segment).
 /// This is the canonical radio-tomography measure of how strongly a body

@@ -22,11 +22,27 @@ Recording::Recording(double tick_hz, std::size_t sensor_count,
   for (auto& s : streams_) s.reserve(expected + 16);
 }
 
+std::int8_t Recording::encode_dbm(double rssi_dbm) {
+  const double clamped = std::clamp(rssi_dbm, -128.0, 0.0);
+  return static_cast<std::int8_t>(std::lround(clamped));
+}
+
 void Recording::append_samples(std::span<const double> rssi_dbm) {
   FADEWICH_EXPECTS(rssi_dbm.size() == streams_.size());
   for (std::size_t s = 0; s < streams_.size(); ++s) {
-    const double clamped = std::clamp(rssi_dbm[s], -128.0, 0.0);
-    streams_[s].push_back(static_cast<std::int8_t>(std::lround(clamped)));
+    streams_[s].push_back(encode_dbm(rssi_dbm[s]));
+  }
+}
+
+void Recording::append_block(std::span<const std::int8_t> block,
+                             std::size_t ticks) {
+  FADEWICH_EXPECTS(block.size() == ticks * streams_.size());
+  for (std::size_t s = 0; s < streams_.size(); ++s) {
+    auto& stream = streams_[s];
+    stream.reserve(stream.size() + ticks);
+    for (std::size_t t = 0; t < ticks; ++t) {
+      stream.push_back(block[t * streams_.size() + s]);
+    }
   }
 }
 

@@ -40,6 +40,15 @@ class Recording {
   /// Append one tick worth of samples (stream_count values, dBm).
   void append_samples(std::span<const double> rssi_dbm);
 
+  /// Append a row-major [tick][stream] block of already-quantised int8
+  /// samples (`ticks * stream_count()` values).  Used by the simulator to
+  /// merge independently computed day blocks in tick order.
+  void append_block(std::span<const std::int8_t> block, std::size_t ticks);
+
+  /// The int8 dBm encoding append_samples applies, exposed so block
+  /// producers quantise identically.
+  static std::int8_t encode_dbm(double rssi_dbm);
+
   /// RSSI of a stream at a tick, in dBm.
   double rssi(std::size_t stream, Tick t) const;
 

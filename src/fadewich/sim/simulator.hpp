@@ -11,6 +11,10 @@
 #include "fadewich/sim/recording.hpp"
 #include "fadewich/sim/schedule.hpp"
 
+namespace fadewich::exec {
+class ThreadPool;
+}  // namespace fadewich::exec
+
 namespace fadewich::sim {
 
 struct SimulationConfig {
@@ -29,7 +33,15 @@ struct SimulationConfig {
 /// fewer sensors select stream subsets from the same recording, so sensor
 /// sweeps see identical user behaviour (as in the paper, where all nine
 /// sensors recorded simultaneously and subsets were analysed offline).
+///
+/// Execution: days are mutually independent — each gets its own channel
+/// and agents, seeded deterministically from `config.seed` — so they run
+/// concurrently on `pool` (the process-wide pool when nullptr; honours
+/// FADEWICH_THREADS), and each day's streams are sampled in batched
+/// blocks.  Day results are merged in tick order, so the Recording is
+/// bit-identical at any thread count, including a 1-thread pool.
 Recording simulate_week(const rf::FloorPlan& plan, const WeekSchedule& week,
-                        const SimulationConfig& config);
+                        const SimulationConfig& config,
+                        exec::ThreadPool* pool = nullptr);
 
 }  // namespace fadewich::sim

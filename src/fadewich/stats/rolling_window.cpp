@@ -12,31 +12,36 @@ RollingWindow::RollingWindow(std::size_t capacity) : buffer_(capacity) {
 
 void RollingWindow::push(double value) {
   if (full()) {
+    // Replace the evicted sample in one combined Welford step: with the
+    // count unchanged, mean moves by delta/n and M2 absorbs the evicted
+    // and inserted deviations together.
     const double evicted = buffer_[head_];
-    sum_ -= evicted;
-    sum_sq_ -= evicted * evicted;
+    const double delta = value - evicted;
+    const double dev_old = evicted - mean_;
+    mean_ += delta / static_cast<double>(size_);
+    const double dev_new = value - mean_;
+    m2_ += delta * (dev_old + dev_new);
   } else {
     ++size_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(size_);
+    m2_ += delta * (value - mean_);
   }
   buffer_[head_] = value;
   head_ = (head_ + 1) % buffer_.size();
-  sum_ += value;
-  sum_sq_ += value * value;
 
   if (++pushes_since_refresh_ >= kRefreshInterval) refresh_sums();
 }
 
 double RollingWindow::mean() const {
   FADEWICH_EXPECTS(!empty());
-  return sum_ / static_cast<double>(size_);
+  return mean_;
 }
 
 double RollingWindow::variance() const {
   FADEWICH_EXPECTS(!empty());
-  const double n = static_cast<double>(size_);
-  const double m = sum_ / n;
-  const double var = sum_sq_ / n - m * m;
-  // Guard the tiny negative values running sums can produce.
+  const double var = m2_ / static_cast<double>(size_);
+  // Guard the tiny negative values incremental updates can produce.
   return var > 0.0 ? var : 0.0;
 }
 
@@ -56,19 +61,22 @@ std::vector<double> RollingWindow::values() const {
 void RollingWindow::clear() {
   head_ = 0;
   size_ = 0;
-  sum_ = 0.0;
-  sum_sq_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
   pushes_since_refresh_ = 0;
 }
 
 void RollingWindow::refresh_sums() {
-  sum_ = 0.0;
-  sum_sq_ = 0.0;
+  // Re-derive the accumulators with a batch Welford pass over the live
+  // window contents.
+  mean_ = 0.0;
+  m2_ = 0.0;
   const std::size_t start = full() ? head_ : 0;
   for (std::size_t k = 0; k < size_; ++k) {
     const double v = buffer_[(start + k) % buffer_.size()];
-    sum_ += v;
-    sum_sq_ += v * v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(k + 1);
+    m2_ += delta * (v - mean_);
   }
   pushes_since_refresh_ = 0;
 }

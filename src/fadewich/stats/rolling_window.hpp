@@ -3,9 +3,13 @@
 //
 // MD keeps one of these per RSSI stream (window size d in the paper) and
 // queries the standard deviation at every tick, so the update path must be
-// constant-time.  Running sums drift numerically after very long streams,
-// so the sums are recomputed from scratch every `kRefreshInterval` pushes;
-// the amortised cost stays O(1).
+// constant-time.  The statistics are maintained as incremental Welford
+// mean/M2 updates — strictly O(1) per push, including the full-window
+// replace step — which stays numerically stable on offset-heavy signals
+// (RSSI sits near -60 dBm) where naive sum-of-squares catastrophically
+// cancels.  As a belt-and-braces guard against very long streams the
+// accumulators are still re-derived from the buffer every
+// `kRefreshInterval` pushes; the amortised cost stays O(1).
 #pragma once
 
 #include <cstddef>
@@ -50,8 +54,8 @@ class RollingWindow {
   std::vector<double> buffer_;
   std::size_t head_ = 0;  // index of the slot the next push writes
   std::size_t size_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations from the mean
   std::size_t pushes_since_refresh_ = 0;
 };
 

@@ -1,0 +1,144 @@
+// Thread-count invariance: the parallel pipelines must produce outputs
+// bit-identical to their serial counterparts.  Every parallel unit (day,
+// stream, fold, one-vs-one problem) is seeded independently before any
+// fan-out, so the only thing a bigger pool may change is wall time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fadewich/exec/thread_pool.hpp"
+#include "fadewich/ml/dataset.hpp"
+#include "fadewich/ml/multiclass_svm.hpp"
+#include "fadewich/rf/channel.hpp"
+#include "fadewich/rf/floorplan.hpp"
+#include "fadewich/sim/recording.hpp"
+#include "fadewich/sim/schedule.hpp"
+#include "fadewich/sim/simulator.hpp"
+
+namespace fadewich {
+namespace {
+
+sim::DayScheduleConfig tiny_day() {
+  sim::DayScheduleConfig config;
+  config.day_length = 10.0 * 60.0;
+  config.calibration = 2.0 * 60.0;
+  config.departure_window = 3.0 * 60.0;
+  config.min_breaks = 1;
+  config.max_breaks = 1;
+  config.break_min = 60.0;
+  config.break_max = 2.0 * 60.0;
+  return config;
+}
+
+sim::Recording run_week(exec::ThreadPool& pool, std::size_t days) {
+  const rf::FloorPlan plan = rf::paper_office();
+  Rng rng(99);
+  const sim::WeekSchedule week = sim::generate_week_schedule(
+      tiny_day(), plan.workstation_count(), days, rng);
+  sim::SimulationConfig config;
+  config.seed = 99;
+  return sim::simulate_week(plan, week, config, &pool);
+}
+
+TEST(DeterminismTest, SimulateWeekIsByteIdenticalAcrossThreadCounts) {
+  exec::ThreadPool serial(1);
+  exec::ThreadPool wide(4);
+  const sim::Recording a = run_week(serial, 2);
+  const sim::Recording b = run_week(wide, 2);
+
+  ASSERT_EQ(a.stream_count(), b.stream_count());
+  ASSERT_EQ(a.tick_count(), b.tick_count());
+  for (std::size_t s = 0; s < a.stream_count(); ++s) {
+    ASSERT_EQ(a.stream(s), b.stream(s)) << "stream " << s;
+  }
+
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t e = 0; e < a.events().size(); ++e) {
+    EXPECT_EQ(a.events()[e].kind, b.events()[e].kind);
+    EXPECT_EQ(a.events()[e].workstation, b.events()[e].workstation);
+    EXPECT_DOUBLE_EQ(a.events()[e].movement_start,
+                     b.events()[e].movement_start);
+    EXPECT_DOUBLE_EQ(a.events()[e].movement_end, b.events()[e].movement_end);
+    EXPECT_DOUBLE_EQ(a.events()[e].proximity_exit,
+                     b.events()[e].proximity_exit);
+  }
+
+  ASSERT_EQ(a.seated_intervals().size(), b.seated_intervals().size());
+  for (std::size_t w = 0; w < a.seated_intervals().size(); ++w) {
+    ASSERT_EQ(a.seated_intervals()[w].size(), b.seated_intervals()[w].size());
+    for (std::size_t k = 0; k < a.seated_intervals()[w].size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.seated_intervals()[w][k].begin,
+                       b.seated_intervals()[w][k].begin);
+      EXPECT_DOUBLE_EQ(a.seated_intervals()[w][k].end,
+                       b.seated_intervals()[w][k].end);
+    }
+  }
+}
+
+TEST(DeterminismTest, SampleBlockMatchesSuccessiveSampleCalls) {
+  const std::vector<rf::Point> sensors = {
+      {0.0, 0.0}, {6.0, 0.0}, {6.0, 3.0}, {0.0, 3.0}};
+  rf::ChannelConfig config;
+  config.quantize = false;
+
+  constexpr std::size_t kTicks = 400;
+  // One moving body so the shadowing path is exercised too.
+  std::vector<std::vector<rf::BodyState>> bodies(kTicks);
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    const double x = 0.5 + 5.0 * static_cast<double>(t) / kTicks;
+    bodies[t].push_back({{x, 1.5}, 1.0});
+  }
+
+  rf::ChannelMatrix serial(sensors, config, 7);
+  std::vector<double> expected;
+  std::vector<double> row(serial.stream_count());
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    serial.sample(bodies[t], row);
+    expected.insert(expected.end(), row.begin(), row.end());
+  }
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exec::ThreadPool pool(threads);
+    rf::ChannelMatrix batched(sensors, config, 7);
+    std::vector<double> block(kTicks * batched.stream_count());
+    batched.sample_block(bodies, block, &pool);
+    ASSERT_EQ(block.size(), expected.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      ASSERT_EQ(block[i], expected[i])
+          << "threads=" << threads << " flat index " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, MulticlassSvmTrainsIdenticallyInParallel) {
+  // Four well-separated Gaussian blobs; deterministic low-discrepancy
+  // offsets stand in for random draws.
+  ml::Dataset data;
+  const double cx[] = {-10.0, 10.0, -10.0, 10.0};
+  const double cy[] = {-10.0, -10.0, 10.0, 10.0};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      const double jx = 0.37 * ((i * 7) % 11 - 5);
+      const double jy = 0.41 * ((i * 5) % 13 - 6);
+      data.add({cx[c] + jx, cy[c] + jy}, c);
+    }
+  }
+
+  exec::ThreadPool one(1);
+  ml::MulticlassSvm serial_model;
+  serial_model.train(data, &one);
+
+  exec::ThreadPool wide(4);
+  ml::MulticlassSvm parallel_model;
+  parallel_model.train(data, &wide);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(serial_model.predict(data.features[i]),
+              parallel_model.predict(data.features[i]));
+  }
+  EXPECT_DOUBLE_EQ(serial_model.accuracy(data), parallel_model.accuracy(data));
+}
+
+}  // namespace
+}  // namespace fadewich

@@ -1,0 +1,194 @@
+#include "fadewich/exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fadewich::exec {
+namespace {
+
+TEST(ThreadPoolTest, SubmitCompletesAllTasksUnderContention) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 5000;
+  std::atomic<std::size_t> done{0};
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // submit() is fire-and-forget; poll with a generous deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonoursGrainAndSubranges) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(
+      10, 90,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/7);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsSerially) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 64, [&](std::size_t i) {
+    // With one worker the caller runs every chunk itself, so unsynchronised
+    // access to `order` is safe and the order is the plain loop order.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto squares = pool.parallel_map(
+      items, [](int v, std::size_t) { return v * v; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(squares[i], items[i] * items[i]);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPassesIndices) {
+  ThreadPool pool(2);
+  const std::vector<int> items = {7, 7, 7};
+  const auto indices = pool.parallel_map(
+      items, [](int, std::size_t i) { return i; });
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [](std::size_t i) {
+                          if (i == 373) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterAnException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 100, [](std::size_t i) {
+      if (i % 3 == 0) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected the loop to throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(0, 500, [&](std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 500u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  std::vector<std::atomic<std::size_t>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(0, 2000, [&, c](std::size_t) {
+        counts[c].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[c].load(), 2000u);
+  }
+}
+
+TEST(ThreadPoolTest, TaskSeedIsDeterministicAndDecorrelated) {
+  EXPECT_EQ(task_seed(42, 7), task_seed(42, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t root : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      seeds.insert(task_seed(root, i));
+    }
+  }
+  // All (root, index) pairs map to distinct seeds.
+  EXPECT_EQ(seeds.size(), 300u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonoursEnvOverride) {
+  ::setenv("FADEWICH_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::setenv("FADEWICH_THREADS", "0", 1);  // nonsense clamps to >= 1
+  EXPECT_EQ(default_thread_count(), 1u);
+  ::unsetenv("FADEWICH_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadArgumentResolvesToDefault) {
+  ::setenv("FADEWICH_THREADS", "2", 1);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  ::unsetenv("FADEWICH_THREADS");
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSharedAndAlive) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<std::size_t> done{0};
+  a.parallel_for(0, 100, [&](std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 100u);
+}
+
+}  // namespace
+}  // namespace fadewich::exec
