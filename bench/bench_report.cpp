@@ -21,6 +21,7 @@
 #include "fadewich/core/movement_detector.hpp"
 #include "fadewich/exec/thread_pool.hpp"
 #include "fadewich/ml/multiclass_svm.hpp"
+#include "fadewich/net/live_network.hpp"
 #include "fadewich/rf/channel.hpp"
 #include "fadewich/rf/floorplan.hpp"
 #include "fadewich/sim/schedule.hpp"
@@ -197,10 +198,43 @@ std::vector<SingleRate> bench_movement_detector() {
   return out;
 }
 
+/// Faulty-transport station throughput plus the health counters the
+/// degraded run accumulated — the fault-tolerance path's live telemetry.
+struct StationStats {
+  SingleRate rate;
+  net::StationHealth health;
+  net::FaultInjector::Counters faults;
+};
+
+StationStats bench_station_faulty() {
+  const rf::FloorPlan plan = rf::paper_office();
+  net::FaultConfig faults;
+  faults.drop_probability = 0.10;
+  faults.delay_probability = 0.05;
+  faults.max_delay_ticks = 3;
+  faults.duplicate_probability = 0.02;
+  net::StationConfig station;
+  station.deadline_ticks = 3;
+  const std::int64_t ticks = fast_mode() ? 2'000 : 10'000;
+
+  net::LiveSensorNetwork network(plan.sensors, rf::ChannelConfig{}, 5.0,
+                                 42, faults, station);
+  StationStats out;
+  out.rate.name = "central_station_faulty_round";
+  out.rate.items =
+      ticks * static_cast<std::int64_t>(network.stream_count());
+  out.rate.wall_ms = time_best_ms(1, [&] {
+    for (std::int64_t t = 0; t < ticks; ++t) network.round({});
+  });
+  out.health = network.station().health();
+  out.faults = network.injector()->counters();
+  return out;
+}
+
 void write_json(const std::string& path,
                 const std::vector<Comparison>& comparisons,
                 const std::vector<SingleRate>& rates,
-                std::size_t threads) {
+                const StationStats& station, std::size_t threads) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_report: cannot open " << path << " for writing\n";
@@ -239,7 +273,26 @@ void write_json(const std::string& path,
     out << "      \"items_per_s\": " << r.items_per_s() << "\n";
     out << "    }" << (i + 1 < rates.size() ? "," : "") << "\n";
   }
-  out << "  ]\n";
+  out << "  ],\n";
+  out << "  \"station_health\": {\n";
+  out << "    \"name\": \"" << station.rate.name << "\",\n";
+  out << "    \"items\": " << station.rate.items << ",\n";
+  out << "    \"wall_ms\": " << station.rate.wall_ms << ",\n";
+  out << "    \"items_per_s\": " << station.rate.items_per_s() << ",\n";
+  out << "    \"reports\": " << station.health.reports << ",\n";
+  out << "    \"duplicates\": " << station.health.duplicates << ",\n";
+  out << "    \"late_reports\": " << station.health.late_reports << ",\n";
+  out << "    \"evictions\": " << station.health.evictions << ",\n";
+  out << "    \"incomplete_releases\": "
+      << station.health.incomplete_releases << ",\n";
+  out << "    \"imputed_cells\": " << station.health.imputed_cells
+      << ",\n";
+  out << "    \"faults_offered\": " << station.faults.offered << ",\n";
+  out << "    \"faults_dropped\": " << station.faults.dropped << ",\n";
+  out << "    \"faults_delayed\": " << station.faults.delayed << ",\n";
+  out << "    \"faults_duplicated\": " << station.faults.duplicated
+      << "\n";
+  out << "  }\n";
   out << "}\n";
 }
 
@@ -268,8 +321,15 @@ int run(int argc, char** argv) {
     std::cerr << "[bench_report] " << r.name << ": " << r.wall_ms
               << " ms (" << r.items_per_s() / 1e6 << " M items/s)\n";
   }
+  const StationStats station = bench_station_faulty();
+  std::cerr << "[bench_report] " << station.rate.name << ": "
+            << station.rate.wall_ms << " ms ("
+            << station.rate.items_per_s() / 1e6
+            << " M items/s), dropped " << station.faults.dropped
+            << ", imputed " << station.health.imputed_cells
+            << ", late " << station.health.late_reports << "\n";
 
-  write_json(path, comparisons, rates, wide.thread_count());
+  write_json(path, comparisons, rates, station, wide.thread_count());
   std::cerr << "[bench_report] wrote " << path << "\n";
   return 0;
 }

@@ -31,6 +31,13 @@ std::vector<Action> Controller::step(
               kma.idle_for(w, now, config_.t_delta)) {
             actions.push_back({ActionType::kDeauthenticate, w, now});
           }
+        } else if (!label && config_.rule2_on_unavailable) {
+          // No trustworthy classification: movement definitely happened
+          // (MD crossed t_delta), so protect every idle workstation via
+          // Rule 2 instead of doing nothing.
+          for (std::size_t w : kma.idle_set(now, config_.rule2_idle)) {
+            actions.push_back({ActionType::kAlert, w, now});
+          }
         }
         state_ = ControlState::kNoisy;
       }

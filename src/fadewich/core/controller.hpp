@@ -29,6 +29,12 @@ namespace fadewich::core {
 struct ControllerConfig {
   Seconds t_delta = 4.5;
   Seconds rule2_idle = 1.0;  // S(1): idle threshold for alert state
+  // Degraded-classifier fallback: when Rule 1's classification is
+  // unavailable (RE untrained, or too few live streams under report
+  // loss), fall back to Rule-2 alerting at the Rule-1 instant — idle
+  // sessions still escalate to a lock on their own timeouts, so a
+  // degraded sensor network fails towards safety rather than silence.
+  bool rule2_on_unavailable = true;
 };
 
 enum class ControlState { kQuiet, kNoisy };

@@ -20,6 +20,15 @@ struct FeatureConfig {
   bool use_variance = true;
   bool use_entropy = true;
   bool use_autocorrelation = true;
+  // Degraded-input policy (fault-tolerant reporting): a stream whose
+  // fraction of fresh samples over the feature window falls below
+  // `min_stream_validity` contributes zeroed features (its imputed
+  // window would mostly measure the imputation, not the radio), and when
+  // fewer than `min_live_stream_fraction` of all streams are live the
+  // classification is declared unavailable — the controller then falls
+  // back to Rule-2 timeouts instead of trusting a starved classifier.
+  double min_stream_validity = 0.5;
+  double min_live_stream_fraction = 0.5;
 
   std::size_t features_per_stream() const {
     return static_cast<std::size_t>(use_variance) +

@@ -15,6 +15,8 @@ MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
       merge_gap_ticks_(rate_.to_ticks_ceil(config.merge_gap)) {
   FADEWICH_EXPECTS(stream_count >= 1);
   FADEWICH_EXPECTS(config.std_window > 0.0);
+  FADEWICH_EXPECTS(config.min_live_fraction > 0.0 &&
+                   config.min_live_fraction <= 1.0);
   const auto window_ticks = static_cast<std::size_t>(
       std::max<Tick>(2, rate_.to_ticks_ceil(config.std_window)));
   windows_.reserve(stream_count);
@@ -24,16 +26,28 @@ MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
 }
 
 MdState MovementDetector::step(std::span<const double> rssi_row) {
+  return step(rssi_row, {});
+}
+
+MdState MovementDetector::step(std::span<const double> rssi_row,
+                               std::span<const std::uint8_t> valid) {
   FADEWICH_EXPECTS(rssi_row.size() == windows_.size());
+  FADEWICH_EXPECTS(valid.empty() || valid.size() == windows_.size());
   const Tick tick = now_++;
 
   // Single pass: one O(1) incremental window update plus one O(1) stddev
   // query per stream — constant work per (stream, tick) regardless of the
-  // window length d.
+  // window length d.  Stale samples (valid mask false) still enter the
+  // windows — the row is the station's best reconstruction — but only
+  // live streams contribute to s_t.
   double st = 0.0;
+  std::size_t live = 0;
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     windows_[i].push(rssi_row[i]);
-    st += windows_[i].stddev();
+    if (valid.empty() || valid[i]) {
+      st += windows_[i].stddev();
+      ++live;
+    }
   }
   if (!windows_warm_) {
     // Every stream receives exactly one sample per tick, so the windows
@@ -41,10 +55,26 @@ MdState MovementDetector::step(std::span<const double> rssi_row) {
     if (!windows_[0].full()) return MdState::kCalibrating;
     windows_warm_ = true;
   }
+
+  const auto n = static_cast<double>(windows_.size());
+  const double live_fraction = static_cast<double>(live) / n;
+  last_live_fraction_ = live_fraction;
+  const bool degraded = live_fraction < config_.min_live_fraction;
+  if (degraded) {
+    // Too few fresh streams to trust s_t: hold the previous value so the
+    // anomaly state persists through the outage instead of flapping.
+    ++degraded_ticks_;
+    st = last_st_;
+  } else if (live < windows_.size()) {
+    // Rescale the partial sum so the threshold calibrated on all streams
+    // still applies.  (Skipped when all streams are live, keeping the
+    // fault-free path bit-identical.)
+    st = st * n / static_cast<double>(live);
+  }
   last_st_ = st;
 
   if (!profile_.initialized()) {
-    calibration_buffer_.push_back(st);
+    if (!degraded) calibration_buffer_.push_back(st);
     if (static_cast<Tick>(calibration_buffer_.size()) >=
         calibration_ticks_) {
       profile_.initialize(std::move(calibration_buffer_));
@@ -54,7 +84,7 @@ MdState MovementDetector::step(std::span<const double> rssi_row) {
   }
 
   const bool anomalous = st >= profile_.threshold();
-  profile_.offer(st);
+  if (!degraded) profile_.offer(st);
 
   if (anomalous) {
     if (open_ && tick - last_anomalous_ <= merge_gap_ticks_) {

@@ -13,6 +13,7 @@
 // dW_t the controller's state machine keys on.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -27,6 +28,11 @@ struct MovementDetectorConfig {
   Seconds std_window = 2.0;    // d: per-stream std-dev window
   Seconds calibration = 60.0;  // quiet period used to seed the profile
   Seconds merge_gap = 0.6;     // max sub-threshold gap inside one window
+  // Degraded-tick fallback: when fewer than this fraction of streams
+  // carry fresh (non-imputed) samples, s_t is held at its previous value
+  // and the profile is not updated — the tick neither opens nor closes
+  // variation windows on its own.
+  double min_live_fraction = 0.5;
   NormalProfileConfig profile;
 };
 
@@ -50,12 +56,32 @@ class MovementDetector {
   /// Consume one tick of samples (one value per stream).
   MdState step(std::span<const double> rssi_row);
 
+  /// Consume one tick with a per-stream validity mask: `valid[i]` false
+  /// marks stream i's sample as stale (e.g. imputed by the central
+  /// station after report loss).  Stale samples still enter the stream's
+  /// sliding window (the row is the station's best reconstruction) but
+  /// are excluded from the Σstddev sum, which is rescaled by
+  /// stream_count / live_count so s_t stays comparable to the profile
+  /// threshold.  Below `min_live_fraction` live streams the tick is
+  /// degraded: s_t holds its previous value and the profile is frozen.
+  /// An empty mask means all streams are valid and is bit-identical to
+  /// step(rssi_row).
+  MdState step(std::span<const double> rssi_row,
+               std::span<const std::uint8_t> valid);
+
   /// Ticks processed so far (the tick index of the next step call).
   Tick now() const { return now_; }
   const TickRate& rate() const { return rate_; }
 
   /// The most recent s_t (0 until windows fill).
   double last_sum_std() const { return last_st_; }
+
+  /// Fraction of streams with fresh samples on the last step (1 until
+  /// a masked step reports staleness).
+  double last_live_fraction() const { return last_live_fraction_; }
+
+  /// Ticks degraded below min_live_fraction so far.
+  std::uint64_t degraded_ticks() const { return degraded_ticks_; }
 
   /// The open variation window, if any; `end` tracks the last anomalous
   /// tick seen.
@@ -85,6 +111,8 @@ class MovementDetector {
 
   Tick now_ = 0;
   double last_st_ = 0.0;
+  double last_live_fraction_ = 1.0;
+  std::uint64_t degraded_ticks_ = 0;
   std::optional<VariationWindow> open_;
   Tick last_anomalous_ = -1;
   std::vector<VariationWindow> completed_;

@@ -1,5 +1,9 @@
 #include "fadewich/core/radio_environment.hpp"
 
+#include <algorithm>
+
+#include "fadewich/common/error.hpp"
+
 namespace fadewich::core {
 
 RadioEnvironment::RadioEnvironment(FeatureConfig features, ml::SvmConfig svm)
@@ -8,6 +12,46 @@ RadioEnvironment::RadioEnvironment(FeatureConfig features, ml::SvmConfig svm)
 std::vector<double> RadioEnvironment::features_from(
     const std::vector<std::vector<double>>& stream_windows) const {
   return extract_features(stream_windows, features_);
+}
+
+std::vector<double> RadioEnvironment::features_from(
+    const std::vector<std::vector<double>>& stream_windows,
+    std::span<const double> validity) const {
+  std::vector<double> features = extract_features(stream_windows, features_);
+  if (validity.empty()) return features;
+  FADEWICH_EXPECTS(validity.size() == stream_windows.size());
+  const std::size_t per_stream = features_.features_per_stream();
+  for (std::size_t s = 0; s < validity.size(); ++s) {
+    if (validity[s] >= features_.min_stream_validity) continue;
+    std::fill_n(features.begin() +
+                    static_cast<std::ptrdiff_t>(s * per_stream),
+                per_stream, 0.0);
+  }
+  return features;
+}
+
+std::size_t RadioEnvironment::live_streams(
+    std::span<const double> validity) const {
+  std::size_t live = 0;
+  for (const double v : validity) {
+    if (v >= features_.min_stream_validity) ++live;
+  }
+  return live;
+}
+
+std::optional<int> RadioEnvironment::classify_degraded(
+    const std::vector<std::vector<double>>& stream_windows,
+    std::span<const double> validity) const {
+  if (!trained()) return std::nullopt;
+  if (!validity.empty()) {
+    FADEWICH_EXPECTS(validity.size() == stream_windows.size());
+    const double live = static_cast<double>(live_streams(validity));
+    const double total = static_cast<double>(validity.size());
+    if (live / total < features_.min_live_stream_fraction) {
+      return std::nullopt;
+    }
+  }
+  return classify(features_from(stream_windows, validity));
 }
 
 void RadioEnvironment::train(const ml::Dataset& samples) {

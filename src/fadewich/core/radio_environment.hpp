@@ -7,6 +7,8 @@
 //   1..k  -> w_i, "user left workstation i-1" (0-based workstation index)
 #pragma once
 
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "fadewich/core/features.hpp"
@@ -34,6 +36,25 @@ class RadioEnvironment {
   /// Compute a sample's feature vector from per-stream windows.
   std::vector<double> features_from(
       const std::vector<std::vector<double>>& stream_windows) const;
+
+  /// As above with per-stream validity fractions (share of fresh,
+  /// non-imputed samples in each stream's window).  Streams below
+  /// `FeatureConfig::min_stream_validity` contribute zeroed features.
+  /// An empty span means fully valid and matches features_from exactly.
+  std::vector<double> features_from(
+      const std::vector<std::vector<double>>& stream_windows,
+      std::span<const double> validity) const;
+
+  /// Live streams given validity fractions: validity >= min_stream_validity.
+  std::size_t live_streams(std::span<const double> validity) const;
+
+  /// Classify degraded input.  Returns nullopt when the classifier is
+  /// untrained or fewer than min_live_stream_fraction of streams are
+  /// live — classification confidence is then unavailable and callers
+  /// (the controller) fall back to Rule-2 timeouts.
+  std::optional<int> classify_degraded(
+      const std::vector<std::vector<double>>& stream_windows,
+      std::span<const double> validity) const;
 
   /// Train the classifier on labeled samples.  Requires non-empty data.
   void train(const ml::Dataset& samples);

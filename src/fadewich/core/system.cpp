@@ -28,7 +28,8 @@ FadewichSystem::FadewichSystem(std::size_t stream_count,
       re_(config.features, config.svm),
       controller_(config.controller, workstation_count),
       labeler_(config.labeler, workstation_count),
-      history_(stream_count, history_capacity(config)) {
+      history_(stream_count, history_capacity(config)),
+      validity_history_(stream_count, history_capacity(config)) {
   FADEWICH_EXPECTS(stream_count >= 1);
   FADEWICH_EXPECTS(workstation_count >= 1);
   FADEWICH_EXPECTS(config.labeler.t_delta == config.controller.t_delta);
@@ -44,19 +45,38 @@ void FadewichSystem::record_input(std::size_t workstation, Seconds t) {
   sessions_[workstation].on_input(t);
 }
 
-std::vector<std::vector<double>> FadewichSystem::current_window_samples()
-    const {
+std::pair<Tick, Tick> FadewichSystem::current_window_range() const {
   const auto window = md_.current_window();
   FADEWICH_EXPECTS(window.has_value());
   const Tick begin = std::max(window->begin, history_.oldest_tick());
   const Tick end =
       std::min(begin + window_ticks_ - 1, history_.ticks_stored() - 1);
+  return {begin, end};
+}
+
+std::vector<std::vector<double>> FadewichSystem::current_window_samples()
+    const {
+  const auto [begin, end] = current_window_range();
   return history_.windows(begin, end);
+}
+
+std::vector<double> FadewichSystem::current_window_validity() const {
+  const auto [begin, end] = current_window_range();
+  const auto masks = validity_history_.windows(begin, end);
+  std::vector<double> fractions;
+  fractions.reserve(masks.size());
+  for (const auto& mask : masks) {
+    double sum = 0.0;
+    for (const double v : mask) sum += v;
+    fractions.push_back(sum / static_cast<double>(mask.size()));
+  }
+  return fractions;
 }
 
 std::optional<int> FadewichSystem::classify_current_window() {
   if (!re_.trained()) return std::nullopt;
-  return re_.classify(re_.features_from(current_window_samples()));
+  return re_.classify_degraded(current_window_samples(),
+                               current_window_validity());
 }
 
 void FadewichSystem::collect_training_sample() {
@@ -64,13 +84,16 @@ void FadewichSystem::collect_training_sample() {
   AutoLabeler::Attempt attempt = labeler_.attempt(kma_, decision_time);
   if (attempt.ambiguous) return;  // discarded, per the paper
   if (attempt.label) {
-    samples_.add(re_.features_from(current_window_samples()),
+    samples_.add(re_.features_from(current_window_samples(),
+                                   current_window_validity()),
                  *attempt.label);
     return;
   }
   if (attempt.deferred()) {
     pending_samples_.push_back(
-        {decision_time, re_.features_from(current_window_samples()),
+        {decision_time,
+         re_.features_from(current_window_samples(),
+                           current_window_validity()),
          std::move(attempt)});
   }
 }
@@ -91,9 +114,25 @@ void FadewichSystem::resolve_pending_entries() {
 
 FadewichSystem::StepResult FadewichSystem::step(
     std::span<const double> rssi_row) {
+  return step(rssi_row, {});
+}
+
+FadewichSystem::StepResult FadewichSystem::step(
+    std::span<const double> rssi_row,
+    std::span<const std::uint8_t> valid) {
+  FADEWICH_EXPECTS(valid.empty() || valid.size() == rssi_row.size());
   history_.push(rssi_row);
+  if (valid.empty()) {
+    validity_row_.assign(rssi_row.size(), 1.0);
+  } else {
+    validity_row_.resize(valid.size());
+    for (std::size_t s = 0; s < valid.size(); ++s) {
+      validity_row_[s] = valid[s] ? 1.0 : 0.0;
+    }
+  }
+  validity_history_.push(validity_row_);
   StepResult result;
-  result.md_state = md_.step(rssi_row);
+  result.md_state = md_.step(rssi_row, valid);
   ++tick_;
   const Seconds t = now();
 

@@ -9,9 +9,11 @@
 // session machines.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fadewich/common/time.hpp"
@@ -58,6 +60,15 @@ class FadewichSystem {
   /// Consume one tick of RSSI samples.
   StepResult step(std::span<const double> rssi_row);
 
+  /// Consume one tick with a per-stream validity mask (false = the cell
+  /// was imputed by the central station after report loss).  Stale
+  /// streams are excluded from MD's Σstddev and from RE features; when
+  /// too few streams are live, classification is unavailable and the
+  /// controller falls back to Rule-2 alerting.  An empty mask means all
+  /// valid and is bit-identical to step(rssi_row).
+  StepResult step(std::span<const double> rssi_row,
+                  std::span<const std::uint8_t> valid);
+
   // --- Training phase -----------------------------------------------
   bool training() const { return training_; }
   std::size_t training_sample_count() const { return samples_.size(); }
@@ -81,7 +92,9 @@ class FadewichSystem {
 
  private:
   std::optional<int> classify_current_window();
+  std::pair<Tick, Tick> current_window_range() const;
   std::vector<std::vector<double>> current_window_samples() const;
+  std::vector<double> current_window_validity() const;
   void collect_training_sample();
   void resolve_pending_entries();
 
@@ -95,9 +108,11 @@ class FadewichSystem {
   Controller controller_;
   AutoLabeler labeler_;
   StreamHistory history_;
+  StreamHistory validity_history_;  // 1.0 fresh / 0.0 imputed, per cell
   std::vector<WorkstationSession> sessions_;
 
   Tick tick_ = 0;
+  std::vector<double> validity_row_;  // scratch, reused every step
   bool training_ = true;
   ml::Dataset samples_;
 

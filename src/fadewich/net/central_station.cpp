@@ -1,14 +1,19 @@
 #include "fadewich/net/central_station.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "fadewich/common/error.hpp"
 
 namespace fadewich::net {
 
-CentralStation::CentralStation(std::size_t device_count)
-    : device_count_(device_count) {
+CentralStation::CentralStation(std::size_t device_count,
+                               StationConfig config)
+    : device_count_(device_count), config_(config) {
   FADEWICH_EXPECTS(device_count >= 2);
+  FADEWICH_EXPECTS(config.deadline_ticks >= 0);
+  FADEWICH_EXPECTS(config.max_pending >= 1);
+  last_value_.assign(stream_count(), 0.0);
+  health_.imputed_per_stream.assign(stream_count(), 0);
 }
 
 std::size_t CentralStation::stream_index(DeviceId tx, DeviceId rx) const {
@@ -19,47 +24,117 @@ std::size_t CentralStation::stream_index(DeviceId tx, DeviceId rx) const {
          (rx < tx ? rx : rx - 1);
 }
 
-CentralStation::PendingRow& CentralStation::row_for(Tick tick) {
-  for (auto& row : pending_) {
-    if (row.tick == tick) return row;
-  }
-  PendingRow row;
-  row.tick = tick;
-  row.values.assign(stream_count(), 0.0);
-  row.present.assign(stream_count(), false);
-  pending_.push_back(std::move(row));
-  return pending_.back();
+std::pair<DeviceId, DeviceId> CentralStation::stream_pair(
+    std::size_t stream) const {
+  FADEWICH_EXPECTS(stream < stream_count());
+  const auto tx = static_cast<DeviceId>(stream / (device_count_ - 1));
+  auto rx = static_cast<DeviceId>(stream % (device_count_ - 1));
+  if (rx >= tx) ++rx;
+  return {tx, rx};
 }
 
-std::vector<Tick> CentralStation::ingest(MessageBus& bus) {
+void CentralStation::release(Tick tick, PendingRow&& row, bool complete) {
+  StationRow out;
+  out.tick = tick;
+  out.values = std::move(row.values);
+  out.valid = std::move(row.present);
+  if (complete) {
+    out.missing = 0;
+  } else {
+    ++health_.incomplete_releases;
+    out.missing = stream_count() - row.filled;
+    for (std::size_t s = 0; s < out.values.size(); ++s) {
+      if (!out.valid[s]) {
+        out.values[s] = last_value_[s];  // last-known-value imputation
+        ++health_.imputed_cells;
+        ++health_.imputed_per_stream[s];
+      }
+    }
+  }
+  for (std::size_t s = 0; s < out.values.size(); ++s) {
+    if (out.valid[s]) last_value_[s] = out.values[s];
+  }
+  if (tick > release_watermark_) release_watermark_ = tick;
+  released_.emplace(tick, std::move(out));
+}
+
+void CentralStation::evict_oldest() {
+  // Prefer dropping a row still under assembly; only a caller that never
+  // takes released rows forces released evictions.
+  if (!pending_.empty()) {
+    const Tick tick = pending_.begin()->first;
+    if (tick > release_watermark_) release_watermark_ = tick;
+    pending_.erase(pending_.begin());
+  } else {
+    released_.erase(released_.begin());
+  }
+  ++health_.evictions;
+}
+
+std::vector<Tick> CentralStation::ingest(MessageBus& bus,
+                                         std::optional<Tick> now) {
   for (const Measurement& m : bus.drain()) {
-    PendingRow& row = row_for(m.tick);
+    ++health_.reports;
+    auto it = pending_.find(m.tick);
+    if (it == pending_.end()) {
+      // A report for a tick already released (or given up on) cannot
+      // amend the frozen row: count it late and move on.
+      const bool already_released = released_.count(m.tick) > 0;
+      const bool past_watermark =
+          config_.deadline_ticks > 0 && m.tick <= release_watermark_;
+      if (already_released || past_watermark) {
+        ++health_.late_reports;
+        continue;
+      }
+      while (buffered_count() >= config_.max_pending) evict_oldest();
+      PendingRow fresh;
+      fresh.values.assign(stream_count(), 0.0);
+      fresh.present.assign(stream_count(), 0);
+      it = pending_.emplace(m.tick, std::move(fresh)).first;
+    }
+    PendingRow& row = it->second;
     const std::size_t s = stream_index(m.tx, m.rx);
     if (!row.present[s]) {
-      row.present[s] = true;
+      row.present[s] = 1;
       ++row.filled;
+    } else {
+      ++health_.duplicates;
     }
     row.values[s] = m.rssi_dbm;  // duplicate reports keep the latest
   }
-  std::vector<Tick> complete;
-  for (const auto& row : pending_) {
-    if (row.filled == stream_count()) complete.push_back(row.tick);
-  }
-  std::sort(complete.begin(), complete.end());
-  return complete;
-}
 
-std::vector<double> CentralStation::take_row(Tick tick) {
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    if (it->tick == tick) {
-      FADEWICH_EXPECTS(it->filled == stream_count());
-      std::vector<double> values = std::move(it->values);
-      pending_.erase(it);
-      return values;
+  // Release complete rows, then everything past the deadline.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const bool complete = it->second.filled == stream_count();
+    const bool expired =
+        config_.deadline_ticks > 0 && now.has_value() &&
+        *now - it->first >= config_.deadline_ticks;
+    if (complete || expired) {
+      release(it->first, std::move(it->second), complete);
+      it = pending_.erase(it);
+    } else {
+      ++it;
     }
   }
-  FADEWICH_EXPECTS(false && "tick not pending");
-  return {};
+
+  // Surface released rows in tick order: a released tick is ready only
+  // once nothing older is still under assembly, so downstream always
+  // consumes a monotone stream (the deadline bounds the holdback).
+  std::vector<Tick> ready;
+  ready.reserve(released_.size());
+  for (const auto& [tick, row] : released_) {
+    if (!pending_.empty() && pending_.begin()->first < tick) break;
+    ready.push_back(tick);
+  }
+  return ready;  // std::map iterates in ascending tick order
+}
+
+std::optional<StationRow> CentralStation::take_row(Tick tick) {
+  const auto it = released_.find(tick);
+  if (it == released_.end()) return std::nullopt;
+  StationRow row = std::move(it->second);
+  released_.erase(it);
+  return row;
 }
 
 }  // namespace fadewich::net

@@ -1,7 +1,18 @@
 // The central station: assembles per-tick measurement reports from the
 // bus into the m x (m-1) synchronised stream rows MD reads.
+//
+// The paper assumes every stream reports every tick; this station does
+// not.  Rows are released either when complete or — when a release
+// deadline is configured — once the deadline passes, with missing cells
+// imputed from the stream's last released value and flagged stale.
+// Pending state is tick-indexed and capacity-bounded (oldest rows are
+// evicted, never silently retained forever), and every degradation is
+// counted in a StationHealth block, so a lossy reporting path degrades
+// output quality instead of aborting the process.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -10,40 +21,98 @@
 
 namespace fadewich::net {
 
+struct StationConfig {
+  /// Rows older than `now - deadline_ticks` are released incomplete when
+  /// ingest() is given the current tick.  0 keeps the strict mode: only
+  /// complete rows are ever released.
+  Tick deadline_ticks = 0;
+  /// Upper bound on rows buffered (pending assembly plus released but not
+  /// yet taken).  The oldest row is evicted on overflow.  Requires >= 1.
+  std::size_t max_pending = 1024;
+};
+
+/// One released row.  `valid[s]` is true when stream s actually reported
+/// for this tick; false cells carry the stream's last released value
+/// (0 dBm before any release) and should be treated as stale downstream.
+struct StationRow {
+  Tick tick = 0;
+  std::vector<double> values;
+  std::vector<std::uint8_t> valid;
+  std::size_t missing = 0;
+
+  bool complete() const { return missing == 0; }
+};
+
+/// Degradation counters; one block per station lifetime.
+struct StationHealth {
+  std::uint64_t reports = 0;             // measurements ingested
+  std::uint64_t duplicates = 0;          // repeat (tick, stream) reports
+  std::uint64_t late_reports = 0;        // tick already released/evicted
+  std::uint64_t evictions = 0;           // rows dropped by the capacity cap
+  std::uint64_t incomplete_releases = 0; // rows released past the deadline
+  std::uint64_t imputed_cells = 0;       // sum of imputed_per_stream
+  std::vector<std::uint64_t> imputed_per_stream;
+};
+
 class CentralStation {
  public:
   /// `device_count` radios; streams are all ordered (tx, rx) pairs in
   /// row-major order (matching rf::ChannelMatrix).  Requires >= 2.
-  explicit CentralStation(std::size_t device_count);
+  explicit CentralStation(std::size_t device_count,
+                          StationConfig config = {});
 
   std::size_t device_count() const { return device_count_; }
   std::size_t stream_count() const {
     return device_count_ * (device_count_ - 1);
   }
+  const StationConfig& config() const { return config_; }
 
   std::size_t stream_index(DeviceId tx, DeviceId rx) const;
 
-  /// Ingest all measurements pending on the bus.  Returns the ticks that
-  /// became complete (every stream reported) in ascending order; rows for
-  /// complete ticks can then be fetched with take_row().
-  std::vector<Tick> ingest(MessageBus& bus);
+  /// Inverse of stream_index: the (tx, rx) pair of a stream.
+  std::pair<DeviceId, DeviceId> stream_pair(std::size_t stream) const;
 
-  /// Fetch and discard the assembled row for a completed tick.  Requires
-  /// the tick to be complete and not yet taken.
-  std::vector<double> take_row(Tick tick);
+  /// Ingest all measurements pending on the bus.  Returns the ticks that
+  /// are released, not yet taken, and *in order* — a released tick is
+  /// reported only once no older tick is still under assembly, so
+  /// consumers always see a monotone tick stream.  Rows are fetched with
+  /// take_row().  A row is released when every stream reported, or — if
+  /// `now` is supplied and a deadline is configured — when
+  /// `now - tick >= deadline_ticks` (missing cells are imputed and
+  /// flagged).  Reports for already-released ticks are counted late and
+  /// discarded; they never abort.
+  std::vector<Tick> ingest(MessageBus& bus,
+                           std::optional<Tick> now = std::nullopt);
+
+  /// Fetch and discard the released row for a tick.  Returns nullopt if
+  /// the tick is unknown, still incomplete, or already taken — callers
+  /// decide how to recover; the station never aborts on runtime input.
+  std::optional<StationRow> take_row(Tick tick);
+
+  /// Rows currently buffered (pending assembly + released, untaken).
+  std::size_t buffered_count() const {
+    return pending_.size() + released_.size();
+  }
+
+  const StationHealth& health() const { return health_; }
 
  private:
   struct PendingRow {
-    Tick tick = 0;
     std::vector<double> values;
+    std::vector<std::uint8_t> present;
     std::size_t filled = 0;
-    std::vector<bool> present;
   };
 
-  PendingRow& row_for(Tick tick);
+  void release(Tick tick, PendingRow&& row, bool complete);
+  void evict_oldest();
 
   std::size_t device_count_;
-  std::vector<PendingRow> pending_;
+  StationConfig config_;
+  std::map<Tick, PendingRow> pending_;   // tick-indexed assembly buffers
+  std::map<Tick, StationRow> released_;  // released, not yet taken
+  std::vector<double> last_value_;       // per-stream imputation source
+  Tick release_watermark_ = -1;  // highest tick released or evicted
+  StationHealth health_;
 };
 
 }  // namespace fadewich::net

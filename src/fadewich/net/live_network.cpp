@@ -13,27 +13,61 @@ LiveSensorNetwork::LiveSensorNetwork(std::vector<rf::Point> sensors,
   FADEWICH_EXPECTS(tick_hz > 0.0);
 }
 
-std::vector<double> LiveSensorNetwork::round(
+LiveSensorNetwork::LiveSensorNetwork(std::vector<rf::Point> sensors,
+                                     rf::ChannelConfig channel_config,
+                                     double tick_hz, std::uint64_t seed,
+                                     const FaultConfig& faults,
+                                     StationConfig station)
+    : channel_(std::move(sensors), channel_config, seed),
+      station_(channel_.sensor_count(), station),
+      tick_hz_(tick_hz) {
+  FADEWICH_EXPECTS(tick_hz > 0.0);
+  FADEWICH_EXPECTS(!faults.enabled() || station.deadline_ticks > 0);
+  if (faults.enabled()) {
+    // A distinct seed stream from the channel's: the injector's draws
+    // must not disturb the physical truth.
+    injector_.emplace(channel_.sensor_count(), faults, seed ^ 0x5DEECE66Dull);
+  }
+}
+
+std::vector<StationRow> LiveSensorNetwork::round(
     std::span<const rf::BodyState> bodies) {
   // Physical truth for the round: one RSSI per directed stream.
   std::vector<double> truth(channel_.stream_count());
   channel_.sample(bodies, truth);
 
-  // Each receiver reports each measurement to the station.
+  // Each receiver reports each measurement to the station, through the
+  // (possibly faulty) reporting path.
   const auto m = static_cast<DeviceId>(channel_.sensor_count());
   for (DeviceId tx = 0; tx < m; ++tx) {
     for (DeviceId rx = 0; rx < m; ++rx) {
       if (tx == rx) continue;
-      bus_.publish(Measurement{tx, rx, tick_,
-                               truth[channel_.stream_index(tx, rx)]});
+      const Measurement report{tx, rx, tick_,
+                               truth[channel_.stream_index(tx, rx)]};
+      if (injector_) {
+        injector_->offer(report, bus_);
+      } else {
+        bus_.publish(report);
+      }
     }
   }
+  if (injector_) injector_->advance(tick_, bus_);
 
-  const std::vector<Tick> complete = station_.ingest(bus_);
-  FADEWICH_ENSURES(complete.size() == 1 && complete[0] == tick_);
-  std::vector<double> row = station_.take_row(tick_);
+  const std::vector<Tick> ready = station_.ingest(bus_, tick_);
+  std::vector<StationRow> rows;
+  rows.reserve(ready.size());
+  for (const Tick tick : ready) {
+    std::optional<StationRow> row = station_.take_row(tick);
+    FADEWICH_ENSURES(row.has_value());
+    rows.push_back(std::move(*row));
+  }
+  if (!injector_) {
+    // Reliable channel: the paper's assumption holds and every round
+    // must assemble exactly its own tick.
+    FADEWICH_ENSURES(rows.size() == 1 && rows[0].tick == tick_);
+  }
   ++tick_;
-  return row;
+  return rows;
 }
 
 }  // namespace fadewich::net

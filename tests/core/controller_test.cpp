@@ -56,11 +56,32 @@ TEST_F(ControllerTest, Rule1IgnoresEnteredLabel) {
   EXPECT_EQ(controller_.state(), ControlState::kNoisy);
 }
 
-TEST_F(ControllerTest, Rule1SkipsWhenClassifierUnavailable) {
+TEST_F(ControllerTest, UnavailableClassifierFallsBackToRule2) {
+  // Movement definitely crossed t_delta but the classifier has no
+  // trustworthy answer (too few live streams): the controller degrades
+  // to Rule-2 alerts for every idle workstation instead of doing
+  // nothing.
+  kma_.record_input(0, 4.0);  // active: 0.5 s idle at t = 4.5
+  kma_.record_input(1, 0.0);  // idle well past rule2_idle
+  kma_.record_input(2, 1.0);  // idle well past rule2_idle
   const auto actions = step(4.5, 4.5, std::nullopt);
-  EXPECT_TRUE(actions.empty());
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].type, ActionType::kAlert);
+  EXPECT_EQ(actions[0].workstation, 1u);
+  EXPECT_EQ(actions[1].type, ActionType::kAlert);
+  EXPECT_EQ(actions[1].workstation, 2u);
   // The FSM still advances: the window did reach t_delta.
   EXPECT_EQ(controller_.state(), ControlState::kNoisy);
+}
+
+TEST_F(ControllerTest, Rule1SkipsWhenClassifierUnavailableAndFallbackOff) {
+  ControllerConfig config;
+  config.rule2_on_unavailable = false;  // legacy behaviour
+  Controller controller(config, 3);
+  const auto actions = controller.step(
+      4.5, 4.5, kma_, []() -> std::optional<int> { return std::nullopt; });
+  EXPECT_TRUE(actions.empty());
+  EXPECT_EQ(controller.state(), ControlState::kNoisy);
 }
 
 TEST_F(ControllerTest, Rule2AlertsIdleWorkstationsWhileNoisy) {

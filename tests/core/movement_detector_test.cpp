@@ -174,6 +174,89 @@ TEST(MovementDetectorTest, SumStdUsesAllStreams) {
   EXPECT_NEAR(md6.last_sum_std() / md3.last_sum_std(), 2.0, 0.5);
 }
 
+TEST(MovementDetectorTest, AllValidMaskMatchesUnmaskedBitForBit) {
+  MovementDetector plain(3, kHz, fast_config());
+  MovementDetector masked(3, kHz, fast_config());
+  Rng rng(17);
+  const std::vector<std::uint8_t> all_valid(3, 1);
+  std::vector<double> row(3);
+  for (int t = 0; t < 200; ++t) {
+    for (auto& v : row) v = rng.normal(-60.0, 0.8);
+    const MdState a = plain.step(row);
+    const MdState b = masked.step(row, all_valid);
+    ASSERT_EQ(a, b) << "tick " << t;
+    // Bit-identical, not just close: the fault-free path must not be
+    // perturbed by the mask plumbing.
+    ASSERT_EQ(plain.last_sum_std(), masked.last_sum_std()) << "tick " << t;
+  }
+  EXPECT_EQ(masked.degraded_ticks(), 0u);
+  EXPECT_DOUBLE_EQ(masked.last_live_fraction(), 1.0);
+}
+
+TEST(MovementDetectorTest, StaleStreamIsExcludedFromSumStd) {
+  // Stream 2 goes wild but is flagged stale: the masked detector must
+  // ignore it (no anomaly), while an unmasked detector trips.
+  MovementDetector masked(3, kHz, fast_config());
+  MovementDetector plain(3, kHz, fast_config());
+  Rng rng_a(21);
+  Rng rng_b(21);
+  feed(masked, rng_a, 25.0, 0.3);
+  feed(plain, rng_b, 25.0, 0.3);
+  ASSERT_TRUE(masked.calibrated());
+
+  const std::vector<std::uint8_t> mask{1, 1, 0};
+  std::vector<double> row(3);
+  bool masked_anomalous = false;
+  bool plain_anomalous = false;
+  for (int t = 0; t < 40; ++t) {
+    // Live streams dead-flat, stale stream oscillating wildly.  Once
+    // the std window flushes its calibration residue the live stddevs
+    // are exactly zero, so the masked s_t sits at 0 deterministically.
+    row[0] = -60.0;
+    row[1] = -60.0;
+    row[2] = -60.0 + ((t % 2 == 0) ? 15.0 : -15.0);
+    const MdState ms = masked.step(row, mask);
+    if (t >= 12) masked_anomalous |= ms == MdState::kAnomalous;
+    plain_anomalous |= plain.step(row) == MdState::kAnomalous;
+  }
+  EXPECT_FALSE(masked_anomalous);
+  EXPECT_TRUE(plain_anomalous);
+  EXPECT_DOUBLE_EQ(masked.last_live_fraction(), 2.0 / 3.0);
+  EXPECT_EQ(masked.degraded_ticks(), 0u);
+}
+
+TEST(MovementDetectorTest, DegradedTickHoldsSumStd) {
+  MovementDetector md(3, kHz, fast_config());
+  Rng rng(23);
+  feed(md, rng, 25.0, 0.5);
+  ASSERT_TRUE(md.calibrated());
+  const double before = md.last_sum_std();
+
+  // Only 1 of 3 streams live: below min_live_fraction = 0.5, so s_t
+  // holds and the degraded counter ticks even with an outrageous row.
+  const std::vector<std::uint8_t> mask{1, 0, 0};
+  const std::vector<double> row{-20.0, -20.0, -20.0};
+  md.step(row, mask);
+  EXPECT_EQ(md.last_sum_std(), before);
+  EXPECT_EQ(md.degraded_ticks(), 1u);
+  EXPECT_NEAR(md.last_live_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MovementDetectorTest, MaskSizeMustMatchStreams) {
+  MovementDetector md(3, kHz, fast_config());
+  const std::vector<double> row(3, -60.0);
+  const std::vector<std::uint8_t> short_mask{1, 1};
+  EXPECT_THROW(md.step(row, short_mask), ContractViolation);
+}
+
+TEST(MovementDetectorTest, RejectsInvalidLiveFraction) {
+  MovementDetectorConfig config = fast_config();
+  config.min_live_fraction = 0.0;
+  EXPECT_THROW(MovementDetector(3, kHz, config), ContractViolation);
+  config.min_live_fraction = 1.5;
+  EXPECT_THROW(MovementDetector(3, kHz, config), ContractViolation);
+}
+
 TEST(MovementDetectorTest, ProfileUpdatesDuringLongQuietPeriods) {
   MovementDetector md(3, kHz, fast_config());
   Rng rng(19);

@@ -71,6 +71,60 @@ TEST(RadioEnvironmentTest, AblatedFeaturesStillWork) {
   EXPECT_EQ(f.size(), 3u);  // variance only, one per stream
 }
 
+TEST(RadioEnvironmentTest, LowValidityStreamGetsZeroedFeatures) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  Rng rng(11);
+  const auto windows = windows_for_class(0, rng);
+  const std::vector<double> validity{1.0, 0.2, 1.0};  // stream 1 starved
+  const auto masked = re.features_from(windows, validity);
+  const auto plain = re.features_from(windows);
+  ASSERT_EQ(masked.size(), plain.size());
+  // Stream 1's block (features 3..5) is zeroed; the others untouched.
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    if (i >= 3 && i < 6) {
+      EXPECT_DOUBLE_EQ(masked[i], 0.0) << "feature " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(masked[i], plain[i]) << "feature " << i;
+    }
+  }
+}
+
+TEST(RadioEnvironmentTest, FullValidityMatchesPlainFeatures) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  Rng rng(13);
+  const auto windows = windows_for_class(1, rng);
+  const std::vector<double> validity{1.0, 1.0, 1.0};
+  EXPECT_EQ(re.features_from(windows, validity), re.features_from(windows));
+}
+
+TEST(RadioEnvironmentTest, ClassifyDegradedDeclinesWhenStarved) {
+  RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
+  Rng rng(15);
+  // Untrained: always unavailable.
+  EXPECT_FALSE(
+      re.classify_degraded(windows_for_class(0, rng), {}).has_value());
+
+  ml::Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    for (int cls = 0; cls < 3; ++cls) {
+      data.add(re.features_from(windows_for_class(cls, rng)), cls);
+    }
+  }
+  re.train(data);
+
+  // 1 of 3 live < min_live_stream_fraction = 0.5: unavailable.
+  const std::vector<double> starved{1.0, 0.0, 0.0};
+  EXPECT_FALSE(
+      re.classify_degraded(windows_for_class(0, rng), starved).has_value());
+
+  // Fully valid: behaves exactly like classify().
+  const std::vector<double> full{1.0, 1.0, 1.0};
+  const auto windows = windows_for_class(2, rng);
+  const auto label = re.classify_degraded(windows, full);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(*label, re.classify(re.features_from(windows)));
+}
+
 TEST(RadioEnvironmentTest, TrainRejectsEmptyDataset) {
   RadioEnvironment re(FeatureConfig{}, ml::SvmConfig{});
   EXPECT_THROW(re.train(ml::Dataset{}), ContractViolation);

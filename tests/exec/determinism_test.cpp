@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fadewich/eval/fault_sweep.hpp"
 #include "fadewich/exec/thread_pool.hpp"
 #include "fadewich/ml/dataset.hpp"
 #include "fadewich/ml/multiclass_svm.hpp"
@@ -109,6 +110,51 @@ TEST(DeterminismTest, SampleBlockMatchesSuccessiveSampleCalls) {
           << "threads=" << threads << " flat index " << i;
     }
   }
+}
+
+TEST(DeterminismTest, StationReplayIsByteIdenticalWhenFaultFree) {
+  // The deadline-driven central station is now on the main data path:
+  // with fault injection disabled it must reproduce its input recording
+  // byte for byte, or the fault-tolerance rework would silently change
+  // every downstream result.
+  exec::ThreadPool pool(4);
+  const sim::Recording rec = run_week(pool, 1);
+  const eval::ReplayResult clean = eval::replay_through_station(
+      rec, net::FaultConfig{}, net::StationConfig{}, 3);
+  ASSERT_EQ(clean.recording.tick_count(), rec.tick_count());
+  for (std::size_t s = 0; s < rec.stream_count(); ++s) {
+    ASSERT_EQ(clean.recording.stream(s), rec.stream(s)) << "stream " << s;
+  }
+}
+
+TEST(DeterminismTest, FaultyStationReplayIsSeedDeterministic) {
+  exec::ThreadPool pool(4);
+  const sim::Recording rec = run_week(pool, 1);
+  net::FaultConfig faults;
+  faults.drop_probability = 0.2;
+  faults.delay_probability = 0.1;
+  faults.duplicate_probability = 0.05;
+  net::StationConfig station;
+  station.deadline_ticks = 2;
+
+  const eval::ReplayResult a =
+      eval::replay_through_station(rec, faults, station, 11);
+  const eval::ReplayResult b =
+      eval::replay_through_station(rec, faults, station, 11);
+  for (std::size_t s = 0; s < rec.stream_count(); ++s) {
+    ASSERT_EQ(a.recording.stream(s), b.recording.stream(s))
+        << "stream " << s;
+  }
+  EXPECT_EQ(a.health.imputed_cells, b.health.imputed_cells);
+  EXPECT_EQ(a.fault_counters.dropped, b.fault_counters.dropped);
+
+  const eval::ReplayResult c =
+      eval::replay_through_station(rec, faults, station, 12);
+  bool differs = c.fault_counters.dropped != a.fault_counters.dropped;
+  for (std::size_t s = 0; !differs && s < rec.stream_count(); ++s) {
+    differs = c.recording.stream(s) != a.recording.stream(s);
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(DeterminismTest, MulticlassSvmTrainsIdenticallyInParallel) {

@@ -25,6 +25,12 @@ TEST(CentralStationTest, RejectsTooFewDevices) {
   EXPECT_THROW(CentralStation(1), ContractViolation);
 }
 
+TEST(CentralStationTest, RejectsZeroPendingCapacity) {
+  StationConfig config;
+  config.max_pending = 0;
+  EXPECT_THROW(CentralStation(3, config), ContractViolation);
+}
+
 TEST(CentralStationTest, StreamIndexIsDenseAndUnique) {
   CentralStation station(4);
   std::vector<bool> seen(station.stream_count(), false);
@@ -35,6 +41,28 @@ TEST(CentralStationTest, StreamIndexIsDenseAndUnique) {
       ASSERT_LT(s, station.stream_count());
       EXPECT_FALSE(seen[s]);
       seen[s] = true;
+    }
+  }
+}
+
+TEST(CentralStationTest, StreamIndexRoundTripsOverAllPairs) {
+  for (std::size_t devices : {2u, 3u, 5u, 9u}) {
+    CentralStation station(devices);
+    // tx/rx -> index -> tx/rx is the identity for every ordered pair...
+    for (DeviceId tx = 0; tx < devices; ++tx) {
+      for (DeviceId rx = 0; rx < devices; ++rx) {
+        if (tx == rx) continue;
+        const auto [tx2, rx2] =
+            station.stream_pair(station.stream_index(tx, rx));
+        EXPECT_EQ(tx2, tx) << devices << " devices";
+        EXPECT_EQ(rx2, rx) << devices << " devices";
+      }
+    }
+    // ...and index -> tx/rx -> index covers every stream.
+    for (std::size_t s = 0; s < station.stream_count(); ++s) {
+      const auto [tx, rx] = station.stream_pair(s);
+      EXPECT_NE(tx, rx);
+      EXPECT_EQ(station.stream_index(tx, rx), s);
     }
   }
 }
@@ -51,33 +79,49 @@ TEST(CentralStationTest, CompleteTickAssemblesRow) {
   CentralStation station(3);
   MessageBus bus;
   publish_full_round(bus, 3, 7, -40.0);
-  const auto complete = station.ingest(bus);
-  ASSERT_EQ(complete.size(), 1u);
-  EXPECT_EQ(complete[0], 7);
+  const auto ready = station.ingest(bus);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 7);
   const auto row = station.take_row(7);
-  ASSERT_EQ(row.size(), 6u);
-  for (std::size_t s = 0; s < row.size(); ++s) {
-    EXPECT_DOUBLE_EQ(row[s], -40.0 - static_cast<double>(s));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->tick, 7);
+  EXPECT_TRUE(row->complete());
+  ASSERT_EQ(row->values.size(), 6u);
+  for (std::size_t s = 0; s < row->values.size(); ++s) {
+    EXPECT_DOUBLE_EQ(row->values[s], -40.0 - static_cast<double>(s));
+    EXPECT_TRUE(row->valid[s]);
   }
 }
 
-TEST(CentralStationTest, InterleavedTicksCompleteIndependently) {
+TEST(CentralStationTest, ReleasedRowsSurfaceInTickOrder) {
   CentralStation station(2);
   MessageBus bus;
   bus.publish({0, 1, 0, -50.0});
   bus.publish({0, 1, 1, -51.0});
   bus.publish({1, 0, 1, -61.0});
-  // Tick 1 is complete (both streams), tick 0 is not.
-  const auto complete = station.ingest(bus);
-  ASSERT_EQ(complete.size(), 1u);
-  EXPECT_EQ(complete[0], 1);
-  // Completing tick 0 later works.
+  // Tick 1 is complete but tick 0 is still assembling: nothing may be
+  // surfaced yet, or MD would see an out-of-order stream.
+  EXPECT_TRUE(station.ingest(bus).empty());
+  // Completing tick 0 unblocks both, in order.
   bus.publish({1, 0, 0, -60.0});
-  const auto complete2 = station.ingest(bus);
-  // Tick 1 still pending (not yet taken) plus the newly complete tick 0.
-  ASSERT_EQ(complete2.size(), 2u);
-  EXPECT_EQ(complete2[0], 0);
-  EXPECT_EQ(complete2[1], 1);
+  const auto ready = station.ingest(bus);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 0);
+  EXPECT_EQ(ready[1], 1);
+}
+
+TEST(CentralStationTest, OutOfOrderTickDeliveryAssemblesBothTicks) {
+  CentralStation station(2);
+  MessageBus bus;
+  // All of tick 3 arrives before any of tick 2.
+  publish_full_round(bus, 2, 3, -45.0);
+  publish_full_round(bus, 2, 2, -47.0);
+  const auto ready = station.ingest(bus);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 2);
+  EXPECT_EQ(ready[1], 3);
+  EXPECT_DOUBLE_EQ(station.take_row(2)->values[0], -47.0);
+  EXPECT_DOUBLE_EQ(station.take_row(3)->values[0], -45.0);
 }
 
 TEST(CentralStationTest, TakeRowRemovesTheTick) {
@@ -85,16 +129,21 @@ TEST(CentralStationTest, TakeRowRemovesTheTick) {
   MessageBus bus;
   publish_full_round(bus, 2, 3, -45.0);
   station.ingest(bus);
-  (void)station.take_row(3);
-  EXPECT_THROW(station.take_row(3), ContractViolation);
+  EXPECT_TRUE(station.take_row(3).has_value());
+  EXPECT_FALSE(station.take_row(3).has_value());
 }
 
-TEST(CentralStationTest, TakeRowRejectsIncompleteTick) {
+TEST(CentralStationTest, TakeRowReturnsNulloptForIncompleteTick) {
   CentralStation station(2);
   MessageBus bus;
   bus.publish({0, 1, 5, -50.0});
   station.ingest(bus);
-  EXPECT_THROW(station.take_row(5), ContractViolation);
+  EXPECT_FALSE(station.take_row(5).has_value());
+}
+
+TEST(CentralStationTest, TakeRowReturnsNulloptForUnknownTick) {
+  CentralStation station(2);
+  EXPECT_FALSE(station.take_row(123).has_value());
 }
 
 TEST(CentralStationTest, DuplicateReportsKeepTheLatest) {
@@ -103,16 +152,115 @@ TEST(CentralStationTest, DuplicateReportsKeepTheLatest) {
   bus.publish({0, 1, 0, -50.0});
   bus.publish({0, 1, 0, -55.0});
   bus.publish({1, 0, 0, -60.0});
-  const auto complete = station.ingest(bus);
-  ASSERT_EQ(complete.size(), 1u);
+  const auto ready = station.ingest(bus);
+  ASSERT_EQ(ready.size(), 1u);
   const auto row = station.take_row(0);
-  EXPECT_DOUBLE_EQ(row[station.stream_index(0, 1)], -55.0);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->values[station.stream_index(0, 1)], -55.0);
+  EXPECT_EQ(station.health().duplicates, 1u);
+}
+
+TEST(CentralStationTest, DuplicateAcrossIngestCallsStillLatestWins) {
+  CentralStation station(2);
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  station.ingest(bus);
+  bus.publish({0, 1, 0, -52.0});  // newer report for the same cell
+  bus.publish({1, 0, 0, -60.0});
+  station.ingest(bus);
+  EXPECT_DOUBLE_EQ(station.take_row(0)->values[station.stream_index(0, 1)],
+                   -52.0);
 }
 
 TEST(CentralStationTest, RejectsOutOfRangeDevices) {
   CentralStation station(3);
   EXPECT_THROW(station.stream_index(3, 0), ContractViolation);
   EXPECT_THROW(station.stream_index(0, 0), ContractViolation);
+  EXPECT_THROW(station.stream_pair(6), ContractViolation);
+}
+
+TEST(CentralStationTest, DeadlineReleasesIncompleteRowWithImputation) {
+  StationConfig config;
+  config.deadline_ticks = 2;
+  CentralStation station(2, config);
+  MessageBus bus;
+
+  // Tick 0 completes normally: both streams carry real values.
+  bus.publish({0, 1, 0, -41.0});
+  bus.publish({1, 0, 0, -42.0});
+  station.ingest(bus, 0);
+  EXPECT_TRUE(station.take_row(0)->complete());
+
+  // Tick 1 loses stream (1->0); the row must not release before the
+  // deadline, then release with the lost cell imputed from tick 0.
+  bus.publish({0, 1, 1, -51.0});
+  EXPECT_TRUE(station.ingest(bus, 1).empty());
+  EXPECT_TRUE(station.ingest(bus, 2).empty());
+  const auto ready = station.ingest(bus, 3);  // 3 - 1 >= deadline
+  ASSERT_EQ(ready.size(), 1u);
+  const auto row = station.take_row(1);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_FALSE(row->complete());
+  EXPECT_EQ(row->missing, 1u);
+  const std::size_t fresh = station.stream_index(0, 1);
+  const std::size_t stale = station.stream_index(1, 0);
+  EXPECT_TRUE(row->valid[fresh]);
+  EXPECT_DOUBLE_EQ(row->values[fresh], -51.0);
+  EXPECT_FALSE(row->valid[stale]);
+  EXPECT_DOUBLE_EQ(row->values[stale], -42.0);  // last released value
+
+  EXPECT_EQ(station.health().incomplete_releases, 1u);
+  EXPECT_EQ(station.health().imputed_cells, 1u);
+  EXPECT_EQ(station.health().imputed_per_stream[stale], 1u);
+  EXPECT_EQ(station.health().imputed_per_stream[fresh], 0u);
+}
+
+TEST(CentralStationTest, LateReportAfterReleaseIsCountedAndDiscarded) {
+  StationConfig config;
+  config.deadline_ticks = 1;
+  CentralStation station(2, config);
+  MessageBus bus;
+  bus.publish({0, 1, 0, -50.0});
+  station.ingest(bus, 5);  // deadline long past: released incomplete
+  ASSERT_TRUE(station.take_row(0).has_value());
+
+  bus.publish({1, 0, 0, -60.0});  // the lost report finally shows up
+  EXPECT_TRUE(station.ingest(bus, 6).empty());
+  EXPECT_EQ(station.health().late_reports, 1u);
+}
+
+TEST(CentralStationTest, PendingIsBoundedAndEvictionsAreRecorded) {
+  // Regression: a permanently missing stream used to grow pending_
+  // without bound.  Feed many never-completing ticks and assert the
+  // buffer stays capped and evictions are counted.
+  StationConfig config;
+  config.max_pending = 8;  // strict mode: no deadline, only the cap
+  CentralStation station(3, config);
+  MessageBus bus;
+  const Tick ticks = 100;
+  for (Tick t = 0; t < ticks; ++t) {
+    for (DeviceId tx = 0; tx < 3; ++tx) {
+      for (DeviceId rx = 0; rx < 3; ++rx) {
+        if (tx == rx) continue;
+        if (tx == 2 && rx == 0) continue;  // stream (2->0) never reports
+        bus.publish({tx, rx, t, -50.0});
+      }
+    }
+    EXPECT_TRUE(station.ingest(bus).empty());
+    EXPECT_LE(station.buffered_count(), config.max_pending);
+  }
+  EXPECT_EQ(station.health().evictions,
+            static_cast<std::uint64_t>(ticks) - config.max_pending);
+}
+
+TEST(CentralStationTest, HealthCountsReports) {
+  CentralStation station(2);
+  MessageBus bus;
+  publish_full_round(bus, 2, 0, -40.0);
+  station.ingest(bus);
+  EXPECT_EQ(station.health().reports, 2u);
+  EXPECT_EQ(station.health().duplicates, 0u);
+  EXPECT_EQ(station.health().evictions, 0u);
 }
 
 }  // namespace
