@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+// on-disk artifact: recording files (sim::recording_io v2) and state
+// snapshots (persist).  Incremental so writers can accumulate while
+// streaming and readers can verify without buffering the whole payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fadewich {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace fadewich

@@ -64,6 +64,11 @@ class Controller {
   ControlState state() const { return state_; }
   const ControllerConfig& config() const { return config_; }
 
+  /// Restore the FSM state from a persisted snapshot.  A restored kNoisy
+  /// controller whose MD re-warms (window duration back to 0) simply
+  /// falls back to kQuiet on its next step.
+  void restore(ControlState state) { state_ = state; }
+
  private:
   ControllerConfig config_;
   std::size_t workstation_count_;

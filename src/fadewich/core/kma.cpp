@@ -1,6 +1,8 @@
 #include "fadewich/core/kma.hpp"
 
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "fadewich/common/error.hpp"
 
@@ -35,6 +37,15 @@ std::vector<std::size_t> KeyboardMouseActivity::idle_set(Seconds t,
 bool KeyboardMouseActivity::idle_for(std::size_t workstation, Seconds t,
                                      Seconds s) const {
   return idle_time(workstation, t) >= s;
+}
+
+void KeyboardMouseActivity::restore(std::vector<Seconds> last_inputs) {
+  if (last_inputs.size() != last_input_.size()) {
+    throw Error("kma state has " + std::to_string(last_inputs.size()) +
+                " workstations, deployment has " +
+                std::to_string(last_input_.size()));
+  }
+  last_input_ = std::move(last_inputs);
 }
 
 }  // namespace fadewich::core

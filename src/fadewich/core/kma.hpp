@@ -35,6 +35,13 @@ class KeyboardMouseActivity {
   /// True if the workstation is in S_t^(s).
   bool idle_for(std::size_t workstation, Seconds t, Seconds s) const;
 
+  /// Last-input instants for persistence (-infinity = never seen).
+  const std::vector<Seconds>& last_inputs() const { return last_input_; }
+
+  /// Restore persisted idle timers.  Throws fadewich::Error when the
+  /// snapshot's workstation count does not match this deployment.
+  void restore(std::vector<Seconds> last_inputs);
+
  private:
   std::vector<Seconds> last_input_;  // -infinity when never seen
 };

@@ -104,6 +104,46 @@ MdState MovementDetector::step(std::span<const double> rssi_row,
   return MdState::kNormal;
 }
 
+MovementDetectorState MovementDetector::export_state() const {
+  MovementDetectorState state;
+  state.now = now_;
+  state.last_st = last_st_;
+  state.degraded_ticks = degraded_ticks_;
+  if (profile_.initialized()) {
+    state.profile_samples = profile_.samples_snapshot();
+    state.profile_queue = profile_.queue_snapshot();
+  } else {
+    state.calibration_buffer = calibration_buffer_;
+  }
+  return state;
+}
+
+void MovementDetector::import_state(const MovementDetectorState& state) {
+  if (state.now < 0) throw Error("md state has a negative tick clock");
+  if (static_cast<Tick>(state.calibration_buffer.size()) >
+      calibration_ticks_) {
+    throw Error("md state calibration buffer exceeds the calibration span");
+  }
+  if (state.profile_samples.empty()) {
+    // Still calibrating at save time: resume accumulating quiet samples.
+    profile_ = NormalProfile(config_.profile);
+    calibration_buffer_ = state.calibration_buffer;
+  } else {
+    profile_.restore(state.profile_samples, state.profile_queue);
+    calibration_buffer_.clear();
+  }
+  now_ = state.now;
+  last_st_ = state.last_st;
+  degraded_ticks_ = state.degraded_ticks;
+  last_live_fraction_ = 1.0;
+  // The sliding windows restart empty: detection resumes once they fill.
+  for (auto& window : windows_) window.clear();
+  windows_warm_ = false;
+  open_.reset();
+  completed_.clear();
+  last_anomalous_ = -1;
+}
+
 std::optional<VariationWindow> MovementDetector::current_window() const {
   return open_;
 }

@@ -47,6 +47,21 @@ enum class MdState {
   kAnomalous,
 };
 
+/// MD's durable state for persistence: the learned profile (plus its
+/// pending update queue), the tick clock, and degradation counters.  The
+/// per-stream sliding windows are deliberately *not* persisted — after a
+/// restart their contents would describe a radio environment from before
+/// the downtime — so a restored detector re-warms for `std_window`
+/// seconds (reporting kCalibrating) before resuming detection.
+struct MovementDetectorState {
+  Tick now = 0;
+  double last_st = 0.0;
+  std::uint64_t degraded_ticks = 0;
+  std::vector<double> profile_samples;  // empty = still calibrating
+  std::vector<double> profile_queue;
+  std::vector<double> calibration_buffer;
+};
+
 class MovementDetector {
  public:
   /// Requires stream_count >= 1 and tick_hz > 0.
@@ -98,6 +113,16 @@ class MovementDetector {
 
   const NormalProfile& profile() const { return profile_; }
   bool calibrated() const { return profile_.initialized(); }
+
+  /// Durable state for persistence.
+  MovementDetectorState export_state() const;
+
+  /// Restore from persisted state: the profile and clock come back
+  /// exactly; the sliding windows restart empty, so the detector reports
+  /// kCalibrating for the next `std_window` seconds (the re-warm window)
+  /// and any variation window open at save time is dropped.  Throws
+  /// fadewich::Error on inconsistent state.
+  void import_state(const MovementDetectorState& state);
 
  private:
   TickRate rate_;

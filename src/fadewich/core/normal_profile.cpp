@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "fadewich/ml/kde.hpp"
 
@@ -19,6 +20,7 @@ NormalProfile::NormalProfile(NormalProfileConfig config) : config_(config) {
   FADEWICH_EXPECTS(config_.batch_size >= 1);
   FADEWICH_EXPECTS(config_.anomalous_fraction > 0.0 &&
                    config_.anomalous_fraction <= 1.0);
+  FADEWICH_EXPECTS(config_.max_drift_fraction >= 0.0);
 }
 
 void NormalProfile::initialize(std::vector<double> samples) {
@@ -27,6 +29,28 @@ void NormalProfile::initialize(std::vector<double> samples) {
   while (samples_.size() > config_.capacity) samples_.pop_front();
   queue_.clear();
   reestimate();
+  drift_rollbacks_ = 0;
+  updates_accepted_ = 0;
+  commit_last_good();
+}
+
+void NormalProfile::restore(std::vector<double> samples,
+                            std::vector<double> queue) {
+  if (samples.size() < 10) {
+    throw Error("profile state has fewer than 10 samples");
+  }
+  samples_.assign(samples.begin(), samples.end());
+  while (samples_.size() > config_.capacity) samples_.pop_front();
+  queue_ = std::move(queue);
+  reestimate();
+  drift_rollbacks_ = 0;
+  updates_accepted_ = 0;
+  commit_last_good();
+}
+
+void NormalProfile::commit_last_good() {
+  last_good_samples_.assign(samples_.begin(), samples_.end());
+  last_good_threshold_ = threshold_;
 }
 
 bool NormalProfile::offer(double value) {
@@ -55,6 +79,23 @@ bool NormalProfile::offer(double value) {
   while (samples_.size() > config_.capacity) samples_.pop_front();
   queue_.clear();
   reestimate();
+
+  // Drift guard: a batch that passed the anomalous-fraction test can
+  // still shift the threshold far from the last committed estimate (a
+  // slow poisoning sequence does exactly this).  Reject the excursion
+  // and roll back to the last good profile.
+  if (config_.max_drift_fraction > 0.0) {
+    const double scale = std::max(std::abs(last_good_threshold_), 1e-12);
+    if (std::abs(threshold_ - last_good_threshold_) >
+        config_.max_drift_fraction * scale) {
+      samples_.assign(last_good_samples_.begin(), last_good_samples_.end());
+      reestimate();
+      ++drift_rollbacks_;
+      return false;
+    }
+  }
+  ++updates_accepted_;
+  commit_last_good();
   return true;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -29,6 +30,13 @@ struct NormalProfileConfig {
   // its initial estimate — the ablation showing why the paper updates:
   // the radio baseline drifts and a static threshold goes stale.
   bool self_update = true;
+  // Drift guard hardening Algorithm 1: a batch whose re-estimated
+  // threshold moves more than this fraction (relative to the last good
+  // threshold) is rejected and the profile rolled back to its last good
+  // state, so a corrupted or adversarial batch sequence cannot poison MD
+  // through a chain of individually-plausible updates.  0 disables the
+  // guard (the paper's unguarded behaviour).
+  double max_drift_fraction = 0.0;
 };
 
 class NormalProfile {
@@ -60,10 +68,26 @@ class NormalProfile {
   std::vector<double> samples_snapshot() const {
     return {samples_.begin(), samples_.end()};
   }
+  std::vector<double> queue_snapshot() const { return queue_; }
   const NormalProfileConfig& config() const { return config_; }
+
+  /// Restore a previously persisted profile: `samples` in insertion
+  /// order (>= 10) plus the pending update queue.  The threshold and
+  /// bandwidth are re-derived, so a restored profile is bit-identical to
+  /// the one that was saved.  Resets the drift guard's last-good anchor
+  /// and counters, like initialize().
+  void restore(std::vector<double> samples, std::vector<double> queue);
+
+  /// Batches rejected by the drift guard so far.
+  std::uint64_t drift_rollbacks() const { return drift_rollbacks_; }
+  /// Batches folded in (and kept) so far.
+  std::uint64_t updates_accepted() const { return updates_accepted_; }
+  /// The threshold of the last good (committed) estimate.
+  double last_good_threshold() const { return last_good_threshold_; }
 
  private:
   void reestimate();
+  void commit_last_good();
   double cdf_sorted(double x) const;
 
   NormalProfileConfig config_;
@@ -72,6 +96,11 @@ class NormalProfile {
   std::vector<double> queue_;    // pending update batch Q
   double bandwidth_ = 1.0;
   double threshold_ = 0.0;
+  // Drift guard state: the last estimate that passed the guard.
+  std::vector<double> last_good_samples_;
+  double last_good_threshold_ = 0.0;
+  std::uint64_t drift_rollbacks_ = 0;
+  std::uint64_t updates_accepted_ = 0;
 };
 
 }  // namespace fadewich::core

@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fadewich/core/features.hpp"
@@ -60,6 +61,17 @@ class RadioEnvironment {
   void train(const ml::Dataset& samples);
 
   bool trained() const { return svm_.trained(); }
+
+  /// The trained classifier, for persistence.  Requires trained().
+  ml::MulticlassSvmState export_classifier() const {
+    return svm_.export_state();
+  }
+
+  /// Restore a persisted classifier (throws fadewich::Error on
+  /// inconsistent state).
+  void import_classifier(ml::MulticlassSvmState state) {
+    svm_.import_state(std::move(state));
+  }
 
   /// Classify a feature vector.  Requires trained().
   int classify(const std::vector<double>& features) const;

@@ -3,6 +3,7 @@
 // (t1 is at most t_delta + merge-gap ticks in the past).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,15 @@ class StreamHistory {
   Tick oldest_tick() const {
     const Tick cap = static_cast<Tick>(capacity_);
     return next_tick_ > cap ? next_tick_ - cap : 0;
+  }
+
+  /// Restart the history at an arbitrary tick clock with zeroed contents
+  /// (used when restoring a persisted system: the pre-restart samples are
+  /// gone, but the tick indexing must stay aligned with the detector).
+  void reset(Tick next_tick) {
+    FADEWICH_EXPECTS(next_tick >= 0);
+    std::fill(data_.begin(), data_.end(), 0.0);
+    next_tick_ = next_tick;
   }
 
   /// Append one tick (one value per stream).

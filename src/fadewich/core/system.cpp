@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "fadewich/common/error.hpp"
 
@@ -194,6 +195,57 @@ bool FadewichSystem::finish_training() {
 void FadewichSystem::train_with(const ml::Dataset& samples) {
   re_.train(samples);
   training_ = false;
+}
+
+SystemState FadewichSystem::export_state() const {
+  SystemState state;
+  state.tick = static_cast<std::uint64_t>(tick_);
+  state.training = training_;
+  state.md = md_.export_state();
+  state.controller = controller_.state();
+  state.kma_last_input = kma_.last_inputs();
+  state.sessions.reserve(sessions_.size());
+  for (const WorkstationSession& session : sessions_) {
+    state.sessions.push_back(session.snapshot());
+  }
+  state.re_trained = re_.trained();
+  if (state.re_trained) state.re = re_.export_classifier();
+  state.training_samples = samples_;
+  return state;
+}
+
+void FadewichSystem::import_state(const SystemState& state) {
+  if (state.sessions.size() != sessions_.size()) {
+    throw Error("system state has " +
+                std::to_string(state.sessions.size()) +
+                " sessions, deployment has " +
+                std::to_string(sessions_.size()));
+  }
+  if (state.md.now != static_cast<Tick>(state.tick)) {
+    throw Error("system state tick clock disagrees with MD clock");
+  }
+  if (state.training_samples.size() !=
+      state.training_samples.labels.size()) {
+    throw Error("system state training set is ragged");
+  }
+  // Restore the sub-modules first so a throw leaves this system
+  // untouched only where the failing module is concerned; callers treat
+  // any Error as "snapshot unusable" and fall back to an older one.
+  kma_.restore(state.kma_last_input);
+  md_.import_state(state.md);
+  if (state.re_trained) {
+    re_.import_classifier(state.re);
+  }
+  controller_.restore(state.controller);
+  for (std::size_t w = 0; w < sessions_.size(); ++w) {
+    sessions_[w].restore(state.sessions[w]);
+  }
+  tick_ = static_cast<Tick>(state.tick);
+  training_ = state.training;
+  samples_ = state.training_samples;
+  pending_samples_.clear();
+  history_.reset(tick_);
+  validity_history_.reset(tick_);
 }
 
 const WorkstationSession& FadewichSystem::session(

@@ -39,6 +39,26 @@ struct SystemConfig {
   Seconds t_ss = 3.0;  // screensaver grace before lock
 };
 
+/// Everything a FadewichSystem has learned or accumulated that must
+/// survive a process death: the tick clock, phase, MD's profile, the
+/// trained classifier, the controller FSM, KMA idle timers, session
+/// states, and the auto-labeled training set.  Deliberately excluded:
+/// the RSSI stream history and MD's sliding windows (stale after any
+/// downtime; they re-warm in `md.std_window` seconds) and deferred
+/// auto-label attempts (at most one entry-confirmation horizon of
+/// training samples is lost).
+struct SystemState {
+  std::uint64_t tick = 0;
+  bool training = true;
+  MovementDetectorState md;
+  ControlState controller = ControlState::kQuiet;
+  std::vector<Seconds> kma_last_input;
+  std::vector<SessionSnapshot> sessions;
+  bool re_trained = false;
+  ml::MulticlassSvmState re;  // valid only when re_trained
+  ml::Dataset training_samples;
+};
+
 class FadewichSystem {
  public:
   FadewichSystem(std::size_t stream_count, std::size_t workstation_count,
@@ -82,6 +102,18 @@ class FadewichSystem {
   /// Fit RE on externally labeled samples (e.g. supervisor ground truth)
   /// and enter the online phase.
   void train_with(const ml::Dataset& samples);
+
+  // --- Persistence --------------------------------------------------
+  /// Export the durable state (see SystemState for what is included).
+  SystemState export_state() const;
+
+  /// Restore a persisted state into this system.  The system must have
+  /// been constructed with the same stream/workstation counts and
+  /// configuration as the one that exported the state; mismatches throw
+  /// fadewich::Error.  After the call the pipeline resumes at the saved
+  /// tick with empty stream history, so detection re-warms for
+  /// `md.std_window` seconds before windows can open again.
+  void import_state(const SystemState& state);
 
   // --- Introspection ------------------------------------------------
   const MovementDetector& md() const { return md_; }

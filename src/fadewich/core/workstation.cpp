@@ -52,6 +52,12 @@ void WorkstationSession::on_input(Seconds now) {
   }
 }
 
+void WorkstationSession::restore(const SessionSnapshot& snapshot) {
+  state_ = snapshot.state;
+  last_alert_ = snapshot.last_alert;
+  log_.clear();
+}
+
 void WorkstationSession::tick(Seconds now, Seconds idle_time) {
   switch (state_) {
     case SessionState::kActive:

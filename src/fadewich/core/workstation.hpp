@@ -35,6 +35,13 @@ struct SessionTransition {
   Seconds time = 0.0;
 };
 
+/// Durable session state for persistence.  The transition log is audit
+/// output, not state the machine depends on, so it is not persisted.
+struct SessionSnapshot {
+  SessionState state = SessionState::kActive;
+  Seconds last_alert = -1.0e18;
+};
+
 class WorkstationSession {
  public:
   WorkstationSession(Seconds t_id, Seconds t_ss);
@@ -62,6 +69,12 @@ class WorkstationSession {
   /// idle time reported by KMA, and decay unrefreshed alerts.
   /// `idle_time` is seconds since the workstation's last input.
   void tick(Seconds now, Seconds idle_time);
+
+  /// Durable state for persistence.
+  SessionSnapshot snapshot() const { return {state_, last_alert_}; }
+
+  /// Restore persisted state; the transition log restarts empty.
+  void restore(const SessionSnapshot& snapshot);
 
  private:
   void transition(SessionState to, Seconds now);

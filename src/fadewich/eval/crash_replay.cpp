@@ -1,0 +1,256 @@
+#include "fadewich/eval/crash_replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+#include "fadewich/sim/input_activity.hpp"
+
+namespace fadewich::eval {
+
+namespace {
+
+std::vector<double> row_at(const sim::Recording& recording, Tick t) {
+  std::vector<double> row(recording.stream_count());
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    row[s] = recording.rssi(s, t);
+  }
+  return row;
+}
+
+/// Drive the system over recording ticks [begin, end), delivering
+/// derived inputs and flipping to the online phase at
+/// `training_duration`.  `next_input` carries the input cursor across
+/// calls so a replay can skip what the snapshot already consumed.
+void drive(core::FadewichSystem& system, const sim::Recording& recording,
+           const std::vector<DerivedInput>& inputs, std::size_t& next_input,
+           Tick begin, Tick end, Seconds training_duration,
+           std::vector<ActionRecord>& actions,
+           const std::function<void(Tick)>& after_step) {
+  for (Tick t = begin; t < end; ++t) {
+    const Seconds now = recording.rate().to_seconds(t);
+    if (system.training() && now >= training_duration) {
+      system.finish_training();
+    }
+    while (next_input < inputs.size() && inputs[next_input].time <= now) {
+      system.record_input(inputs[next_input].workstation,
+                          inputs[next_input].time);
+      ++next_input;
+    }
+    const auto result = system.step(row_at(recording, t));
+    for (const core::Action& action : result.actions) {
+      actions.push_back({t, action.type, action.workstation, action.time});
+    }
+    if (after_step) after_step(t);
+  }
+}
+
+}  // namespace
+
+std::vector<DerivedInput> derive_inputs(const sim::Recording& recording,
+                                        std::size_t workstations,
+                                        std::uint64_t seed) {
+  std::vector<DerivedInput> inputs;
+  Rng rng(seed);
+  for (std::size_t w = 0; w < workstations; ++w) {
+    sim::InputActivitySimulator sim({}, rng.split(w));
+    const auto events = sim.generate(
+        recording.total_duration(),
+        [&](Seconds t) { return recording.seated_at(w, t); });
+    for (Seconds t : events) inputs.push_back({t, w});
+    // Sitting down counts as input (log-in / grabbing the mouse).
+    for (const Interval& iv : recording.seated_intervals()[w]) {
+      inputs.push_back({iv.begin, w});
+    }
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const DerivedInput& a, const DerivedInput& b) {
+              return a.time < b.time;
+            });
+  return inputs;
+}
+
+std::vector<ActionRecord> run_online(const sim::Recording& recording,
+                                     std::size_t workstations,
+                                     const OnlineRunConfig& config) {
+  core::SystemConfig system_config = config.system;
+  system_config.tick_hz = recording.rate().hz();
+  core::FadewichSystem system(recording.stream_count(), workstations,
+                              system_config);
+  const auto inputs =
+      derive_inputs(recording, workstations, config.input_seed);
+  std::vector<ActionRecord> actions;
+  std::size_t next_input = 0;
+  drive(system, recording, inputs, next_input, 0, recording.tick_count(),
+        config.training_duration, actions, nullptr);
+  return actions;
+}
+
+Seconds rewarm_bound(const CrashReplayConfig& config) {
+  // Windows refill over std_window; the profile's merge gap and the
+  // controller's t_delta bound how long until the first post-restore
+  // window can fire, plus configured slack for tick rounding.
+  return config.online.system.md.std_window +
+         config.online.system.md.merge_gap +
+         config.online.system.controller.t_delta + config.rewarm_slack;
+}
+
+CrashReplayResult run_with_crash(const sim::Recording& recording,
+                                 std::size_t workstations,
+                                 const CrashReplayConfig& config) {
+  if (config.crash_tick < 0 || config.crash_tick >= recording.tick_count()) {
+    throw Error("crash_tick outside the recording");
+  }
+  if (config.checkpoint_period < 1) {
+    throw Error("checkpoint_period must be >= 1");
+  }
+  core::SystemConfig system_config = config.online.system;
+  system_config.tick_hz = recording.rate().hz();
+  const auto inputs =
+      derive_inputs(recording, workstations, config.online.input_seed);
+
+  CrashReplayResult result;
+  result.crash_tick = config.crash_tick;
+
+  // Phase 1: run to the crash tick, checkpointing periodically.  The
+  // system object is then dropped — everything not in the ring is lost.
+  {
+    core::FadewichSystem system(recording.stream_count(), workstations,
+                                system_config);
+    persist::RecoveryManager recovery(config.recovery);
+    std::vector<ActionRecord> pre_crash;
+    std::size_t next_input = 0;
+    drive(system, recording, inputs, next_input, 0, config.crash_tick + 1,
+          config.online.training_duration, pre_crash, [&](Tick t) {
+            if ((t + 1) % config.checkpoint_period == 0) {
+              persist::Snapshot snapshot;
+              snapshot.system = system.export_state();
+              recovery.checkpoint(snapshot);
+            }
+          });
+    result.actions = std::move(pre_crash);
+  }
+
+  // Phase 2: resurrect from the ring and replay the rest.
+  core::FadewichSystem system(recording.stream_count(), workstations,
+                              system_config);
+  persist::RecoveryManager recovery(config.recovery);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<persist::Snapshot> snapshot =
+      recovery.recover(&result.report);
+  Tick restored = 0;
+  if (snapshot) {
+    system.import_state(snapshot->system);
+    restored = static_cast<Tick>(snapshot->system.tick);
+  } else {
+    result.cold_start = true;
+  }
+  result.recovery_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  result.restored_tick = restored;
+
+  // The crashed run's observable history ends at the snapshot: discard
+  // actions the dead process emitted past the restore point (a real
+  // restart would never have emitted them to anyone who remembers).
+  std::erase_if(result.actions, [&](const ActionRecord& a) {
+    return a.tick >= restored;
+  });
+
+  // Skip inputs the snapshot already consumed (KMA timers persisted).
+  std::size_t next_input = 0;
+  if (restored > 0) {
+    const Seconds consumed_until =
+        recording.rate().to_seconds(restored - 1);
+    while (next_input < inputs.size() &&
+           inputs[next_input].time <= consumed_until) {
+      ++next_input;
+    }
+  }
+  drive(system, recording, inputs, next_input, restored,
+        recording.tick_count(), config.online.training_duration,
+        result.actions, nullptr);
+  return result;
+}
+
+DivergenceResult compare_actions(const std::vector<ActionRecord>& reference,
+                                 const CrashReplayResult& crashed,
+                                 const TickRate& rate, Seconds rewarm,
+                                 Seconds tolerance) {
+  const Seconds restore_time = rate.to_seconds(crashed.restored_tick);
+
+  std::vector<const ActionRecord*> ref, got;
+  for (const ActionRecord& a : reference) {
+    if (a.tick >= crashed.restored_tick) ref.push_back(&a);
+  }
+  for (const ActionRecord& a : crashed.actions) {
+    if (a.tick >= crashed.restored_tick) got.push_back(&a);
+  }
+
+  DivergenceResult out;
+  out.reference_actions = ref.size();
+
+  std::vector<bool> used(got.size(), false);
+  std::vector<const ActionRecord*> divergent;
+  for (const ActionRecord* a : ref) {
+    bool matched = false;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (used[j]) continue;
+      if (got[j]->type == a->type && got[j]->workstation == a->workstation &&
+          std::abs(got[j]->time - a->time) <= tolerance) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) divergent.push_back(a);
+  }
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    if (!used[j]) divergent.push_back(got[j]);
+  }
+
+  for (const ActionRecord* a : divergent) {
+    if (a->time <= restore_time + rewarm) {
+      ++out.divergent_in_rewarm;
+    } else {
+      ++out.divergent_after_rewarm;
+      if (a->type == core::ActionType::kDeauthenticate) {
+        ++out.divergent_deauths_after_rewarm;
+      }
+    }
+    out.reconverge_after =
+        std::max(out.reconverge_after, a->time - restore_time);
+  }
+  return out;
+}
+
+std::vector<DeauthCase> leave_outcomes(
+    const sim::Recording& recording,
+    const std::vector<ActionRecord>& actions, Seconds horizon) {
+  std::vector<DeauthCase> outcomes;
+  for (const sim::GroundTruthEvent& event : recording.events()) {
+    if (event.kind != sim::EventKind::kLeave) continue;
+    DeauthCase outcome = DeauthCase::kMissed;
+    for (const ActionRecord& action : actions) {
+      if (action.workstation != event.workstation) continue;
+      if (action.time < event.movement_start ||
+          action.time > event.departure_time() + horizon) {
+        continue;
+      }
+      if (action.type == core::ActionType::kDeauthenticate) {
+        outcome = DeauthCase::kCorrect;
+        break;
+      }
+      outcome = DeauthCase::kMisclassified;  // alert only: case B
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace fadewich::eval

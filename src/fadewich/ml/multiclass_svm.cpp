@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "fadewich/common/error.hpp"
@@ -80,6 +81,60 @@ int MulticlassSvm::predict(const std::vector<double>& x) const {
     }
   }
   return best;
+}
+
+MulticlassSvmState MulticlassSvm::export_state() const {
+  FADEWICH_EXPECTS(trained_);
+  MulticlassSvmState state;
+  state.classes = classes_;
+  state.scaler_means = scaler_.means();
+  state.scaler_scales = scaler_.scales();
+  state.machines.reserve(machines_.size());
+  for (const auto& [pair, svm] : machines_) {
+    state.machines.push_back({pair.first, pair.second, svm.export_state()});
+  }
+  return state;
+}
+
+void MulticlassSvm::import_state(MulticlassSvmState state) {
+  if (state.classes.empty()) throw Error("svm state has no classes");
+  if (!std::is_sorted(state.classes.begin(), state.classes.end()) ||
+      std::adjacent_find(state.classes.begin(), state.classes.end()) !=
+          state.classes.end()) {
+    throw Error("svm state classes are not sorted and unique");
+  }
+  const std::size_t k = state.classes.size();
+  if (state.machines.size() != k * (k - 1) / 2) {
+    throw Error("svm state has " + std::to_string(state.machines.size()) +
+                " pairwise machines for " + std::to_string(k) + " classes");
+  }
+
+  StandardScaler scaler;
+  scaler.restore(std::move(state.scaler_means),
+                 std::move(state.scaler_scales));
+
+  std::map<std::pair<int, int>, BinarySvm> machines;
+  for (auto& machine : state.machines) {
+    const std::pair<int, int> pair{machine.first_class,
+                                   machine.second_class};
+    if (pair.first >= pair.second ||
+        !std::binary_search(state.classes.begin(), state.classes.end(),
+                            pair.first) ||
+        !std::binary_search(state.classes.begin(), state.classes.end(),
+                            pair.second)) {
+      throw Error("svm state pairwise machine references unknown classes");
+    }
+    BinarySvm svm(config_);
+    svm.import_state(std::move(machine.svm));
+    if (!machines.emplace(pair, std::move(svm)).second) {
+      throw Error("svm state has a duplicate pairwise machine");
+    }
+  }
+
+  classes_ = std::move(state.classes);
+  scaler_ = std::move(scaler);
+  machines_ = std::move(machines);
+  trained_ = true;
 }
 
 double MulticlassSvm::accuracy(const Dataset& test) const {

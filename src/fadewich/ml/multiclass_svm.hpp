@@ -17,6 +17,21 @@ class ThreadPool;
 
 namespace fadewich::ml {
 
+/// The trained parameters of a MulticlassSvm for persistence: the class
+/// list, the fitted scaler, and every pairwise machine keyed by its
+/// (first, second) class pair.
+struct MulticlassSvmState {
+  struct PairwiseMachine {
+    int first_class = 0;
+    int second_class = 0;
+    BinarySvmState svm;
+  };
+  std::vector<int> classes;
+  std::vector<double> scaler_means;
+  std::vector<double> scaler_scales;
+  std::vector<PairwiseMachine> machines;
+};
+
 class MulticlassSvm {
  public:
   explicit MulticlassSvm(SvmConfig config = {});
@@ -39,6 +54,15 @@ class MulticlassSvm {
 
   bool trained() const { return trained_; }
   const std::vector<int>& classes() const { return classes_; }
+
+  /// Trained parameters for persistence.  Requires trained.
+  MulticlassSvmState export_state() const;
+
+  /// Restore a trained model from persisted state.  Throws
+  /// fadewich::Error on inconsistent state (no classes, wrong pairwise
+  /// machine set, unknown class in a pair) so corrupt snapshots fail
+  /// loudly instead of voting with a half-restored model.
+  void import_state(MulticlassSvmState state);
 
  private:
   SvmConfig config_;

@@ -1,6 +1,8 @@
 #include "fadewich/ml/scaler.hpp"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "fadewich/common/error.hpp"
 
@@ -30,6 +32,19 @@ void StandardScaler::fit(const std::vector<std::vector<double>>& features) {
     const double sd = std::sqrt(var[j] / n);
     scales_[j] = sd > 0.0 ? sd : 1.0;
   }
+}
+
+void StandardScaler::restore(std::vector<double> means,
+                             std::vector<double> scales) {
+  if (means.empty() || means.size() != scales.size()) {
+    throw Error("scaler state inconsistent: " + std::to_string(means.size()) +
+                " means vs " + std::to_string(scales.size()) + " scales");
+  }
+  for (double s : scales) {
+    if (!(s > 0.0)) throw Error("scaler state has non-positive scale");
+  }
+  means_ = std::move(means);
+  scales_ = std::move(scales);
 }
 
 std::vector<double> StandardScaler::transform(

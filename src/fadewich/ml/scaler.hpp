@@ -27,6 +27,11 @@ class StandardScaler {
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& scales() const { return scales_; }
 
+  /// Restore a previously fitted scaler from persisted state.  Throws
+  /// fadewich::Error on inconsistent state (size mismatch, empty, or
+  /// non-positive scales) so corrupt snapshots fail loudly.
+  void restore(std::vector<double> means, std::vector<double> scales);
+
  private:
   std::vector<double> means_;
   std::vector<double> scales_;

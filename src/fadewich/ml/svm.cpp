@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "fadewich/common/error.hpp"
 
@@ -161,6 +163,30 @@ int BinarySvm::predict(const std::vector<double>& x) const {
 std::size_t BinarySvm::support_vector_count() const {
   FADEWICH_EXPECTS(trained_);
   return support_x_.size();
+}
+
+BinarySvmState BinarySvm::export_state() const {
+  FADEWICH_EXPECTS(trained_);
+  return {support_x_, support_alpha_y_, bias_};
+}
+
+void BinarySvm::import_state(BinarySvmState state) {
+  if (state.support_x.empty() ||
+      state.support_x.size() != state.support_alpha_y.size()) {
+    throw Error("svm state inconsistent: " +
+                std::to_string(state.support_x.size()) +
+                " support vectors vs " +
+                std::to_string(state.support_alpha_y.size()) + " weights");
+  }
+  const std::size_t dim = state.support_x.front().size();
+  if (dim == 0) throw Error("svm state has zero-width support vectors");
+  for (const auto& row : state.support_x) {
+    if (row.size() != dim) throw Error("svm state has ragged support rows");
+  }
+  support_x_ = std::move(state.support_x);
+  support_alpha_y_ = std::move(state.support_alpha_y);
+  bias_ = state.bias;
+  trained_ = true;
 }
 
 }  // namespace fadewich::ml

@@ -27,6 +27,15 @@ struct SvmConfig {
   std::uint64_t seed = 1;    // SMO partner-selection randomisation
 };
 
+/// The trained parameters of a BinarySvm, exposed for persistence: the
+/// kernel expansion is fully determined by the support vectors, their
+/// signed dual weights, and the bias.
+struct BinarySvmState {
+  std::vector<std::vector<double>> support_x;
+  std::vector<double> support_alpha_y;  // alpha_i * y_i per support vector
+  double bias = 0.0;
+};
+
 /// Binary SVM.  Labels are -1 / +1.
 class BinarySvm {
  public:
@@ -49,6 +58,14 @@ class BinarySvm {
   std::size_t support_vector_count() const;
 
   const SvmConfig& config() const { return config_; }
+
+  /// Trained parameters for persistence.  Requires trained.
+  BinarySvmState export_state() const;
+
+  /// Restore a trained machine from persisted state.  Throws
+  /// fadewich::Error on inconsistent state (empty expansion, mismatched
+  /// row widths or weight count) so corrupt snapshots fail loudly.
+  void import_state(BinarySvmState state);
 
  private:
   double kernel(const std::vector<double>& a,

@@ -9,9 +9,18 @@ namespace fadewich::net {
 CentralStation::CentralStation(std::size_t device_count,
                                StationConfig config)
     : device_count_(device_count), config_(config) {
-  FADEWICH_EXPECTS(device_count >= 2);
-  FADEWICH_EXPECTS(config.deadline_ticks >= 0);
-  FADEWICH_EXPECTS(config.max_pending >= 1);
+  // Station configs come from deployment descriptions at runtime, so
+  // invalid values throw fadewich::Error (recoverable data error)
+  // instead of tripping a contract check.
+  if (device_count < 2) {
+    throw Error("central station: device_count must be >= 2");
+  }
+  if (config.deadline_ticks < 0) {
+    throw Error("central station: deadline_ticks must be >= 0");
+  }
+  if (config.max_pending < 1) {
+    throw Error("central station: max_pending must be >= 1");
+  }
   last_value_.assign(stream_count(), 0.0);
   health_.imputed_per_stream.assign(stream_count(), 0);
 }

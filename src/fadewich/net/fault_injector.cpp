@@ -10,18 +10,35 @@ namespace fadewich::net {
 FaultInjector::FaultInjector(std::size_t device_count, FaultConfig config,
                              std::uint64_t seed)
     : device_count_(device_count), config_(std::move(config)) {
-  FADEWICH_EXPECTS(device_count >= 2);
-  FADEWICH_EXPECTS(config_.drop_probability >= 0.0 &&
-                   config_.drop_probability <= 1.0);
-  FADEWICH_EXPECTS(config_.delay_probability >= 0.0 &&
-                   config_.delay_probability <= 1.0);
-  FADEWICH_EXPECTS(config_.duplicate_probability >= 0.0 &&
-                   config_.duplicate_probability <= 1.0);
-  FADEWICH_EXPECTS(config_.delay_probability == 0.0 ||
-                   config_.max_delay_ticks >= 1);
+  // Fault configs typically arrive from runtime sources (sweep files,
+  // CLI flags), so bad values are data errors, not caller bugs: throw
+  // fadewich::Error rather than tripping a contract.  The negated
+  // comparisons also reject NaN probabilities.
+  if (device_count < 2) {
+    throw Error("fault injector: device_count must be >= 2");
+  }
+  if (!(config_.drop_probability >= 0.0 &&
+        config_.drop_probability <= 1.0)) {
+    throw Error("fault injector: drop_probability must be in [0, 1]");
+  }
+  if (!(config_.delay_probability >= 0.0 &&
+        config_.delay_probability <= 1.0)) {
+    throw Error("fault injector: delay_probability must be in [0, 1]");
+  }
+  if (!(config_.duplicate_probability >= 0.0 &&
+        config_.duplicate_probability <= 1.0)) {
+    throw Error("fault injector: duplicate_probability must be in [0, 1]");
+  }
+  if (config_.delay_probability > 0.0 && config_.max_delay_ticks < 1) {
+    throw Error("fault injector: delays need max_delay_ticks >= 1");
+  }
   for (const SensorOutage& outage : config_.outages) {
-    FADEWICH_EXPECTS(outage.device < device_count);
-    FADEWICH_EXPECTS(outage.from <= outage.to);
+    if (outage.device >= device_count) {
+      throw Error("fault injector: outage names an unknown device");
+    }
+    if (outage.from > outage.to) {
+      throw Error("fault injector: outage interval is reversed");
+    }
   }
   const std::size_t links = device_count * (device_count - 1);
   link_rngs_.reserve(links);

@@ -22,7 +22,11 @@ LiveSensorNetwork::LiveSensorNetwork(std::vector<rf::Point> sensors,
       station_(channel_.sensor_count(), station),
       tick_hz_(tick_hz) {
   FADEWICH_EXPECTS(tick_hz > 0.0);
-  FADEWICH_EXPECTS(!faults.enabled() || station.deadline_ticks > 0);
+  // Mismatched fault/station configs are a runtime deployment error.
+  if (faults.enabled() && station.deadline_ticks <= 0) {
+    throw Error(
+        "live network: faults need a release deadline (deadline_ticks)");
+  }
   if (faults.enabled()) {
     // A distinct seed stream from the channel's: the injector's draws
     // must not disturb the physical truth.

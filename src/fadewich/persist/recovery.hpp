@@ -1,0 +1,72 @@
+// Snapshot ring + recovery policy.
+//
+// A RecoveryManager owns a directory of numbered snapshot files
+// (`snap-00000042.fdws`).  checkpoint() writes a new snapshot atomically
+// and prunes the ring to `ring_size` files; recover() walks the ring
+// newest-first, skipping corrupt or version-mismatched files, retrying
+// transient I/O failures with bounded backoff, and returns the newest
+// snapshot that validates — or nullopt for an explicit cold start.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fadewich/persist/snapshot.hpp"
+
+namespace fadewich::persist {
+
+struct RecoveryConfig {
+  std::string directory;       // created on demand; must be non-empty
+  std::size_t ring_size = 4;   // snapshots retained, >= 1
+  std::size_t max_retries = 3; // attempts per file on transient I/O
+  double backoff_ms = 10.0;    // sleep between retries, >= 0
+};
+
+/// One rejected snapshot file during recovery.
+struct RecoveryAttempt {
+  std::string path;
+  std::string reason;
+};
+
+/// What happened during recover(): which file won (empty on cold start),
+/// which were rejected and why, and whether the pipeline starts degraded
+/// (cold start — everything learned is gone).
+struct RecoveryReport {
+  std::string recovered_path;
+  std::vector<RecoveryAttempt> rejected;
+  bool cold_start = false;
+};
+
+class RecoveryManager {
+ public:
+  /// Validates the config (throws fadewich::Error) and creates the
+  /// snapshot directory if missing.  Numbering continues from the
+  /// highest existing snapshot, so a restarted process never overwrites
+  /// its predecessor's files.
+  explicit RecoveryManager(RecoveryConfig config);
+
+  const RecoveryConfig& config() const { return config_; }
+
+  /// Write a new snapshot into the ring; returns its path.  Prunes the
+  /// oldest files beyond ring_size.
+  std::string checkpoint(const Snapshot& snapshot);
+
+  /// Load the newest valid snapshot, falling back across the ring.
+  /// Returns nullopt (cold start) when no file validates; never throws
+  /// for bad snapshot data.  Details land in *report when non-null.
+  std::optional<Snapshot> recover(RecoveryReport* report = nullptr);
+
+  /// Paths of the retained snapshots, oldest first.
+  std::vector<std::string> ring() const;
+
+  std::uint64_t checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  RecoveryConfig config_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace fadewich::persist

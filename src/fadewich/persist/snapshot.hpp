@@ -1,0 +1,51 @@
+// Crash-safe state snapshots.
+//
+// A snapshot is everything the pipeline has learned (core::SystemState:
+// KDE profile, trained SVM + scaler, controller FSM, KMA idle timers,
+// session states, training set) plus the central station's health block,
+// serialized as one versioned binary blob:
+//
+//   "FDWS" | u32 version | u64 payload_len | payload | u32 crc32 | "FDWE"
+//
+// The CRC covers the payload; the end magic makes truncation explicit
+// (a partially written file fails before any payload is trusted).  Files
+// are written atomically — serialize to memory, write `<path>.tmp`,
+// fsync-free rename — so a crash mid-write never leaves a half snapshot
+// under the final name.  Every decode error is a fadewich::Error, so
+// callers (the RecoveryManager) can fall back across the snapshot ring
+// instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "fadewich/core/system.hpp"
+#include "fadewich/net/central_station.hpp"
+
+namespace fadewich::persist {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct Snapshot {
+  core::SystemState system;
+  net::StationHealth station;  // zeroed when no central station is used
+};
+
+/// Serialize to the framed binary format (header + payload + CRC).
+std::string encode_snapshot(const Snapshot& snapshot);
+
+/// Parse and validate a framed snapshot.  Throws fadewich::Error on bad
+/// magic, unsupported version, truncation, CRC mismatch, or an absurd
+/// count inside the payload.
+Snapshot decode_snapshot(const std::string& bytes);
+
+/// Atomic write: the snapshot appears at `path` completely or not at all.
+void save_snapshot(const Snapshot& snapshot, const std::string& path);
+
+/// Load + validate a snapshot file.  Throws fadewich::Error as above;
+/// a missing/unreadable file throws with a "cannot open" message so
+/// callers can distinguish transient I/O from corruption.
+Snapshot load_snapshot(const std::string& path);
+
+}  // namespace fadewich::persist

@@ -1,0 +1,83 @@
+#include "fadewich/persist/supervised_system.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::persist {
+
+namespace {
+constexpr const char* kPipelineModule = "pipeline";
+
+SupervisedConfig validated(SupervisedConfig config) {
+  if (config.checkpoint_period_ticks < 1) {
+    throw Error("supervised config: checkpoint_period_ticks must be >= 1");
+  }
+  return config;
+}
+}  // namespace
+
+SupervisedSystem::SupervisedSystem(std::size_t stream_count,
+                                   std::size_t workstation_count,
+                                   core::SystemConfig system_config,
+                                   SupervisedConfig config)
+    : system_(stream_count, workstation_count, system_config),
+      recovery_(validated(config).recovery),
+      supervisor_(config.supervisor),
+      checkpoint_period_(config.checkpoint_period_ticks) {
+  station_health_.imputed_per_stream.assign(stream_count, 0);
+  supervisor_.add_module(kPipelineModule,
+                         [this]() { return restore_from_ring(); });
+
+  const std::optional<Snapshot> snapshot =
+      recovery_.recover(&recovery_report_);
+  if (snapshot) {
+    system_.import_state(snapshot->system);
+    station_health_ = snapshot->station;
+  } else {
+    degraded_start_ = true;
+  }
+}
+
+bool SupervisedSystem::restore_from_ring() {
+  RecoveryReport report;
+  const std::optional<Snapshot> snapshot = recovery_.recover(&report);
+  if (!snapshot) return false;
+  try {
+    system_.import_state(snapshot->system);
+  } catch (const Error&) {
+    return false;
+  }
+  station_health_ = snapshot->station;
+  return true;
+}
+
+SupervisedSystem::StepResult SupervisedSystem::step(
+    std::span<const double> rssi_row, std::span<const std::uint8_t> valid) {
+  StepResult result;
+  ++steps_;
+  const Tick tick = static_cast<Tick>(steps_);
+  try {
+    result.inner = system_.step(rssi_row, valid);
+    supervisor_.heartbeat(kPipelineModule, tick);
+    if (steps_ % static_cast<std::uint64_t>(checkpoint_period_) == 0) {
+      checkpoint_now();
+    }
+  } catch (const std::exception& e) {
+    supervisor_.report_failure(kPipelineModule, tick, e.what());
+    supervisor_.poll(tick);
+    result.inner = {};
+    result.recovered = true;
+  }
+  return result;
+}
+
+std::string SupervisedSystem::checkpoint_now() {
+  Snapshot snapshot;
+  snapshot.system = system_.export_state();
+  snapshot.station = station_health_;
+  return recovery_.checkpoint(snapshot);
+}
+
+}  // namespace fadewich::persist

@@ -1,0 +1,92 @@
+#include "fadewich/persist/supervisor.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::persist {
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(config) {
+  if (config_.stall_ticks < 1) {
+    throw Error("supervisor config: stall_ticks must be >= 1");
+  }
+  if (config_.max_restarts < 1) {
+    throw Error("supervisor config: max_restarts must be >= 1");
+  }
+}
+
+void Supervisor::add_module(const std::string& name, RestartFn restart) {
+  if (name.empty()) throw Error("supervisor: module name must be non-empty");
+  if (!restart) throw Error("supervisor: restart callback must be set");
+  for (const Module& m : modules_) {
+    if (m.name == name) {
+      throw Error("supervisor: duplicate module " + name);
+    }
+  }
+  Module module;
+  module.name = name;
+  module.restart = std::move(restart);
+  modules_.push_back(std::move(module));
+}
+
+Supervisor::Module& Supervisor::find(const std::string& name) {
+  for (Module& m : modules_) {
+    if (m.name == name) return m;
+  }
+  throw Error("supervisor: unknown module " + name);
+}
+
+void Supervisor::heartbeat(const std::string& name, Tick tick) {
+  Module& m = find(name);
+  m.last_heartbeat = tick;
+  m.faulted = false;
+}
+
+void Supervisor::report_failure(const std::string& name, Tick tick,
+                                const std::string& what) {
+  Module& m = find(name);
+  m.last_heartbeat = tick;
+  m.faulted = true;
+  m.last_fault = what;
+}
+
+std::size_t Supervisor::poll(Tick now) {
+  std::size_t restarted = 0;
+  for (Module& m : modules_) {
+    if (m.failed) continue;
+    const bool stalled = now - m.last_heartbeat > config_.stall_ticks;
+    if (!m.faulted && !stalled) continue;
+    if (m.restarts >= config_.max_restarts) {
+      m.failed = true;
+      continue;
+    }
+    ++m.restarts;
+    ++restarted;
+    const bool ok = m.restart();
+    if (ok) {
+      m.faulted = false;
+      m.last_heartbeat = now;
+    } else {
+      m.failed = true;
+    }
+  }
+  return restarted;
+}
+
+HealthReport Supervisor::health() const {
+  HealthReport report;
+  report.modules.reserve(modules_.size());
+  for (const Module& m : modules_) {
+    ModuleHealth h;
+    h.name = m.name;
+    h.status = m.failed      ? ModuleStatus::kFailed
+               : m.faulted   ? ModuleStatus::kRestarting
+                             : ModuleStatus::kHealthy;
+    h.last_heartbeat = m.last_heartbeat;
+    h.restarts = m.restarts;
+    h.last_fault = m.last_fault;
+    report.modules.push_back(std::move(h));
+    report.total_restarts += m.restarts;
+  }
+  return report;
+}
+
+}  // namespace fadewich::persist

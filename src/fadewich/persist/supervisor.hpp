@@ -1,0 +1,91 @@
+// Supervisor: a watchdog over named pipeline modules.
+//
+// Modules heartbeat() every tick they make progress and report_failure()
+// when they throw.  poll() checks each module's last heartbeat against
+// `stall_ticks`; a stalled or faulted module is restarted through its
+// registered callback (which typically restores the last checkpoint).
+// Restarts are counted per module and bounded by `max_restarts` — a
+// module past the bound is marked kFailed and left alone, so a
+// persistent crash loop degrades loudly instead of spinning forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fadewich/common/time.hpp"
+
+namespace fadewich::persist {
+
+struct SupervisorConfig {
+  Tick stall_ticks = 50;        // heartbeats this old mean "stalled", >= 1
+  std::size_t max_restarts = 5; // per module, >= 1
+};
+
+enum class ModuleStatus { kHealthy, kRestarting, kFailed };
+
+struct ModuleHealth {
+  std::string name;
+  ModuleStatus status = ModuleStatus::kHealthy;
+  Tick last_heartbeat = 0;
+  std::uint64_t restarts = 0;
+  std::string last_fault;  // what() of the most recent failure, if any
+};
+
+struct HealthReport {
+  std::vector<ModuleHealth> modules;
+  std::uint64_t total_restarts = 0;
+
+  bool all_healthy() const {
+    for (const ModuleHealth& m : modules) {
+      if (m.status != ModuleStatus::kHealthy) return false;
+    }
+    return true;
+  }
+};
+
+class Supervisor {
+ public:
+  /// Validates the config; throws fadewich::Error on nonsense values.
+  explicit Supervisor(SupervisorConfig config);
+
+  using RestartFn = std::function<bool()>;  // false = restart failed
+
+  /// Register a module.  `restart` is invoked by poll() when the module
+  /// stalls or faults; it should restore known-good state and return
+  /// whether it succeeded.  Names must be unique.
+  void add_module(const std::string& name, RestartFn restart);
+
+  /// The module made progress at `tick`.
+  void heartbeat(const std::string& name, Tick tick);
+
+  /// The module threw; recorded and restarted on the next poll().
+  void report_failure(const std::string& name, Tick tick,
+                      const std::string& what);
+
+  /// Check every module at `now`: restart those that stalled
+  /// (now - last_heartbeat > stall_ticks) or faulted, up to max_restarts
+  /// each.  Returns the number of restarts performed this poll.
+  std::size_t poll(Tick now);
+
+  HealthReport health() const;
+
+ private:
+  struct Module {
+    std::string name;
+    RestartFn restart;
+    Tick last_heartbeat = 0;
+    bool faulted = false;
+    std::string last_fault;
+    std::uint64_t restarts = 0;
+    bool failed = false;
+  };
+
+  Module& find(const std::string& name);
+
+  SupervisorConfig config_;
+  std::vector<Module> modules_;
+};
+
+}  // namespace fadewich::persist

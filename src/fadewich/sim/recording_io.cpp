@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "fadewich/common/crc32.hpp"
 #include "fadewich/common/error.hpp"
 
 namespace fadewich::sim {
@@ -12,19 +13,53 @@ namespace fadewich::sim {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'D', 'W', 'R'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kEndMagic[4] = {'F', 'D', 'R', 'E'};
+constexpr std::uint32_t kVersion = 2;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+// Hard caps on counts read from a file, checked before any allocation.
+// Far above anything a real deployment produces, far below anything that
+// could drive a pathological allocation from a corrupt length field.
+constexpr std::uint64_t kMaxSensors = 4096;
+constexpr std::uint64_t kMaxTicks = 1ull << 33;  // ~54 years at 5 Hz
+constexpr std::uint64_t kMaxEvents = 1ull << 27;
+constexpr std::uint64_t kMaxWorkstations = 1ull << 20;
+constexpr std::uint64_t kMaxIntervals = 1ull << 27;
+
+// Writes/reads go through these helpers so version-2 files can maintain
+// a running CRC over the payload (everything after the version field).
+
+void put(std::ostream& os, Crc32& crc, const void* data, std::size_t size) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+  crc.update(data, size);
 }
 
 template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+void write_pod(std::ostream& os, Crc32& crc, const T& value) {
+  put(os, crc, &value, sizeof(T));
+}
+
+void get(std::istream& is, Crc32* crc, void* data, std::size_t size) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
   if (!is) throw Error("recording stream truncated");
+  if (crc) crc->update(data, size);
+}
+
+template <typename T>
+T read_pod(std::istream& is, Crc32* crc) {
+  T value{};
+  get(is, crc, &value, sizeof(T));
   return value;
+}
+
+std::uint64_t read_count(std::istream& is, Crc32* crc, std::uint64_t cap,
+                         const char* what) {
+  const auto n = read_pod<std::uint64_t>(is, crc);
+  if (n > cap) {
+    throw Error(std::string("recording has an implausible ") + what +
+                " count");
+  }
+  return n;
 }
 
 void check(std::ostream& os, const char* what) {
@@ -34,38 +69,46 @@ void check(std::ostream& os, const char* what) {
 }  // namespace
 
 void save_recording(const Recording& recording, std::ostream& os) {
+  Crc32 crc;
   os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, recording.rate().hz());
-  write_pod(os, static_cast<std::uint64_t>(recording.sensor_count()));
-  write_pod(os, recording.day_length());
-  write_pod(os, static_cast<std::uint64_t>(recording.day_count()));
-  write_pod(os, static_cast<std::uint64_t>(recording.tick_count()));
+  std::uint32_t version = kVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  write_pod(os, crc, recording.rate().hz());
+  write_pod(os, crc, static_cast<std::uint64_t>(recording.sensor_count()));
+  write_pod(os, crc, recording.day_length());
+  write_pod(os, crc, static_cast<std::uint64_t>(recording.day_count()));
+  write_pod(os, crc, static_cast<std::uint64_t>(recording.tick_count()));
   for (std::size_t s = 0; s < recording.stream_count(); ++s) {
     const auto& stream = recording.stream(s);
-    os.write(reinterpret_cast<const char*>(stream.data()),
-             static_cast<std::streamsize>(stream.size()));
+    put(os, crc, stream.data(), stream.size());
   }
   check(os, "streams");
 
-  write_pod(os, static_cast<std::uint64_t>(recording.events().size()));
+  write_pod(os, crc, static_cast<std::uint64_t>(recording.events().size()));
   for (const GroundTruthEvent& e : recording.events()) {
-    write_pod(os, static_cast<std::uint8_t>(e.kind));
-    write_pod(os, static_cast<std::uint64_t>(e.workstation));
-    write_pod(os, e.movement_start);
-    write_pod(os, e.movement_end);
-    write_pod(os, e.proximity_exit);
+    write_pod(os, crc, static_cast<std::uint8_t>(e.kind));
+    write_pod(os, crc, static_cast<std::uint64_t>(e.workstation));
+    write_pod(os, crc, e.movement_start);
+    write_pod(os, crc, e.movement_end);
+    write_pod(os, crc, e.proximity_exit);
   }
 
   const auto& seated = recording.seated_intervals();
-  write_pod(os, static_cast<std::uint64_t>(seated.size()));
+  write_pod(os, crc, static_cast<std::uint64_t>(seated.size()));
   for (const auto& intervals : seated) {
-    write_pod(os, static_cast<std::uint64_t>(intervals.size()));
+    write_pod(os, crc, static_cast<std::uint64_t>(intervals.size()));
     for (const Interval& iv : intervals) {
-      write_pod(os, iv.begin);
-      write_pod(os, iv.end);
+      write_pod(os, crc, iv.begin);
+      write_pod(os, crc, iv.end);
     }
   }
+
+  // v2 trailer: payload CRC + end magic, so corruption and truncation
+  // are detected instead of silently producing a garbled recording.
+  const std::uint32_t checksum = crc.value();
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  os.write(kEndMagic, sizeof(kEndMagic));
   check(os, "trailer");
 }
 
@@ -81,16 +124,22 @@ Recording load_recording(std::istream& is) {
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw Error("not a FADEWICH recording (bad magic)");
   }
-  const auto version = read_pod<std::uint32_t>(is);
-  if (version != kVersion) {
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is) throw Error("recording stream truncated");
+  if (version < 1 || version > kVersion) {
     throw Error("unsupported recording version " +
                 std::to_string(version));
   }
-  const auto tick_hz = read_pod<double>(is);
-  const auto sensor_count = read_pod<std::uint64_t>(is);
-  const auto day_length = read_pod<double>(is);
-  const auto days = read_pod<std::uint64_t>(is);
-  const auto ticks = read_pod<std::uint64_t>(is);
+  // Version 1 files carry no checksum; everything newer is verified.
+  Crc32 running;
+  Crc32* crc = version >= 2 ? &running : nullptr;
+
+  const auto tick_hz = read_pod<double>(is, crc);
+  const auto sensor_count = read_count(is, crc, kMaxSensors, "sensor");
+  const auto day_length = read_pod<double>(is, crc);
+  const auto days = read_pod<std::uint64_t>(is, crc);
+  const auto ticks = read_count(is, crc, kMaxTicks, "tick");
   if (tick_hz <= 0.0 || sensor_count < 2 || day_length <= 0.0 ||
       days < 1) {
     throw Error("recording header is implausible");
@@ -101,9 +150,7 @@ Recording load_recording(std::istream& is) {
   std::vector<std::vector<std::int8_t>> data(streams);
   for (auto& stream : data) {
     stream.resize(ticks);
-    is.read(reinterpret_cast<char*>(stream.data()),
-            static_cast<std::streamsize>(ticks));
-    if (!is) throw Error("recording stream data truncated");
+    get(is, crc, stream.data(), static_cast<std::size_t>(ticks));
   }
   // Re-append row by row to reuse the class's single mutation path.
   std::vector<double> row(streams);
@@ -114,27 +161,40 @@ Recording load_recording(std::istream& is) {
     recording.append_samples(row);
   }
 
-  const auto event_count = read_pod<std::uint64_t>(is);
+  const auto event_count = read_count(is, crc, kMaxEvents, "event");
   for (std::uint64_t i = 0; i < event_count; ++i) {
     GroundTruthEvent e;
-    const auto kind = read_pod<std::uint8_t>(is);
+    const auto kind = read_pod<std::uint8_t>(is, crc);
     if (kind > 1) throw Error("corrupt event kind");
     e.kind = static_cast<EventKind>(kind);
-    e.workstation = read_pod<std::uint64_t>(is);
-    e.movement_start = read_pod<double>(is);
-    e.movement_end = read_pod<double>(is);
-    e.proximity_exit = read_pod<double>(is);
+    e.workstation = read_pod<std::uint64_t>(is, crc);
+    e.movement_start = read_pod<double>(is, crc);
+    e.movement_end = read_pod<double>(is, crc);
+    e.proximity_exit = read_pod<double>(is, crc);
     recording.events().push_back(e);
   }
 
-  const auto workstations = read_pod<std::uint64_t>(is);
+  const auto workstations =
+      read_count(is, crc, kMaxWorkstations, "workstation");
   recording.seated_intervals().resize(workstations);
   for (std::uint64_t w = 0; w < workstations; ++w) {
-    const auto n = read_pod<std::uint64_t>(is);
+    const auto n = read_count(is, crc, kMaxIntervals, "interval");
     for (std::uint64_t i = 0; i < n; ++i) {
-      const auto begin = read_pod<double>(is);
-      const auto end = read_pod<double>(is);
+      const auto begin = read_pod<double>(is, crc);
+      const auto end = read_pod<double>(is, crc);
       recording.seated_intervals()[w].push_back({begin, end});
+    }
+  }
+
+  if (version >= 2) {
+    std::uint32_t stored = 0;
+    is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!is) throw Error("recording truncated (checksum missing)");
+    if (stored != running.value()) throw Error("recording CRC mismatch");
+    char end_magic[4];
+    is.read(end_magic, sizeof(end_magic));
+    if (!is || std::memcmp(end_magic, kEndMagic, sizeof(kEndMagic)) != 0) {
+      throw Error("recording truncated (end marker missing)");
     }
   }
   return recording;

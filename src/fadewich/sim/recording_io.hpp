@@ -2,12 +2,18 @@
 // (or a capture from real hardware with the same framing) can be saved
 // once and analysed repeatedly.
 //
-// Format (little-endian, version 1):
+// Format (little-endian, version 2):
 //   magic "FDWR", u32 version,
 //   f64 tick_hz, u64 sensor_count, f64 day_length, u64 days,
 //   u64 tick_count, streams as raw int8 rows (stream-major),
 //   u64 event_count, events (u8 kind, u64 workstation, 3 x f64 times),
-//   u64 workstation_count, per workstation: u64 n, n x (f64, f64).
+//   u64 workstation_count, per workstation: u64 n, n x (f64, f64),
+//   u32 crc32 of everything after the version field, end magic "FDRE".
+//
+// The CRC trailer (new in v2) catches bit rot and the end magic makes
+// truncation explicit; version-1 files (no trailer) still load.  Counts
+// are capped before any allocation, so a corrupt length field fails
+// cleanly instead of driving a giant allocation.
 #pragma once
 
 #include <iosfwd>

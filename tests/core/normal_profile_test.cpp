@@ -163,5 +163,145 @@ TEST(NormalProfileTest, SnapshotReflectsContents) {
   EXPECT_EQ(profile.size(), 50u);
 }
 
+TEST(NormalProfileTest, BatchExactlyAtTauBoundaryIsAnomalous) {
+  NormalProfileConfig config;
+  config.batch_size = 100;
+  config.anomalous_fraction = 0.05;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(300, 50.0, 5.0, 33));
+  const double before = profile.threshold();
+  // Exactly tau * b = 5 of 100 values at/above the threshold:
+  // is_anomalous uses >=, so the boundary batch is rejected.
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i < 5) ? before + 50.0 : 40.0;
+    EXPECT_FALSE(profile.offer(v));
+  }
+  EXPECT_DOUBLE_EQ(profile.threshold(), before);
+  EXPECT_EQ(profile.updates_accepted(), 0u);
+  EXPECT_EQ(profile.size(), 300u);
+}
+
+TEST(NormalProfileTest, BatchJustBelowTauBoundaryIsAbsorbed) {
+  NormalProfileConfig config;
+  config.batch_size = 100;
+  config.anomalous_fraction = 0.05;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(300, 50.0, 5.0, 33));
+  // One fewer spike: 4 < tau * b, the batch folds in.
+  bool updated = false;
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i < 4) ? profile.threshold() + 50.0 : 40.0;
+    updated = profile.offer(v) || updated;
+  }
+  EXPECT_TRUE(updated);
+  EXPECT_EQ(profile.updates_accepted(), 1u);
+}
+
+TEST(NormalProfileTest, DriftGuardRollsBackPoisoningBatches) {
+  NormalProfileConfig config;
+  config.capacity = 100;
+  config.batch_size = 50;
+  config.max_drift_fraction = 0.05;
+  NormalProfileConfig unguarded_config = config;
+  unguarded_config.max_drift_fraction = 0.0;
+  NormalProfile guarded{config};
+  NormalProfile unguarded{unguarded_config};
+  const auto seed_samples = normal_samples(100, 50.0, 5.0, 35);
+  guarded.initialize(seed_samples);
+  unguarded.initialize(seed_samples);
+
+  // Sub-threshold values that pass the anomalous-fraction test yet walk
+  // the threshold down — the slow-poisoning sequence the guard exists
+  // for.  Unguarded, the profile follows them all the way.
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.normal(10.0, 1.0);
+    guarded.offer(v);
+    unguarded.offer(v);
+  }
+  EXPECT_LT(unguarded.threshold(), 20.0);  // poisoned
+  EXPECT_GT(guarded.threshold(), 30.0);    // guard held the line
+  EXPECT_GE(guarded.drift_rollbacks(), 1u);
+  EXPECT_DOUBLE_EQ(guarded.threshold(), guarded.last_good_threshold());
+}
+
+TEST(NormalProfileTest, ReinitializeAfterRollbackResetsTheGuard) {
+  NormalProfileConfig config;
+  config.capacity = 100;
+  config.batch_size = 50;
+  config.max_drift_fraction = 0.05;
+  NormalProfile profile{config};
+  profile.initialize(normal_samples(100, 50.0, 5.0, 39));
+  Rng poison(41);
+  for (int i = 0; i < 200; ++i) profile.offer(poison.normal(10.0, 1.0));
+  ASSERT_GE(profile.drift_rollbacks(), 1u);
+
+  // The environment legitimately changed: re-seeding at the new level
+  // clears the guard's anchor and counters, and updates flow again.
+  profile.initialize(normal_samples(100, 10.0, 1.0, 43));
+  EXPECT_EQ(profile.drift_rollbacks(), 0u);
+  EXPECT_EQ(profile.updates_accepted(), 0u);
+  EXPECT_LT(profile.threshold(), 15.0);
+  Rng rng(45);
+  bool updated = false;
+  for (int i = 0; i < 50; ++i) {
+    updated = profile.offer(rng.normal(10.0, 1.0)) || updated;
+  }
+  EXPECT_TRUE(updated);
+  EXPECT_EQ(profile.drift_rollbacks(), 0u);
+}
+
+TEST(NormalProfileTest, RestoreReproducesTheProfileBitExactly) {
+  NormalProfile original;
+  original.initialize(normal_samples(200, 50.0, 5.0, 47));
+  Rng warm(49);
+  for (int i = 0; i < 70; ++i) original.offer(warm.normal(50.0, 5.0));
+  ASSERT_FALSE(original.queue_snapshot().empty());  // mid-batch state
+
+  NormalProfile restored;
+  restored.restore(original.samples_snapshot(), original.queue_snapshot());
+  EXPECT_DOUBLE_EQ(restored.threshold(), original.threshold());
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.queue_snapshot(), original.queue_snapshot());
+
+  // The pending batch continues where it left off: identical offers make
+  // identical decisions and keep the thresholds in lockstep.
+  Rng a(51), b(51);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(original.offer(a.normal(50.0, 5.0)),
+              restored.offer(b.normal(50.0, 5.0)));
+  }
+  EXPECT_DOUBLE_EQ(restored.threshold(), original.threshold());
+}
+
+TEST(NormalProfileTest, RestoreRejectsTooFewSamples) {
+  NormalProfile profile;
+  EXPECT_THROW(profile.restore({1.0, 2.0, 3.0}, {}), Error);
+}
+
+TEST(NormalProfileTest, RestoredFrozenProfileStaysFrozen) {
+  // A state saved by a self-updating deployment restored into a
+  // self_update=false configuration: the threshold comes back exactly,
+  // but the pending queue never folds in.
+  NormalProfile original;
+  original.initialize(normal_samples(200, 50.0, 5.0, 53));
+  Rng warm(55);
+  for (int i = 0; i < 100; ++i) original.offer(warm.normal(50.0, 5.0));
+
+  NormalProfileConfig frozen_config;
+  frozen_config.self_update = false;
+  NormalProfile frozen{frozen_config};
+  frozen.restore(original.samples_snapshot(), original.queue_snapshot());
+  EXPECT_DOUBLE_EQ(frozen.threshold(), original.threshold());
+  const auto queue_before = frozen.queue_snapshot();
+  Rng rng(57);
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_FALSE(frozen.offer(rng.normal(50.0, 5.0)));
+  }
+  EXPECT_DOUBLE_EQ(frozen.threshold(), original.threshold());
+  EXPECT_EQ(frozen.queue_snapshot(), queue_before);
+  EXPECT_EQ(frozen.updates_accepted(), 0u);
+}
+
 }  // namespace
 }  // namespace fadewich::core

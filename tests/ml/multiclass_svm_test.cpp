@@ -113,6 +113,57 @@ TEST(MulticlassSvmTest, AccuracyCountsExactMatches) {
   EXPECT_NEAR(svm.accuracy(shifted), 0.5, 1e-12);
 }
 
+TEST(MulticlassSvmTest, ExportImportRoundTripsPredictions) {
+  const Dataset data = gaussian_classes(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 40, 1.0, 19);
+  MulticlassSvm trained;
+  trained.train(data);
+
+  MulticlassSvm restored;
+  restored.import_state(trained.export_state());
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.classes(), trained.classes());
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x{rng.normal(5.0, 6.0), rng.normal(5.0, 6.0)};
+    EXPECT_EQ(restored.predict(x), trained.predict(x));
+  }
+}
+
+TEST(MulticlassSvmTest, ExportRequiresTraining) {
+  MulticlassSvm svm;
+  EXPECT_THROW(svm.export_state(), ContractViolation);
+}
+
+TEST(MulticlassSvmTest, ImportRejectsInconsistentState) {
+  const Dataset data =
+      gaussian_classes({{-5.0, 0.0}, {5.0, 0.0}}, 30, 0.5, 23);
+  MulticlassSvm trained;
+  trained.train(data);
+  const MulticlassSvmState good = trained.export_state();
+
+  // Persisted state is runtime data: inconsistencies throw Error.
+  MulticlassSvmState bad = good;
+  bad.classes.clear();
+  EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+
+  bad = good;
+  bad.machines.clear();  // k*(k-1)/2 machines expected
+  EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+
+  bad = good;
+  bad.machines[0].second_class = 42;  // unknown class
+  EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+
+  bad = good;
+  bad.scaler_scales.pop_back();  // means/scales length mismatch
+  EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+
+  bad = good;
+  bad.machines[0].svm.support_alpha_y.pop_back();
+  EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+}
+
 // Class-count sweep: one-vs-one voting stays consistent as classes grow.
 class MulticlassSize : public ::testing::TestWithParam<int> {};
 

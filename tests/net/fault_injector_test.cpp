@@ -34,17 +34,25 @@ std::vector<Measurement> run_rounds(FaultInjector& injector, Tick ticks) {
 }
 
 TEST(FaultInjectorTest, RejectsInvalidConfig) {
-  EXPECT_THROW(FaultInjector(1, FaultConfig{}, 1), ContractViolation);
+  // Config errors are runtime data errors (sweep files, CLI flags), so
+  // they throw the recoverable Error, not a contract violation.
+  EXPECT_THROW(FaultInjector(1, FaultConfig{}, 1), Error);
   FaultConfig bad;
   bad.drop_probability = 1.5;
-  EXPECT_THROW(FaultInjector(3, bad, 1), ContractViolation);
+  EXPECT_THROW(FaultInjector(3, bad, 1), Error);
+  FaultConfig nan_prob;
+  nan_prob.delay_probability = std::nan("");
+  EXPECT_THROW(FaultInjector(3, nan_prob, 1), Error);
   FaultConfig delay;
   delay.delay_probability = 0.5;
   delay.max_delay_ticks = 0;
-  EXPECT_THROW(FaultInjector(3, delay, 1), ContractViolation);
+  EXPECT_THROW(FaultInjector(3, delay, 1), Error);
   FaultConfig outage;
   outage.outages.push_back({5, 0, 10});  // device out of range
-  EXPECT_THROW(FaultInjector(3, outage, 1), ContractViolation);
+  EXPECT_THROW(FaultInjector(3, outage, 1), Error);
+  FaultConfig reversed;
+  reversed.outages.push_back({0, 10, 5});  // from > to
+  EXPECT_THROW(FaultInjector(3, reversed, 1), Error);
 }
 
 TEST(FaultInjectorTest, DisabledConfigPassesThroughUntouched) {

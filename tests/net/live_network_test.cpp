@@ -78,7 +78,7 @@ TEST(LiveNetworkTest, RejectsNonPositiveTickRate) {
 TEST(LiveNetworkTest, FaultsRequireAReleaseDeadline) {
   EXPECT_THROW(LiveSensorNetwork(sensors(), quiet_config(), 5.0, 1,
                                  lossy(0.1), StationConfig{}),
-               ContractViolation);
+               Error);
 }
 
 TEST(LiveNetworkTest, DisabledFaultPathMatchesPlainNetworkExactly) {

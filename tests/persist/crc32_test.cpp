@@ -1,0 +1,44 @@
+#include "fadewich/common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fadewich {
+namespace {
+
+TEST(Crc32Test, MatchesTheIeeeCheckVector) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  for (char c : data) crc.update(&c, 1);
+  EXPECT_EQ(crc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, ResetStartsOver) {
+  Crc32 crc;
+  crc.update("garbage", 7);
+  crc.reset();
+  const std::string data = "123456789";
+  crc.update(data.data(), data.size());
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheValue) {
+  std::string data(64, '\x5a');
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  data[17] ^= 0x01;
+  EXPECT_NE(crc32(data.data(), data.size()), clean);
+}
+
+}  // namespace
+}  // namespace fadewich

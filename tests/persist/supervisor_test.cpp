@@ -1,0 +1,130 @@
+#include "fadewich/persist/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::persist {
+namespace {
+
+SupervisorConfig tight() {
+  SupervisorConfig config;
+  config.stall_ticks = 5;
+  config.max_restarts = 2;
+  return config;
+}
+
+TEST(SupervisorTest, ValidatesConfig) {
+  SupervisorConfig bad;
+  bad.stall_ticks = 0;
+  EXPECT_THROW(Supervisor{bad}, Error);
+  bad = SupervisorConfig{};
+  bad.max_restarts = 0;
+  EXPECT_THROW(Supervisor{bad}, Error);
+}
+
+TEST(SupervisorTest, RejectsBadModuleRegistrations) {
+  Supervisor supervisor(tight());
+  EXPECT_THROW(supervisor.add_module("", [] { return true; }), Error);
+  EXPECT_THROW(supervisor.add_module("md", nullptr), Error);
+  supervisor.add_module("md", [] { return true; });
+  EXPECT_THROW(supervisor.add_module("md", [] { return true; }), Error);
+  EXPECT_THROW(supervisor.heartbeat("unknown", 1), Error);
+}
+
+TEST(SupervisorTest, HealthyModuleIsLeftAlone) {
+  Supervisor supervisor(tight());
+  int restarts = 0;
+  supervisor.add_module("md", [&] {
+    ++restarts;
+    return true;
+  });
+  for (Tick t = 1; t <= 20; ++t) {
+    supervisor.heartbeat("md", t);
+    EXPECT_EQ(supervisor.poll(t), 0u);
+  }
+  EXPECT_EQ(restarts, 0);
+  EXPECT_TRUE(supervisor.health().all_healthy());
+}
+
+TEST(SupervisorTest, StalledModuleIsRestarted) {
+  Supervisor supervisor(tight());
+  int restarts = 0;
+  supervisor.add_module("md", [&] {
+    ++restarts;
+    return true;
+  });
+  supervisor.heartbeat("md", 10);
+  EXPECT_EQ(supervisor.poll(15), 0u);  // exactly stall_ticks: not yet
+  EXPECT_EQ(supervisor.poll(16), 1u);  // one past: stalled
+  EXPECT_EQ(restarts, 1);
+  // A successful restart counts as fresh progress.
+  EXPECT_EQ(supervisor.poll(17), 0u);
+  EXPECT_TRUE(supervisor.health().all_healthy());
+}
+
+TEST(SupervisorTest, ReportedFailureTriggersRestart) {
+  Supervisor supervisor(tight());
+  int restarts = 0;
+  supervisor.add_module("md", [&] {
+    ++restarts;
+    return true;
+  });
+  supervisor.heartbeat("md", 1);
+  supervisor.report_failure("md", 2, "exploded");
+  EXPECT_EQ(supervisor.poll(2), 1u);
+  EXPECT_EQ(restarts, 1);
+  const auto report = supervisor.health();
+  ASSERT_EQ(report.modules.size(), 1u);
+  EXPECT_EQ(report.modules[0].last_fault, "exploded");
+  EXPECT_EQ(report.total_restarts, 1u);
+}
+
+TEST(SupervisorTest, RestartsAreBoundedThenFailed) {
+  Supervisor supervisor(tight());  // max_restarts = 2
+  int restarts = 0;
+  supervisor.add_module("md", [&] {
+    ++restarts;
+    return true;
+  });
+  for (int round = 0; round < 5; ++round) {
+    supervisor.report_failure("md", round, "still broken");
+    supervisor.poll(round);
+  }
+  EXPECT_EQ(restarts, 2);  // bounded
+  const auto report = supervisor.health();
+  EXPECT_EQ(report.modules[0].status, ModuleStatus::kFailed);
+  EXPECT_FALSE(report.all_healthy());
+}
+
+TEST(SupervisorTest, FailedRestartMarksTheModuleFailed) {
+  Supervisor supervisor(tight());
+  supervisor.add_module("md", [] { return false; });
+  supervisor.report_failure("md", 1, "broken");
+  EXPECT_EQ(supervisor.poll(1), 1u);
+  EXPECT_EQ(supervisor.health().modules[0].status, ModuleStatus::kFailed);
+  // Failed modules are left alone afterwards.
+  EXPECT_EQ(supervisor.poll(100), 0u);
+}
+
+TEST(SupervisorTest, ModulesAreIndependent) {
+  Supervisor supervisor(tight());
+  int md_restarts = 0, re_restarts = 0;
+  supervisor.add_module("md", [&] {
+    ++md_restarts;
+    return true;
+  });
+  supervisor.add_module("re", [&] {
+    ++re_restarts;
+    return true;
+  });
+  supervisor.heartbeat("md", 10);
+  supervisor.heartbeat("re", 10);
+  supervisor.report_failure("md", 11, "md only");
+  EXPECT_EQ(supervisor.poll(11), 1u);
+  EXPECT_EQ(md_restarts, 1);
+  EXPECT_EQ(re_restarts, 0);
+}
+
+}  // namespace
+}  // namespace fadewich::persist

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "fadewich/common/error.hpp"
@@ -101,6 +102,63 @@ TEST(RecordingIoTest, RejectsWrongVersion) {
 
 TEST(RecordingIoTest, MissingFileThrows) {
   EXPECT_THROW(load_recording("/nonexistent/path/rec.bin"), Error);
+}
+
+TEST(RecordingIoTest, DetectsCorruptStreamData) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  std::string bytes = buffer.str();
+  // Flip one RSSI byte in the middle of the stream block: the v2 CRC
+  // trailer must reject what the v1 format silently accepted.
+  bytes[100] = static_cast<char>(bytes[100] ^ 0x01);
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_recording(tampered), Error);
+}
+
+TEST(RecordingIoTest, DetectsMissingTrailer) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  const std::string full = buffer.str();
+  // Drop only the 8-byte CRC + end-magic trailer: the payload itself is
+  // complete, so only explicit truncation detection can catch this.
+  std::stringstream truncated(full.substr(0, full.size() - 8));
+  EXPECT_THROW(load_recording(truncated), Error);
+}
+
+TEST(RecordingIoTest, StillLoadsVersionOneFiles) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  std::string bytes = buffer.str();
+  // Rewrite as a v1 file: version byte 1, no CRC trailer.
+  bytes[4] = 1;
+  bytes.resize(bytes.size() - 8);
+  std::stringstream v1(bytes);
+  const Recording loaded = load_recording(v1);
+  EXPECT_EQ(loaded.tick_count(), original.tick_count());
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+  EXPECT_DOUBLE_EQ(loaded.rssi(0, 7), original.rssi(0, 7));
+}
+
+TEST(RecordingIoTest, RejectsAbsurdCountsBeforeAllocating) {
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  std::string bytes = buffer.str();
+  // The sensor-count field sits after magic(4) + version(4) + hz(8).
+  const std::uint64_t absurd = 1ull << 62;
+  std::memcpy(&bytes[16], &absurd, sizeof(absurd));
+  std::stringstream tampered(bytes);
+  // Must throw (implausible count) without attempting the allocation.
+  EXPECT_THROW(load_recording(tampered), Error);
+
+  // Same for the tick-count field (after day_length(8) + days(8)).
+  bytes = buffer.str();
+  std::memcpy(&bytes[40], &absurd, sizeof(absurd));
+  std::stringstream tampered2(bytes);
+  EXPECT_THROW(load_recording(tampered2), Error);
 }
 
 }  // namespace
