@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "fadewich/eval/crash_replay.hpp"
+#include "fadewich/exec/thread_pool.hpp"
 
 using namespace fadewich;
 
@@ -59,7 +61,8 @@ void write_json(const std::string& path, const sim::Recording& recording,
   }
   out.precision(6);
   out << "{\n";
-  out << "  \"schema\": \"fadewich-bench-crash/1\",\n";
+  out << bench::json_stamp("fadewich-bench-crash/2",
+                           exec::default_thread_count());
   out << "  \"tick_hz\": " << recording.rate().hz() << ",\n";
   out << "  \"total_ticks\": " << recording.tick_count() << ",\n";
   out << "  \"reference\": {\n";

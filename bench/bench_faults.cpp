@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "fadewich/eval/fault_sweep.hpp"
+#include "fadewich/exec/thread_pool.hpp"
 
 using namespace fadewich;
 
@@ -30,7 +32,8 @@ void write_json(const std::string& path,
   }
   out.precision(6);
   out << "{\n";
-  out << "  \"schema\": \"fadewich-bench-faults/1\",\n";
+  out << bench::json_stamp("fadewich-bench-faults/2",
+                           exec::default_thread_count());
   out << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const eval::FaultScenarioResult& r = results[i];

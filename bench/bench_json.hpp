@@ -1,0 +1,50 @@
+// Shared JSON-report scaffolding for the BENCH_*.json trajectory files.
+//
+// Every bench report opens with the same stamp — schema version, git sha,
+// thread count, hardware concurrency, and whether FADEWICH_BENCH_FAST
+// shrank the workloads — so diffing reports across PRs never requires
+// guessing which build or machine produced them.  The sha resolves from
+// the FADEWICH_GIT_SHA environment variable first (CI sets it to the
+// exact commit under test), then the sha baked in at configure time, then
+// "unknown".
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace fadewich::bench {
+
+inline bool fast_mode() {
+  const char* fast = std::getenv("FADEWICH_BENCH_FAST");
+  return fast != nullptr && std::string(fast) == "1";
+}
+
+inline std::string git_sha() {
+  if (const char* env = std::getenv("FADEWICH_GIT_SHA")) {
+    if (*env != '\0') return env;
+  }
+#ifdef FADEWICH_BUILD_GIT_SHA
+  return FADEWICH_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// The common stamp every BENCH_*.json starts with, as `"key": value`
+/// lines indented two spaces, each line comma-terminated (the caller
+/// continues the object).
+inline std::string json_stamp(const std::string& schema,
+                              std::size_t threads) {
+  std::string out;
+  out += "  \"schema\": \"" + schema + "\",\n";
+  out += "  \"git_sha\": \"" + git_sha() + "\",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += std::string("  \"fast_mode\": ") +
+         (fast_mode() ? "true" : "false") + ",\n";
+  return out;
+}
+
+}  // namespace fadewich::bench

@@ -12,6 +12,7 @@
 #include "fadewich/exec/thread_pool.hpp"
 #include "fadewich/ml/kde.hpp"
 #include "fadewich/ml/multiclass_svm.hpp"
+#include "fadewich/obs/obs.hpp"
 #include "fadewich/rf/channel.hpp"
 #include "fadewich/rf/floorplan.hpp"
 #include "fadewich/sim/schedule.hpp"
@@ -165,6 +166,47 @@ void BM_FeatureExtraction72Streams(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction72Streams);
+
+// Observability primitive costs: a counter increment and a histogram
+// observation on the instrumented (enabled) path, and the increment with
+// the runtime toggle off — the branch every call site pays when obs is
+// disabled.  These bound the per-event cost of every metric in the tree.
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Counter counter =
+      obs::registry().counter("bench_obs_counter_total", "bench");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  obs::set_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  obs::Counter counter =
+      obs::registry().counter("bench_obs_counter_off_total", "bench");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  obs::set_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Histogram histogram =
+      obs::registry().histogram("bench_obs_histogram_seconds", "bench");
+  double v = 1e-6;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v < 1.0 ? v * 1.5 : 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
 
 void BM_SvmTrainPaperScale(benchmark::State& state) {
   // ~110 samples x 216 features, 4 classes: RE's training workload.

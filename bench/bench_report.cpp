@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "fadewich/common/rng.hpp"
 #include "fadewich/core/movement_detector.hpp"
 #include "fadewich/exec/thread_pool.hpp"
@@ -29,11 +30,6 @@
 
 namespace fadewich::bench {
 namespace {
-
-bool fast_mode() {
-  const char* fast = std::getenv("FADEWICH_BENCH_FAST");
-  return fast != nullptr && std::string(fast) == "1";
-}
 
 /// Best-of-`reps` wall time of fn(), in milliseconds.
 template <typename F>
@@ -242,11 +238,7 @@ void write_json(const std::string& path,
   }
   out.precision(6);
   out << "{\n";
-  out << "  \"schema\": \"fadewich-bench-parallel/1\",\n";
-  out << "  \"threads\": " << threads << ",\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
-  out << "  \"fast_mode\": " << (fast_mode() ? "true" : "false") << ",\n";
+  out << json_stamp("fadewich-bench-parallel/2", threads);
   out << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < comparisons.size(); ++i) {
     const Comparison& c = comparisons[i];

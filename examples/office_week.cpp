@@ -23,6 +23,7 @@
 #include "fadewich/eval/report.hpp"
 #include "fadewich/eval/security.hpp"
 #include "fadewich/eval/usability.hpp"
+#include "fadewich/obs/obs.hpp"
 #include "fadewich/persist/supervised_system.hpp"
 
 using namespace fadewich;
@@ -219,6 +220,41 @@ int main(int argc, char** argv) {
                           : "degraded")
                   << ", " << module.restarts << " restart(s)\n";
       }
+
+      // End-of-day observability scrape: the same unified document a
+      // monitoring agent would pull, reduced to the operator's two
+      // questions — how fast are we locking screens, and what did the
+      // reporting path lose?
+      eval::print_banner(std::cout, "End-of-day scrape");
+      const obs::ScrapeReport scrape = reborn.scrape();
+      if (const obs::HistogramSample* latency =
+              scrape.metrics.find_histogram(
+                  "fadewich_ctl_deauth_latency_seconds")) {
+        std::cout << "deauth latency: p50="
+                  << eval::fmt(latency->percentile(0.50), 1) << " s, p95="
+                  << eval::fmt(latency->percentile(0.95), 1) << " s, p99="
+                  << eval::fmt(latency->percentile(0.99), 1) << " s ("
+                  << latency->count << " Rule-1 deauthentications)\n";
+      }
+      const auto counter = [&scrape](const char* name) -> std::uint64_t {
+        const obs::CounterSample* c = scrape.metrics.find_counter(name);
+        return c != nullptr ? c->value : 0;
+      };
+      std::cout << "movement windows closed: "
+                << counter("fadewich_md_windows_closed_total")
+                << ", degraded ticks: "
+                << counter("fadewich_md_degraded_ticks_total") << "\n";
+      std::cout << "fault counters: duplicates="
+                << counter("fadewich_net_duplicates_total")
+                << " late=" << counter("fadewich_net_late_reports_total")
+                << " evictions=" << counter("fadewich_net_evictions_total")
+                << " imputed_cells="
+                << counter("fadewich_net_imputed_cells_total") << "\n";
+      std::cout << "health blocks in the scrape:";
+      for (const obs::HealthBlock& block : scrape.health) {
+        std::cout << " " << block.name;
+      }
+      std::cout << "\n";
     }
     std::filesystem::remove_all(ring_dir);
   }

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::core {
+
+namespace {
+
+// Handles are fetched once; updates are sharded atomics guarded by the
+// runtime toggle, so the per-tick hot path pays only on the rare events
+// it counts (opens, closes, degraded ticks) — never per sample.
+struct MdMetrics {
+  obs::Counter opened = obs::registry().counter(
+      "fadewich_md_windows_opened_total", "variation windows opened");
+  obs::Counter closed = obs::registry().counter(
+      "fadewich_md_windows_closed_total", "variation windows completed");
+  obs::Counter degraded = obs::registry().counter(
+      "fadewich_md_degraded_ticks_total",
+      "ticks below min_live_fraction (s_t held)");
+  obs::Histogram duration = obs::registry().histogram(
+      "fadewich_md_window_seconds",
+      "completed variation-window durations");
+  static MdMetrics& get() {
+    static MdMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
                                    MovementDetectorConfig config)
@@ -64,6 +89,7 @@ MdState MovementDetector::step(std::span<const double> rssi_row,
     // Too few fresh streams to trust s_t: hold the previous value so the
     // anomaly state persists through the outage instead of flapping.
     ++degraded_ticks_;
+    MdMetrics::get().degraded.inc();
     st = last_st_;
   } else if (live < windows_.size()) {
     // Rescale the partial sum so the threshold calibrated on all streams
@@ -90,18 +116,26 @@ MdState MovementDetector::step(std::span<const double> rssi_row,
     if (open_ && tick - last_anomalous_ <= merge_gap_ticks_) {
       open_->end = tick;  // extend (possibly across a short gap)
     } else {
-      if (open_) completed_.push_back(*open_);
+      if (open_) close_window(*open_);
       open_ = VariationWindow{tick, tick};
+      MdMetrics::get().opened.inc();
     }
     last_anomalous_ = tick;
     return MdState::kAnomalous;
   }
 
   if (open_ && tick - last_anomalous_ > merge_gap_ticks_) {
-    completed_.push_back(*open_);
+    close_window(*open_);
     open_.reset();
   }
   return MdState::kNormal;
+}
+
+void MovementDetector::close_window(const VariationWindow& window) {
+  completed_.push_back(window);
+  auto& metrics = MdMetrics::get();
+  metrics.closed.inc();
+  metrics.duration.observe(rate_.to_seconds(window.end - window.begin + 1));
 }
 
 MovementDetectorState MovementDetector::export_state() const {

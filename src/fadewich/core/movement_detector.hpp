@@ -125,6 +125,9 @@ class MovementDetector {
   void import_state(const MovementDetectorState& state);
 
  private:
+  /// Push a finished window to completed_ and record its obs counters.
+  void close_window(const VariationWindow& window);
+
   TickRate rate_;
   MovementDetectorConfig config_;
   std::vector<stats::RollingWindow> windows_;

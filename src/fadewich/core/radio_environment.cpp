@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::core {
+
+namespace {
+
+// Per-label counters are created lazily (labels are open-ended small
+// ints).  Classification happens at most once per variation window, so
+// the name lookup is off the per-tick hot path.
+void count_label(int label) {
+  if (!obs::enabled()) return;
+  obs::registry()
+      .counter("fadewich_re_classified_total{label=\"" +
+                   std::to_string(label) + "\"}",
+               "classifications by predicted label")
+      .inc();
+}
+
+}  // namespace
 
 RadioEnvironment::RadioEnvironment(FeatureConfig features, ml::SvmConfig svm)
     : features_(features), svm_(svm) {}
@@ -48,6 +65,12 @@ std::optional<int> RadioEnvironment::classify_degraded(
     const double live = static_cast<double>(live_streams(validity));
     const double total = static_cast<double>(validity.size());
     if (live / total < features_.min_live_stream_fraction) {
+      if (obs::enabled()) {
+        obs::registry()
+            .counter("fadewich_re_degraded_unavailable_total",
+                     "classifications refused for lack of live streams")
+            .inc();
+      }
       return std::nullopt;
     }
   }
@@ -59,7 +82,9 @@ void RadioEnvironment::train(const ml::Dataset& samples) {
 }
 
 int RadioEnvironment::classify(const std::vector<double>& features) const {
-  return svm_.predict(features);
+  const int label = svm_.predict(features);
+  count_label(label);
+  return label;
 }
 
 }  // namespace fadewich::core

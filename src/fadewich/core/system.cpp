@@ -1,14 +1,33 @@
 #include "fadewich/core/system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::core {
 
 namespace {
+
+struct SysMetrics {
+  obs::Counter steps = obs::registry().counter(
+      "fadewich_sys_steps_total", "pipeline ticks processed");
+  obs::Histogram step_latency = obs::registry().histogram(
+      "fadewich_sys_step_seconds",
+      "end-to-end step wall time, sampled every 64 ticks");
+  static SysMetrics& get() {
+    static SysMetrics metrics;
+    return metrics;
+  }
+};
+
+// Sampling keeps the steady_clock out of 63 of every 64 ticks; the step
+// path is the tightest loop the system has, and the budget is < 2%.
+constexpr Tick kLatencySampleStride = 64;
+
 std::size_t history_capacity(const SystemConfig& config) {
   // Enough to re-read a feature window that started a little before the
   // detection crossed t_delta (merge gaps, rounding) plus safety margin.
@@ -122,6 +141,24 @@ FadewichSystem::StepResult FadewichSystem::step(
     std::span<const double> rssi_row,
     std::span<const std::uint8_t> valid) {
   FADEWICH_EXPECTS(valid.empty() || valid.size() == rssi_row.size());
+  auto& metrics = SysMetrics::get();
+  metrics.steps.inc();
+  const bool timed =
+      obs::enabled() && tick_ % kLatencySampleStride == 0;
+  const auto started = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+  struct LatencySample {
+    bool timed;
+    std::chrono::steady_clock::time_point started;
+    obs::Histogram& histogram;
+    ~LatencySample() {
+      if (!timed) return;
+      histogram.observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count());
+    }
+  } latency_sample{timed, started, metrics.step_latency};
+
   history_.push(rssi_row);
   if (valid.empty()) {
     validity_row_.assign(rssi_row.size(), 1.0);

@@ -65,6 +65,7 @@ class FadewichSystem {
                  SystemConfig config = {});
 
   Seconds now() const { return rate_.to_seconds(tick_); }
+  Tick tick() const { return tick_; }
   const TickRate& rate() const { return rate_; }
 
   /// Record an input event (must not be later than the next step's time).

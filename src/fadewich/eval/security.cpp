@@ -9,8 +9,35 @@
 #include "fadewich/eval/sample_extraction.hpp"
 #include "fadewich/ml/cross_validation.hpp"
 #include "fadewich/ml/multiclass_svm.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::eval {
+
+namespace {
+
+// Cross-validated confusion tallies: one counter per (truth, prediction)
+// label pair.  Created lazily — the label set is data-dependent — and
+// off every hot path (a handful of increments per evaluation).
+void count_confusion(int truth, int predicted) {
+  if (!obs::enabled()) return;
+  obs::registry()
+      .counter("fadewich_re_confusion_total{true=\"" +
+                   std::to_string(truth) + "\",pred=\"" +
+                   std::to_string(predicted) + "\"}",
+               "cross-validated (truth, prediction) label pairs")
+      .inc();
+}
+
+void count_outcome(const char* kind) {
+  if (!obs::enabled()) return;
+  obs::registry()
+      .counter(std::string("fadewich_eval_outcome_total{case=\"") + kind +
+                   "\"}",
+               "leave-event decision-tree outcomes (A/B/C cases)")
+      .inc();
+}
+
+}  // namespace
 
 SecurityResult evaluate_security(
     const sim::Recording& recording,
@@ -18,22 +45,31 @@ SecurityResult evaluate_security(
     const core::MovementDetectorConfig& md_config,
     const SecurityConfig& config) {
   SecurityResult result;
+  auto& tracer = obs::tracer();
+  const auto whole = tracer.scope("evaluate_security");
 
   // 1. MD over the whole monitored period.
-  const MdRun md = run_md(recording, sensors, md_config);
+  const MdRun md = [&] {
+    const auto span = tracer.scope("movement_detection");
+    return run_md(recording, sensors, md_config);
+  }();
   const auto windows =
       filter_by_duration(md.windows, recording.rate(), config.t_delta);
   result.matches = match_windows(windows, recording.events(),
                                  recording.rate(), config.match);
 
   // 2. TP dataset with ground-truth labels.
-  const ml::Dataset data = build_dataset(recording, sensors, result.matches,
-                                         config.t_delta, config.features);
+  const ml::Dataset data = [&] {
+    const auto span = tracer.scope("build_dataset");
+    return build_dataset(recording, sensors, result.matches,
+                         config.t_delta, config.features);
+  }();
 
   // 3. Stratified k-fold predictions for every TP sample; the folds
   // train concurrently on the shared pool.
   std::vector<int> fold_prediction(data.size(), core::kLabelEntered);
   if (data.size() >= config.folds && data.max_label_plus_one() >= 2) {
+    const auto span = tracer.scope("cross_validate");
     Rng rng(config.seed);
     const auto folds =
         ml::stratified_k_fold(data.labels, config.folds, rng);
@@ -44,6 +80,7 @@ SecurityResult evaluate_security(
     std::size_t correct = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {
       if (fold_prediction[i] == data.labels[i]) ++correct;
+      count_confusion(data.labels[i], fold_prediction[i]);
     }
     result.re_accuracy =
         static_cast<double>(correct) / static_cast<double>(data.size());
@@ -52,10 +89,12 @@ SecurityResult evaluate_security(
   // 4. Full-data model for windows outside the TP set (false positives).
   std::optional<ml::MulticlassSvm> full_model;
   if (!data.empty()) {
+    const auto span = tracer.scope("train_full_model");
     full_model.emplace(config.svm);
     full_model->train(data);
   }
 
+  const auto decisions_span = tracer.scope("decisions");
   // 5. Per-window decisions.
   std::map<Tick, std::size_t> tp_by_begin;  // window begin -> sample index
   for (std::size_t i = 0; i < result.matches.true_positives.size(); ++i) {
@@ -96,17 +135,20 @@ SecurityResult evaluate_security(
     if (tp_it == tp_sample_of_event.end()) {
       outcome.outcome = DeauthCase::kMissed;
       outcome.delay = config.timeout;
+      count_outcome("missed");
     } else {
       const std::size_t sample = tp_it->second;
       const bool correct = fold_prediction[sample] == data.labels[sample];
       if (correct) {
         outcome.outcome = DeauthCase::kCorrect;
+        count_outcome("correct");
         const Seconds t1 = recording.rate().to_seconds(
             result.matches.true_positives[sample].window.begin);
         outcome.delay = std::max(
             0.0, t1 + config.t_delta - event.proximity_exit);
       } else {
         outcome.outcome = DeauthCase::kMisclassified;
+        count_outcome("misclassified");
         // Worst case: the last input coincided with the departure, so
         // the screensaver lock fires tID + tss later.
         outcome.delay = config.t_id + config.t_ss;

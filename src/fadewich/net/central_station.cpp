@@ -1,10 +1,66 @@
 #include "fadewich/net/central_station.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::net {
+
+namespace {
+
+struct StationMetrics {
+  obs::Counter reports = obs::registry().counter(
+      "fadewich_net_reports_total", "measurements ingested by the station");
+  obs::Counter duplicates = obs::registry().counter(
+      "fadewich_net_duplicates_total", "repeat (tick, stream) reports");
+  obs::Counter late = obs::registry().counter(
+      "fadewich_net_late_reports_total",
+      "reports for already-released ticks");
+  obs::Counter evictions = obs::registry().counter(
+      "fadewich_net_evictions_total", "rows dropped by the capacity cap");
+  obs::Counter incomplete = obs::registry().counter(
+      "fadewich_net_incomplete_releases_total",
+      "rows released past the deadline");
+  obs::Counter imputed = obs::registry().counter(
+      "fadewich_net_imputed_cells_total",
+      "cells filled from last released values");
+  static StationMetrics& get() {
+    static StationMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void StationHealth::reset() {
+  reports = 0;
+  duplicates = 0;
+  late_reports = 0;
+  evictions = 0;
+  incomplete_releases = 0;
+  imputed_cells = 0;
+  std::fill(imputed_per_stream.begin(), imputed_per_stream.end(), 0);
+}
+
+obs::HealthBlock health_block(const StationHealth& health) {
+  obs::HealthBlock block;
+  block.name = "station";
+  block.add("reports", static_cast<double>(health.reports));
+  block.add("duplicates", static_cast<double>(health.duplicates));
+  block.add("late_reports", static_cast<double>(health.late_reports));
+  block.add("evictions", static_cast<double>(health.evictions));
+  block.add("incomplete_releases",
+            static_cast<double>(health.incomplete_releases));
+  block.add("imputed_cells", static_cast<double>(health.imputed_cells));
+  std::uint64_t worst = 0;
+  for (const std::uint64_t n : health.imputed_per_stream) {
+    worst = std::max(worst, n);
+  }
+  block.add("max_imputed_per_stream", static_cast<double>(worst));
+  return block;
+}
 
 CentralStation::CentralStation(std::size_t device_count,
                                StationConfig config)
@@ -51,14 +107,17 @@ void CentralStation::release(Tick tick, PendingRow&& row, bool complete) {
     out.missing = 0;
   } else {
     ++health_.incomplete_releases;
+    StationMetrics::get().incomplete.inc();
     out.missing = stream_count() - row.filled;
     for (std::size_t s = 0; s < out.values.size(); ++s) {
       if (!out.valid[s]) {
         out.values[s] = last_value_[s];  // last-known-value imputation
         ++health_.imputed_cells;
         ++health_.imputed_per_stream[s];
+        ++lifetime_imputed_;
       }
     }
+    StationMetrics::get().imputed.add(static_cast<double>(out.missing));
   }
   for (std::size_t s = 0; s < out.values.size(); ++s) {
     if (out.valid[s]) last_value_[s] = out.values[s];
@@ -78,12 +137,15 @@ void CentralStation::evict_oldest() {
     released_.erase(released_.begin());
   }
   ++health_.evictions;
+  ++lifetime_evictions_;
+  StationMetrics::get().evictions.inc();
 }
 
 std::vector<Tick> CentralStation::ingest(MessageBus& bus,
                                          std::optional<Tick> now) {
   for (const Measurement& m : bus.drain()) {
     ++health_.reports;
+    StationMetrics::get().reports.inc();
     auto it = pending_.find(m.tick);
     if (it == pending_.end()) {
       // A report for a tick already released (or given up on) cannot
@@ -93,6 +155,7 @@ std::vector<Tick> CentralStation::ingest(MessageBus& bus,
           config_.deadline_ticks > 0 && m.tick <= release_watermark_;
       if (already_released || past_watermark) {
         ++health_.late_reports;
+        StationMetrics::get().late.inc();
         continue;
       }
       while (buffered_count() >= config_.max_pending) evict_oldest();
@@ -108,6 +171,7 @@ std::vector<Tick> CentralStation::ingest(MessageBus& bus,
       ++row.filled;
     } else {
       ++health_.duplicates;
+      StationMetrics::get().duplicates.inc();
     }
     row.values[s] = m.rssi_dbm;  // duplicate reports keep the latest
   }

@@ -18,6 +18,7 @@
 
 #include "fadewich/net/measurement.hpp"
 #include "fadewich/net/message_bus.hpp"
+#include "fadewich/obs/export.hpp"
 
 namespace fadewich::net {
 
@@ -43,7 +44,10 @@ struct StationRow {
   bool complete() const { return missing == 0; }
 };
 
-/// Degradation counters; one block per station lifetime.
+/// Degradation counters.  Resettable per reporting interval via reset();
+/// the station separately keeps monotone lifetime eviction/imputation
+/// totals (CentralStation::lifetime_evictions()/lifetime_imputed_cells())
+/// so scrapers that expect never-decreasing counters survive a reset.
 struct StationHealth {
   std::uint64_t reports = 0;             // measurements ingested
   std::uint64_t duplicates = 0;          // repeat (tick, stream) reports
@@ -52,7 +56,14 @@ struct StationHealth {
   std::uint64_t incomplete_releases = 0; // rows released past the deadline
   std::uint64_t imputed_cells = 0;       // sum of imputed_per_stream
   std::vector<std::uint64_t> imputed_per_stream;
+
+  /// Zero every counter; imputed_per_stream keeps its size.
+  void reset();
 };
+
+/// Flatten a health block for obs::ScrapeReport (per-stream imputation is
+/// summarised as its max, not expanded per stream).
+obs::HealthBlock health_block(const StationHealth& health);
 
 class CentralStation {
  public:
@@ -96,6 +107,13 @@ class CentralStation {
 
   const StationHealth& health() const { return health_; }
 
+  /// Zero the resettable health block (lifetime totals are untouched).
+  void reset_health() { health_.reset(); }
+
+  /// Monotone lifetime totals, unaffected by reset_health().
+  std::uint64_t lifetime_evictions() const { return lifetime_evictions_; }
+  std::uint64_t lifetime_imputed_cells() const { return lifetime_imputed_; }
+
  private:
   struct PendingRow {
     std::vector<double> values;
@@ -113,6 +131,8 @@ class CentralStation {
   std::vector<double> last_value_;       // per-stream imputation source
   Tick release_watermark_ = -1;  // highest tick released or evicted
   StationHealth health_;
+  std::uint64_t lifetime_evictions_ = 0;
+  std::uint64_t lifetime_imputed_ = 0;
 };
 
 }  // namespace fadewich::net

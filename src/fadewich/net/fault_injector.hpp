@@ -29,6 +29,7 @@
 #include "fadewich/common/rng.hpp"
 #include "fadewich/net/measurement.hpp"
 #include "fadewich/net/message_bus.hpp"
+#include "fadewich/obs/export.hpp"
 
 namespace fadewich::net {
 
@@ -103,5 +104,8 @@ class FaultInjector {
   std::uint64_t next_sequence_ = 0;
   Counters counters_;
 };
+
+/// Flatten injector counters for obs::ScrapeReport.
+obs::HealthBlock health_block(const FaultInjector::Counters& counters);
 
 }  // namespace fadewich::net

@@ -52,6 +52,8 @@ class LiveSensorNetwork {
 
   const rf::ChannelMatrix& channel() const { return channel_; }
   const CentralStation& station() const { return station_; }
+  /// Mutable access for interval-style health consumers (reset_health()).
+  CentralStation& station() { return station_; }
   const FaultInjector* injector() const {
     return injector_ ? &*injector_ : nullptr;
   }

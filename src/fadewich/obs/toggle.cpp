@@ -1,0 +1,37 @@
+#include "fadewich/obs/toggle.hpp"
+
+#if !defined(FADEWICH_OBS_DISABLE)
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace fadewich::obs {
+
+namespace {
+
+bool env_default() {
+  const char* env = std::getenv("FADEWICH_OBS");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return value != "0" && value != "off" && value != "OFF";
+}
+
+std::atomic<bool>& state() {
+  // Meyers singleton: lazily initialised on first use, so the env read
+  // happens exactly once and never during static-init races.
+  static std::atomic<bool> on{env_default()};
+  return on;
+}
+
+}  // namespace
+
+bool enabled() { return state().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  state().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace fadewich::obs
+
+#endif  // !FADEWICH_OBS_DISABLE

@@ -1,0 +1,30 @@
+// Observability kill switches.
+//
+// Instrumentation is gated twice.  At compile time, defining
+// FADEWICH_OBS_DISABLE turns every metric handle and event-log call into
+// an empty inline body, so a build that wants zero telemetry pays zero
+// instructions.  At runtime (the default build), every instrumented site
+// first checks enabled() — one relaxed atomic load — so a deployment can
+// switch telemetry off without rebuilding.  The initial value comes from
+// the FADEWICH_OBS environment variable ("0" or "off" disables; anything
+// else, including unset, enables) and can be flipped programmatically.
+#pragma once
+
+namespace fadewich::obs {
+
+#if defined(FADEWICH_OBS_DISABLE)
+inline constexpr bool kCompiledIn = false;
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#else
+inline constexpr bool kCompiledIn = true;
+
+/// Runtime toggle: one relaxed atomic load, safe from any thread.
+bool enabled();
+
+/// Flip the runtime toggle.  Visible to all threads; in-flight metric
+/// updates on other threads may still land for a few instructions.
+void set_enabled(bool on);
+#endif
+
+}  // namespace fadewich::obs

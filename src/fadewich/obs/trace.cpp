@@ -1,0 +1,98 @@
+#include "fadewich/obs/trace.hpp"
+
+#include <chrono>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::obs {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// SplitMix64 finaliser — the same mixing exec::task_seed applies, kept
+// local because obs sits below exec in the module DAG.
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t span_id(std::uint64_t parent, const std::string& name,
+                      std::uint64_t sibling_index) {
+  std::uint64_t id = mix64(parent ^ fnv1a(name), sibling_index);
+  if (id == 0) id = 1;  // 0 is reserved for "no parent"
+  return id;
+}
+
+std::uint64_t Tracer::begin_span(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t parent =
+      stack_.empty() ? root_seed_ : stack_.back().id;
+  std::uint64_t& siblings =
+      stack_.empty() ? root_children_ : stack_.back().children;
+  Frame frame;
+  frame.id = span_id(parent, name, siblings++);
+  frame.name = name;
+  frame.start_ms = now_ms();
+  stack_.push_back(std::move(frame));
+  return stack_.back().id;
+}
+
+void Tracer::end_span() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stack_.empty()) {
+    throw Error("obs tracer: end_span with no open span");
+  }
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+  Span span;
+  span.id = frame.id;
+  span.parent = stack_.empty() ? 0 : stack_.back().id;
+  span.name = std::move(frame.name);
+  span.depth = stack_.size();
+  span.wall_ms = now_ms() - frame.start_ms;
+  finished_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+std::size_t Tracer::open_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stack_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!stack_.empty()) {
+    throw Error("obs tracer: clear with spans still open");
+  }
+  finished_.clear();
+  root_children_ = 0;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace fadewich::obs

@@ -1,0 +1,98 @@
+// Nested spans with deterministic ids.
+//
+// A span id is a pure function of the trace structure — the root seed,
+// the parent's id, the span's name, and its sibling index under that
+// parent — mixed with the same SplitMix64 finaliser the exec engine's
+// task seeding uses.  Wall time never feeds the id, so two runs that open
+// the same spans in the same order produce identical ids regardless of
+// FADEWICH_THREADS, machine load, or clock resolution; only the recorded
+// durations differ.  That makes span ids usable as stable join keys when
+// diffing traces across runs or thread counts.
+//
+// A Tracer tracks one logical call tree and is intended for a single
+// orchestration thread (the evaluation driver, the supervised pipeline's
+// tick loop); concurrent begin/end from many threads would interleave the
+// nesting.  Internal state is mutex-guarded so mistakes surface as odd
+// trees, not data races.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fadewich::obs {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 for roots
+  std::string name;
+  std::size_t depth = 0;     // 0 for roots
+  double wall_ms = 0.0;      // measured duration (non-deterministic)
+};
+
+/// The structural id mix: SplitMix64 finaliser over (parent ^ name hash,
+/// sibling index).  Exposed for tests and for modules that want ids
+/// consistent with the tracer's without opening spans.
+std::uint64_t span_id(std::uint64_t parent, const std::string& name,
+                      std::uint64_t sibling_index);
+
+class Tracer {
+ public:
+  explicit Tracer(std::uint64_t root_seed = 0xFADE)
+      : root_seed_(root_seed) {}
+
+  /// Open a span under the innermost open span (or as a root).  Returns
+  /// the span's deterministic id.
+  std::uint64_t begin_span(const std::string& name);
+
+  /// Close the innermost open span; throws fadewich::Error when no span
+  /// is open.
+  void end_span();
+
+  /// RAII guard for begin/end pairing.
+  class Scope {
+   public:
+    explicit Scope(Tracer& tracer, const std::string& name)
+        : tracer_(&tracer) {
+      tracer_->begin_span(name);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { tracer_->end_span(); }
+
+   private:
+    Tracer* tracer_;
+  };
+
+  Scope scope(const std::string& name) { return Scope(*this, name); }
+
+  /// Closed spans, in completion order (children before their parent).
+  std::vector<Span> finished() const;
+
+  std::size_t open_depth() const;
+
+  /// Drop finished spans and reset sibling numbering; open spans must
+  /// all be closed first (throws fadewich::Error otherwise).
+  void clear();
+
+  /// Process-wide tracer used by the built-in instrumentation; single
+  /// orchestration thread by convention.
+  static Tracer& global();
+
+ private:
+  struct Frame {
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t children = 0;  // sibling index generator
+    double start_ms = 0.0;
+  };
+
+  std::uint64_t root_seed_;
+  mutable std::mutex mutex_;
+  std::vector<Frame> stack_;
+  std::uint64_t root_children_ = 0;
+  std::vector<Span> finished_;
+};
+
+}  // namespace fadewich::obs

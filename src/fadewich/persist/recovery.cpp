@@ -7,12 +7,55 @@
 #include <thread>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::persist {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+struct PersistMetrics {
+  obs::Counter checkpoints = obs::registry().counter(
+      "fadewich_persist_checkpoints_total", "snapshots written");
+  obs::Counter recoveries = obs::registry().counter(
+      "fadewich_persist_recoveries_total", "recover() invocations");
+  obs::Counter rejected = obs::registry().counter(
+      "fadewich_persist_snapshots_rejected_total",
+      "snapshot files rejected during recovery");
+  obs::Counter cold_starts = obs::registry().counter(
+      "fadewich_persist_cold_starts_total",
+      "recoveries that found no usable snapshot");
+  obs::Histogram checkpoint_latency = obs::registry().histogram(
+      "fadewich_persist_checkpoint_seconds",
+      "checkpoint write + ring prune wall time");
+  obs::Histogram recover_latency = obs::registry().histogram(
+      "fadewich_persist_recover_seconds", "recover() wall time");
+  static PersistMetrics& get() {
+    static PersistMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Observes elapsed wall time on destruction; no-cost when obs is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram& histogram)
+      : histogram_(histogram), timed_(obs::enabled()) {
+    if (timed_) started_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!timed_) return;
+    histogram_.observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count());
+  }
+
+ private:
+  obs::Histogram& histogram_;
+  bool timed_;
+  std::chrono::steady_clock::time_point started_;
+};
 
 constexpr char kPrefix[] = "snap-";
 constexpr char kSuffix[] = ".fdws";
@@ -83,6 +126,9 @@ RecoveryManager::RecoveryManager(RecoveryConfig config)
 }
 
 std::string RecoveryManager::checkpoint(const Snapshot& snapshot) {
+  auto& metrics = PersistMetrics::get();
+  ScopedTimer timer(metrics.checkpoint_latency);
+  metrics.checkpoints.inc();
   const std::string path =
       (fs::path(config_.directory) / snapshot_name(next_seq_)).string();
   save_snapshot(snapshot, path);
@@ -99,6 +145,9 @@ std::string RecoveryManager::checkpoint(const Snapshot& snapshot) {
 }
 
 std::optional<Snapshot> RecoveryManager::recover(RecoveryReport* report) {
+  auto& metrics = PersistMetrics::get();
+  ScopedTimer timer(metrics.recover_latency);
+  metrics.recoveries.inc();
   RecoveryReport local;
   RecoveryReport& out = report ? *report : local;
   out = RecoveryReport{};
@@ -127,8 +176,12 @@ std::optional<Snapshot> RecoveryManager::recover(RecoveryReport* report) {
       }
     }
     out.rejected.push_back({path, last_reason});
+    metrics.rejected.inc();
+    obs::events().warn("persist", "snapshot rejected during recovery", 0,
+                       {{"path", path}, {"reason", last_reason}});
   }
   out.cold_start = true;
+  metrics.cold_starts.inc();
   return std::nullopt;
 }
 

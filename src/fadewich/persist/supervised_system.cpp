@@ -35,8 +35,11 @@ SupervisedSystem::SupervisedSystem(std::size_t stream_count,
   if (snapshot) {
     system_.import_state(snapshot->system);
     station_health_ = snapshot->station;
+    obs::events().info("persist", "recovered from snapshot", 0,
+                       {{"path", recovery_report_.recovered_path}});
   } else {
     degraded_start_ = true;
+    obs::events().warn("persist", "cold start: no usable snapshot", 0);
   }
 }
 
@@ -69,8 +72,32 @@ SupervisedSystem::StepResult SupervisedSystem::step(
     supervisor_.poll(tick);
     result.inner = {};
     result.recovered = true;
+    obs::events().error("persist", "pipeline step failed; restored", tick,
+                        {{"what", e.what()}});
   }
   return result;
+}
+
+obs::ScrapeReport SupervisedSystem::scrape(
+    const net::FaultInjector::Counters* faults) const {
+  obs::ScrapeReport report =
+      obs::scrape(obs::registry(), &obs::events(), &obs::tracer());
+
+  obs::HealthBlock pipeline;
+  pipeline.name = "pipeline";
+  pipeline.add("tick", static_cast<double>(system_.tick()));
+  pipeline.add("training", system_.training() ? 1.0 : 0.0);
+  pipeline.add("degraded_start", degraded_start_ ? 1.0 : 0.0);
+  pipeline.add("checkpoints_written",
+               static_cast<double>(checkpoints_written()));
+  report.health.push_back(std::move(pipeline));
+
+  report.health.push_back(net::health_block(station_health_));
+  if (faults != nullptr) {
+    report.health.push_back(net::health_block(*faults));
+  }
+  report.health.push_back(health_block(supervisor_.health()));
+  return report;
 }
 
 std::string SupervisedSystem::checkpoint_now() {

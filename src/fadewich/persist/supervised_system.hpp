@@ -14,6 +14,8 @@
 
 #include "fadewich/core/system.hpp"
 #include "fadewich/net/central_station.hpp"
+#include "fadewich/net/fault_injector.hpp"
+#include "fadewich/obs/obs.hpp"
 #include "fadewich/persist/recovery.hpp"
 #include "fadewich/persist/supervisor.hpp"
 
@@ -77,6 +79,13 @@ class SupervisedSystem {
   }
 
   HealthReport health() const { return supervisor_.health(); }
+
+  /// One unified observability document: every metric family plus
+  /// pipeline, station, fault (when given), and supervisor health, with
+  /// recent events and finished spans folded in.  Render with
+  /// to_prometheus() or to_json().
+  obs::ScrapeReport scrape(
+      const net::FaultInjector::Counters* faults = nullptr) const;
 
  private:
   bool restore_from_ring();

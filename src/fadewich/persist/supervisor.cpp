@@ -71,6 +71,22 @@ std::size_t Supervisor::poll(Tick now) {
   return restarted;
 }
 
+obs::HealthBlock health_block(const HealthReport& report) {
+  obs::HealthBlock block;
+  block.name = "supervisor";
+  block.add("modules", static_cast<double>(report.modules.size()));
+  block.add("total_restarts",
+            static_cast<double>(report.total_restarts));
+  block.add("all_healthy", report.all_healthy() ? 1.0 : 0.0);
+  for (const ModuleHealth& m : report.modules) {
+    block.add(m.name + "_status", static_cast<double>(m.status));
+    block.add(m.name + "_restarts", static_cast<double>(m.restarts));
+    block.add(m.name + "_last_heartbeat",
+              static_cast<double>(m.last_heartbeat));
+  }
+  return block;
+}
+
 HealthReport Supervisor::health() const {
   HealthReport report;
   report.modules.reserve(modules_.size());

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fadewich/common/time.hpp"
+#include "fadewich/obs/export.hpp"
 
 namespace fadewich::persist {
 
@@ -87,5 +88,10 @@ class Supervisor {
   SupervisorConfig config_;
   std::vector<Module> modules_;
 };
+
+/// Flatten watchdog health for obs::ScrapeReport: overall totals plus a
+/// per-module restart count and status code (0 healthy, 1 restarting,
+/// 2 failed).
+obs::HealthBlock health_block(const HealthReport& report);
 
 }  // namespace fadewich::persist

@@ -1,0 +1,128 @@
+// StationHealth ground-truth accounting: under a combined
+// duplicate + outage schedule (no random drops or delays, so every
+// surviving report reaches the station in its own round), the station's
+// health counters must match the injector's counters exactly — the two
+// ends of the reporting path agree on what was lost and what arrived
+// twice.  Also covers the explicit reset() and the monotone lifetime
+// totals that survive it.
+#include <gtest/gtest.h>
+
+#include "fadewich/net/live_network.hpp"
+
+namespace fadewich::net {
+namespace {
+
+std::vector<rf::Point> sensors() {
+  return {{0.0, 0.0}, {6.0, 0.0}, {3.0, 3.0}, {0.0, 3.0}};
+}
+
+rf::ChannelConfig quiet_config() {
+  rf::ChannelConfig config;
+  config.interference_mean_gap_s = 0.0;
+  return config;
+}
+
+/// Duplicates plus one sensor outage; NO drops or delays, so the
+/// injector's tallies translate one-to-one into station-side effects.
+FaultConfig duplicates_and_outage() {
+  FaultConfig faults;
+  faults.duplicate_probability = 0.20;
+  faults.outages.push_back({1, 40, 59});  // sensor 1 offline 20 ticks
+  return faults;
+}
+
+TEST(StationHealthTest, DuplicateOutageScheduleMatchesInjectorTallies) {
+  StationConfig station;
+  station.deadline_ticks = 2;
+  LiveSensorNetwork net(sensors(), quiet_config(), 5.0, 7,
+                        duplicates_and_outage(), station);
+  const std::size_t streams = net.stream_count();
+  ASSERT_EQ(streams, 12u);
+
+  const Tick ticks = 200;
+  for (Tick t = 0; t < ticks; ++t) net.round({});
+  // Flush: run the deadline past the last offered tick so every pending
+  // row (the outage rows included) is released and imputed.
+  for (Tick t = 0; t < station.deadline_ticks + 1; ++t) net.round({});
+
+  const StationHealth& health = net.station().health();
+  ASSERT_NE(net.injector(), nullptr);
+  const FaultInjector::Counters& faults = net.injector()->counters();
+
+  // Every beacon round offers exactly one report per directed stream.
+  const std::uint64_t rounds =
+      static_cast<std::uint64_t>(ticks + station.deadline_ticks + 1);
+  EXPECT_EQ(faults.offered, rounds * streams);
+
+  // No drops or delays configured: the conservation law is exact.
+  EXPECT_EQ(faults.dropped, 0u);
+  EXPECT_EQ(faults.delayed, 0u);
+  EXPECT_EQ(faults.offered,
+            faults.delivered - faults.duplicated + faults.outage_dropped);
+
+  // The station saw exactly what the injector delivered...
+  EXPECT_EQ(health.reports, faults.delivered);
+  // ...flagged exactly the duplicated reports as duplicates...
+  EXPECT_GT(faults.duplicated, 0u);
+  EXPECT_EQ(health.duplicates, faults.duplicated);
+  // ...and imputed exactly the outage-dropped cells (each lost report is
+  // one missing cell in a deadline-released row).
+  EXPECT_GT(faults.outage_dropped, 0u);
+  EXPECT_EQ(health.imputed_cells, faults.outage_dropped);
+
+  // Nothing arrived after its row was frozen and nothing overflowed.
+  EXPECT_EQ(health.late_reports, 0u);
+  EXPECT_EQ(health.evictions, 0u);
+
+  // Outage rows are the only incomplete releases: 20 outage ticks, and
+  // the per-stream imputations land only on streams touching sensor 1.
+  EXPECT_EQ(health.incomplete_releases, 20u);
+  std::uint64_t touching = 0;
+  for (std::size_t s = 0; s < streams; ++s) {
+    const auto [tx, rx] = net.station().stream_pair(s);
+    if (tx == 1 || rx == 1) {
+      EXPECT_GT(health.imputed_per_stream[s], 0u) << "stream " << s;
+      ++touching;
+    } else {
+      EXPECT_EQ(health.imputed_per_stream[s], 0u) << "stream " << s;
+    }
+  }
+  EXPECT_EQ(touching, 6u);  // sensor 1 transmits 3 streams, receives 3
+}
+
+TEST(StationHealthTest, ResetZerosCountersButKeepsLifetimeTotals) {
+  StationConfig station;
+  station.deadline_ticks = 2;
+  LiveSensorNetwork net(sensors(), quiet_config(), 5.0, 7,
+                        duplicates_and_outage(), station);
+  for (Tick t = 0; t < 70; ++t) net.round({});  // spans the outage
+
+  CentralStation& mutable_station = net.station();
+  const StationHealth& health = mutable_station.health();
+  ASSERT_GT(health.reports, 0u);
+  ASSERT_GT(health.imputed_cells, 0u);
+  const std::uint64_t lifetime_imputed =
+      mutable_station.lifetime_imputed_cells();
+  EXPECT_EQ(lifetime_imputed, health.imputed_cells);
+
+  mutable_station.reset_health();
+  EXPECT_EQ(health.reports, 0u);
+  EXPECT_EQ(health.duplicates, 0u);
+  EXPECT_EQ(health.late_reports, 0u);
+  EXPECT_EQ(health.evictions, 0u);
+  EXPECT_EQ(health.incomplete_releases, 0u);
+  EXPECT_EQ(health.imputed_cells, 0u);
+  for (const std::uint64_t n : health.imputed_per_stream) {
+    EXPECT_EQ(n, 0u);
+  }
+  // The interval block restarts; the monotone totals do not.
+  EXPECT_EQ(mutable_station.lifetime_imputed_cells(), lifetime_imputed);
+  EXPECT_EQ(mutable_station.lifetime_evictions(), 0u);
+
+  // Counting resumes cleanly after the reset.
+  for (Tick t = 0; t < 10; ++t) net.round({});
+  EXPECT_GT(health.reports, 0u);
+}
+
+}  // namespace
+}  // namespace fadewich::net
