@@ -1,11 +1,31 @@
 // Microbenchmarks (google-benchmark) for the hot paths a real deployment
 // exercises continuously: channel sampling, MD per-tick processing, KDE
 // threshold re-estimation, RE feature extraction, and SVM training.
+//
+// Report mode: `bench_micro_hotpaths [--fast] BENCH_hotpaths.json` runs
+// the scalar-vs-batched comparison suite instead (KDE pdf sweep, SVM
+// decision, channel sample_block, full FadewichSystem::step) and writes
+// the stamped JSON the CI perf gate diffs against the checked-in
+// baseline (tools/check_perf_regression.py).  FADEWICH_BENCH_HANDICAP
+// names one hot path whose *batched* side runs twice — a synthetic 2x
+// regression for verifying the gate actually fails.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
+#include "fadewich/common/flat_matrix.hpp"
 #include "fadewich/common/rng.hpp"
+#include "fadewich/core/system.hpp"
+#include "fadewich/ml/dataset.hpp"
+#include "fadewich/ml/svm.hpp"
 #include "fadewich/core/features.hpp"
 #include "fadewich/core/movement_detector.hpp"
 #include "fadewich/core/normal_profile.hpp"
@@ -230,7 +250,282 @@ void BM_SvmTrainPaperScale(benchmark::State& state) {
 }
 BENCHMARK(BM_SvmTrainPaperScale);
 
+// --- BENCH_hotpaths.json report mode ---------------------------------
+
+/// Best-of-`reps` wall time of fn() divided by `ops`, in nanoseconds.
+template <typename F>
+double time_best_ns_per_op(int reps, std::int64_t ops, F&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best / static_cast<double>(ops);
+}
+
+/// 2 when FADEWICH_BENCH_HANDICAP selects this hot path, else 1: the
+/// batched side repeats its work that many times, simulating a kernel
+/// regression the perf gate must catch.
+int handicap(const char* name) {
+  const char* env = std::getenv("FADEWICH_BENCH_HANDICAP");
+  return env != nullptr && std::string(env) == name ? 2 : 1;
+}
+
+struct HotpathPair {
+  std::string name;
+  std::int64_t ops = 0;
+  double scalar_ns = 0.0;
+  double batched_ns = 0.0;
+  double speedup() const { return scalar_ns / batched_ns; }
+};
+
+// Gaussian-KDE profile sweep (Fig. 2 curves, threshold diagnostics):
+// per-query pdf() versus one pdf_block() pass over the same grid.
+HotpathPair bench_kde_pdf_sweep() {
+  const bool fast = bench::fast_mode();
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < (fast ? 400 : 1200); ++i) {
+    samples.push_back(rng.normal(50.0, 5.0));
+  }
+  const ml::GaussianKde kde(samples);
+  const std::size_t queries = fast ? 4096 : 16384;
+  std::vector<double> xs(queries);
+  std::vector<double> out(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    xs[i] = 20.0 + 60.0 * static_cast<double>(i) /
+                       static_cast<double>(queries - 1);
+  }
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("kde_pdf_sweep");
+  HotpathPair result{"kde_pdf_sweep",
+                     static_cast<std::int64_t>(queries), 0.0, 0.0};
+  result.scalar_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    double acc = 0.0;
+    for (const double x : xs) acc += kde.pdf(x);
+    benchmark::DoNotOptimize(acc);
+  });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) kde.pdf_block(xs, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  return result;
+}
+
+// SVM inference at paper scale: per-query decision() versus one
+// decision_block() pass streaming the support-vector matrix per batch.
+HotpathPair bench_svm_decision() {
+  const bool fast = bench::fast_mode();
+  const std::size_t n = fast ? 80 : 120;
+  const std::size_t dim = fast ? 64 : 216;
+  const std::size_t queries = 512;
+  Rng rng(11);
+  std::vector<std::vector<double>> features(n);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i % 2 == 0 ? 1 : -1;
+    features[i].resize(dim);
+    for (std::size_t f = 0; f < dim; ++f) {
+      features[i][f] = rng.normal(labels[i] > 0 ? 0.5 : -0.5, 1.0);
+    }
+  }
+  ml::BinarySvm svm;
+  svm.train(features, labels);
+
+  common::FlatMatrix qs(queries, dim);
+  std::vector<std::vector<double>> q_rows(queries,
+                                          std::vector<double>(dim));
+  for (std::size_t r = 0; r < queries; ++r) {
+    for (std::size_t f = 0; f < dim; ++f) {
+      const double v = rng.normal(0.0, 1.0);
+      qs.at(r, f) = v;
+      q_rows[r][f] = v;
+    }
+  }
+  std::vector<double> out(queries);
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("svm_decision");
+  HotpathPair result{"svm_decision",
+                     static_cast<std::int64_t>(queries), 0.0, 0.0};
+  result.scalar_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    double acc = 0.0;
+    for (const auto& row : q_rows) acc += svm.decision(row);
+    benchmark::DoNotOptimize(acc);
+  });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) svm.decision_block(qs, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  return result;
+}
+
+// Channel tick generation: per-tick sample() calls versus one
+// sample_block() over the same span of office activity (the block path
+// is what simulate_week drives; it may use the worker pool).
+HotpathPair bench_channel_sample_block() {
+  const bool fast = bench::fast_mode();
+  const rf::FloorPlan plan = rf::paper_office();
+  const std::size_t ticks = fast ? 1024 : 4096;
+  std::vector<std::vector<rf::BodyState>> bodies(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const double x = 0.5 + 5.0 * static_cast<double>(t % 512) / 512.0;
+    bodies[t] = {{{x, 1.5}, 1.4}, {{4.3, 2.5}, 0.0}, {{0.7, 0.7}, 0.0}};
+  }
+  rf::ChannelMatrix scalar_ch(plan.sensors, rf::ChannelConfig{}, 1);
+  rf::ChannelMatrix batched_ch(plan.sensors, rf::ChannelConfig{}, 1);
+  const std::size_t streams = scalar_ch.stream_count();
+  exec::ThreadPool pool;  // default_thread_count(), FADEWICH_THREADS-capped
+  std::vector<double> block(ticks * streams);
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("channel_sample_block");
+  HotpathPair result{
+      "channel_sample_block",
+      static_cast<std::int64_t>(ticks * streams), 0.0, 0.0};
+  result.scalar_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (std::size_t t = 0; t < ticks; ++t) {
+      scalar_ch.sample(bodies[t],
+                       std::span<double>(block).subspan(t * streams,
+                                                        streams));
+    }
+    benchmark::DoNotOptimize(block.data());
+  });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) {
+      batched_ch.sample_block(bodies, block, &pool);
+    }
+    benchmark::DoNotOptimize(block.data());
+  });
+  return result;
+}
+
+// Steady-state cost of one full online pipeline tick (KMA + MD + RE +
+// controller + sessions) on a warmed, quiet system — the loop the
+// zero-allocation budget covers.  No scalar/batched pair; tracked as a
+// trajectory number.
+struct SingleRate {
+  std::string name;
+  std::int64_t ops = 0;
+  double ns_per_op = 0.0;
+};
+
+SingleRate bench_system_step() {
+  const bool fast = bench::fast_mode();
+  constexpr std::size_t kStreams = 72;
+  constexpr std::size_t kWorkstations = 4;
+  core::SystemConfig config;
+  config.md.calibration = 30.0;
+  core::FadewichSystem system(kStreams, kWorkstations, config);
+
+  Rng rng(17);
+  std::vector<double> row(kStreams);
+  const auto feed = [&](double sigma, std::size_t steps) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (auto& v : row) v = rng.normal(-60.0, sigma);
+      system.step(row);
+    }
+  };
+  feed(1.0, 400);  // calibration + window warm-up
+
+  // A tiny two-class training set so the system flips online; the quiet
+  // feed below never reaches a Rule-1 classification, so only the
+  // feature dimensionality matters.
+  ml::Dataset data;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<std::vector<double>> windows(
+        kStreams, std::vector<double>(23));
+    for (auto& w : windows) {
+      for (auto& v : w) v = rng.normal(i % 2 == 0 ? -60.0 : -55.0, 1.0);
+    }
+    data.add(core::extract_features(windows, config.features), i % 2);
+  }
+  system.train_with(data);
+  feed(0.5, 1000);  // warm the online path and every retained buffer
+
+  // Pre-generated quiet rows so the timed loop measures step(), not the
+  // RNG.
+  constexpr std::size_t kRowTable = 256;
+  std::vector<double> rows(kRowTable * kStreams);
+  for (auto& v : rows) v = rng.normal(-60.0, 0.5);
+  const std::size_t steps = fast ? 5000 : 20000;
+  SingleRate result{"system_step", static_cast<std::int64_t>(steps), 0.0};
+  result.ns_per_op = time_best_ns_per_op(fast ? 3 : 5, result.ops, [&] {
+    for (std::size_t t = 0; t < steps; ++t) {
+      const std::span<const double> r(
+          rows.data() + (t % kRowTable) * kStreams, kStreams);
+      benchmark::DoNotOptimize(system.step(r).md_state);
+    }
+  });
+  return result;
+}
+
+int run_hotpath_report(const std::string& path) {
+  const std::vector<HotpathPair> pairs{
+      bench_kde_pdf_sweep(), bench_svm_decision(),
+      bench_channel_sample_block()};
+  const SingleRate step = bench_system_step();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  out << "{\n";
+  out << bench::json_stamp("fadewich-bench-hotpaths/1",
+                           exec::default_thread_count());
+  out << "  \"hotpaths\": {\n";
+  for (const HotpathPair& p : pairs) {
+    out << "    \"" << p.name << "\": {\"ops\": " << p.ops
+        << ", \"scalar_ns_per_op\": " << p.scalar_ns
+        << ", \"batched_ns_per_op\": " << p.batched_ns
+        << ", \"speedup\": " << p.speedup() << "},\n";
+  }
+  out << "    \"" << step.name << "\": {\"ops\": " << step.ops
+      << ", \"ns_per_op\": " << step.ns_per_op << "}\n";
+  out << "  }\n";
+  out << "}\n";
+
+  for (const HotpathPair& p : pairs) {
+    std::cout << p.name << ": scalar " << p.scalar_ns << " ns/op, batched "
+              << p.batched_ns << " ns/op, speedup " << p.speedup() << "\n";
+  }
+  std::cout << step.name << ": " << step.ns_per_op << " ns/op\n";
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace fadewich
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--fast` mirrors FADEWICH_BENCH_FAST=1 (the flag CI passes); a .json
+  // argument selects report mode; anything else runs google-benchmark.
+  std::string json_path;
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      setenv("FADEWICH_BENCH_FAST", "1", 1);
+    } else if (arg.size() > 5 &&
+               arg.compare(arg.size() - 5, 5, ".json") == 0) {
+      json_path = arg;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return fadewich::run_hotpath_report(json_path);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// A dense row-major matrix in one contiguous allocation.
+//
+// The numeric hot paths (SVM kernel expansions, batched classification)
+// iterate row-by-row over sample matrices; storing each row as its own
+// std::vector scatters them across the heap and costs a pointer chase
+// per row.  FlatMatrix keeps all rows back to back (`data() + r * cols()`)
+// so row loops are one linear walk the compiler can vectorise, and
+// resize() reuses the existing allocation whenever the new extent fits.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::common {
+
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+  FlatMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Copy a ragged-capable nested layout into flat storage.  All rows
+  /// must share one width (the usual dataset invariant).
+  static FlatMatrix from_rows(const std::vector<std::vector<double>>& rows) {
+    FlatMatrix m;
+    if (rows.empty()) return m;
+    m.resize(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      FADEWICH_EXPECTS(rows[r].size() == m.cols_);
+      double* dst = m.row(r);
+      for (std::size_t c = 0; c < m.cols_; ++c) dst[c] = rows[r][c];
+    }
+    return m;
+  }
+
+  /// The inverse conversion, for persistence formats that predate the
+  /// flat layout.
+  std::vector<std::vector<double>> to_rows() const {
+    std::vector<std::vector<double>> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      out[r].assign(row(r), row(r) + cols_);
+    }
+    return out;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Distance between consecutive rows (== cols(): rows are packed).
+  std::size_t stride() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double* row(std::size_t r) {
+    FADEWICH_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(std::size_t r) const {
+    FADEWICH_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  std::span<const double> row_span(std::size_t r) const {
+    return {row(r), cols_};
+  }
+  std::span<double> row_span(std::size_t r) { return {row(r), cols_}; }
+
+  double& at(std::size_t r, std::size_t c) {
+    FADEWICH_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    FADEWICH_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Change extent; contents are unspecified afterwards.  Reuses the
+  /// existing allocation when rows * cols fits its capacity.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  void clear() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fadewich::common

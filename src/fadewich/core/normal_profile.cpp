@@ -8,11 +8,9 @@
 
 namespace fadewich::core {
 
-namespace {
-constexpr double kInvSqrt2 = 0.7071067811865476;
-constexpr double kInvSqrt2Pi = 0.3989422804014327;
-constexpr double kKernelReach = 8.0;  // bandwidths beyond which Phi is 0/1
-}  // namespace
+// The pruned-CDF/PDF kernels live in ml/kde.hpp (kde_*_sorted) and are
+// shared with ml::GaussianKde, so the profile and the KDE evaluate the
+// identical tail-pruned sums over one sorted flat array.
 
 NormalProfile::NormalProfile(NormalProfileConfig config) : config_(config) {
   FADEWICH_EXPECTS(config_.capacity >= 20);
@@ -23,10 +21,47 @@ NormalProfile::NormalProfile(NormalProfileConfig config) : config_(config) {
   FADEWICH_EXPECTS(config_.max_drift_fraction >= 0.0);
 }
 
+void NormalProfile::ring_reset(std::span<const double> samples) {
+  // Size the ring once; steady-state pushes and folds only overwrite.
+  ring_.resize(config_.capacity);
+  ring_head_ = 0;
+  ring_size_ = 0;
+  // Keep the most recent `capacity` values in insertion order, exactly
+  // as the eviction-on-push path would have.
+  const std::size_t skip =
+      samples.size() > config_.capacity ? samples.size() - config_.capacity
+                                        : 0;
+  for (std::size_t i = skip; i < samples.size(); ++i) {
+    ring_[ring_size_++] = samples[i];
+  }
+}
+
+void NormalProfile::ring_push(double value) {
+  if (ring_size_ < config_.capacity) {
+    std::size_t slot = ring_head_ + ring_size_;
+    if (slot >= config_.capacity) slot -= config_.capacity;
+    ring_[slot] = value;
+    ++ring_size_;
+  } else {
+    ring_[ring_head_] = value;  // overwrite the oldest
+    ++ring_head_;
+    if (ring_head_ == config_.capacity) ring_head_ = 0;
+  }
+}
+
+void NormalProfile::copy_in_order(std::vector<double>& out) const {
+  out.resize(ring_size_);
+  const std::size_t tail =
+      std::min(ring_size_, config_.capacity - ring_head_);
+  std::copy_n(ring_.begin() + static_cast<std::ptrdiff_t>(ring_head_),
+              tail, out.begin());
+  std::copy_n(ring_.begin(), ring_size_ - tail,
+              out.begin() + static_cast<std::ptrdiff_t>(tail));
+}
+
 void NormalProfile::initialize(std::vector<double> samples) {
   FADEWICH_EXPECTS(samples.size() >= 10);
-  samples_.assign(samples.begin(), samples.end());
-  while (samples_.size() > config_.capacity) samples_.pop_front();
+  ring_reset(samples);
   queue_.clear();
   reestimate();
   drift_rollbacks_ = 0;
@@ -39,8 +74,7 @@ void NormalProfile::restore(std::vector<double> samples,
   if (samples.size() < 10) {
     throw Error("profile state has fewer than 10 samples");
   }
-  samples_.assign(samples.begin(), samples.end());
-  while (samples_.size() > config_.capacity) samples_.pop_front();
+  ring_reset(samples);
   queue_ = std::move(queue);
   reestimate();
   drift_rollbacks_ = 0;
@@ -49,7 +83,7 @@ void NormalProfile::restore(std::vector<double> samples,
 }
 
 void NormalProfile::commit_last_good() {
-  last_good_samples_.assign(samples_.begin(), samples_.end());
+  copy_in_order(last_good_samples_);
   last_good_threshold_ = threshold_;
 }
 
@@ -75,8 +109,7 @@ bool NormalProfile::offer(double value) {
   }
 
   // Fold the batch in, dropping the oldest values past capacity.
-  for (double v : queue_) samples_.push_back(v);
-  while (samples_.size() > config_.capacity) samples_.pop_front();
+  for (double v : queue_) ring_push(v);
   queue_.clear();
   reestimate();
 
@@ -88,7 +121,7 @@ bool NormalProfile::offer(double value) {
     const double scale = std::max(std::abs(last_good_threshold_), 1e-12);
     if (std::abs(threshold_ - last_good_threshold_) >
         config_.max_drift_fraction * scale) {
-      samples_.assign(last_good_samples_.begin(), last_good_samples_.end());
+      ring_reset(last_good_samples_);
       reestimate();
       ++drift_rollbacks_;
       return false;
@@ -100,59 +133,37 @@ bool NormalProfile::offer(double value) {
 }
 
 void NormalProfile::reestimate() {
-  sorted_.assign(samples_.begin(), samples_.end());
+  copy_in_order(sorted_);
   std::sort(sorted_.begin(), sorted_.end());
   bandwidth_ = ml::GaussianKde::silverman_bandwidth(sorted_);
 
   // Invert the CDF at p = 1 - alpha/100 by bisection on the pruned CDF.
-  const double p = 1.0 - config_.alpha / 100.0;
-  double lo = sorted_.front() - kKernelReach * bandwidth_;
-  double hi = sorted_.back() + kKernelReach * bandwidth_;
-  for (int i = 0; i < 80 && hi - lo > 1e-9 * (1.0 + std::abs(hi)); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (cdf_sorted(mid) < p) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  threshold_ = 0.5 * (lo + hi);
-}
-
-double NormalProfile::cdf_sorted(double x) const {
-  // Samples below x - reach contribute 1; above x + reach contribute 0;
-  // only the middle needs erf.
-  const double reach = kKernelReach * bandwidth_;
-  const auto lo_it =
-      std::lower_bound(sorted_.begin(), sorted_.end(), x - reach);
-  const auto hi_it =
-      std::upper_bound(sorted_.begin(), sorted_.end(), x + reach);
-  double acc = static_cast<double>(lo_it - sorted_.begin());
-  for (auto it = lo_it; it != hi_it; ++it) {
-    acc += 0.5 * (1.0 + std::erf((x - *it) / bandwidth_ * kInvSqrt2));
-  }
-  return acc / static_cast<double>(sorted_.size());
+  threshold_ = ml::kde_percentile_sorted(sorted_, bandwidth_,
+                                         1.0 - config_.alpha / 100.0,
+                                         /*max_iterations=*/80,
+                                         /*rel_tol=*/1e-9);
 }
 
 double NormalProfile::pdf(double x) const {
   FADEWICH_EXPECTS(initialized());
-  const double reach = kKernelReach * bandwidth_;
-  const auto lo_it =
-      std::lower_bound(sorted_.begin(), sorted_.end(), x - reach);
-  const auto hi_it =
-      std::upper_bound(sorted_.begin(), sorted_.end(), x + reach);
-  double acc = 0.0;
-  for (auto it = lo_it; it != hi_it; ++it) {
-    const double u = (x - *it) / bandwidth_;
-    acc += std::exp(-0.5 * u * u);
-  }
-  return acc * kInvSqrt2Pi /
-         (bandwidth_ * static_cast<double>(sorted_.size()));
+  return ml::kde_pdf_sorted(sorted_, bandwidth_, x);
 }
 
 double NormalProfile::cdf(double x) const {
   FADEWICH_EXPECTS(initialized());
-  return cdf_sorted(x);
+  return ml::kde_cdf_sorted(sorted_, bandwidth_, x);
+}
+
+void NormalProfile::pdf_block(std::span<const double> xs,
+                              std::span<double> out) const {
+  FADEWICH_EXPECTS(initialized());
+  ml::kde_pdf_block_sorted(sorted_, bandwidth_, xs, out);
+}
+
+void NormalProfile::cdf_block(std::span<const double> xs,
+                              std::span<double> out) const {
+  FADEWICH_EXPECTS(initialized());
+  ml::kde_cdf_block_sorted(sorted_, bandwidth_, xs, out);
 }
 
 }  // namespace fadewich::core

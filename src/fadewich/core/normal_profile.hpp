@@ -14,7 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "fadewich/common/error.hpp"
@@ -47,7 +47,7 @@ class NormalProfile {
   /// compute the first threshold.  Requires at least 10 samples.
   void initialize(std::vector<double> samples);
 
-  bool initialized() const { return !samples_.empty(); }
+  bool initialized() const { return ring_size_ != 0; }
 
   /// The (100 - alpha)th percentile of the estimated distribution.
   /// Requires initialized().
@@ -63,10 +63,21 @@ class NormalProfile {
   double pdf(double x) const;
   double cdf(double x) const;
 
-  std::size_t size() const { return samples_.size(); }
+  /// Batched KDE evaluation over the current profile: out[i] = pdf/cdf
+  /// at xs[i], within 1e-12 of the scalar calls (shared tail-pruned
+  /// kernels, one sample-window scan per query block).  Sweeps (Fig. 2
+  /// profile curves, threshold diagnostics) should prefer these.
+  /// Requires initialized() and out.size() == xs.size().
+  void pdf_block(std::span<const double> xs, std::span<double> out) const;
+  void cdf_block(std::span<const double> xs, std::span<double> out) const;
+
+  std::size_t size() const { return ring_size_; }
   double bandwidth() const { return bandwidth_; }
+  /// Retained samples in insertion order (oldest first), as persisted.
   std::vector<double> samples_snapshot() const {
-    return {samples_.begin(), samples_.end()};
+    std::vector<double> out;
+    copy_in_order(out);
+    return out;
   }
   std::vector<double> queue_snapshot() const { return queue_; }
   const NormalProfileConfig& config() const { return config_; }
@@ -88,10 +99,18 @@ class NormalProfile {
  private:
   void reestimate();
   void commit_last_good();
-  double cdf_sorted(double x) const;
+  void ring_reset(std::span<const double> samples);
+  void ring_push(double value);
+  void copy_in_order(std::vector<double>& out) const;
 
   NormalProfileConfig config_;
-  std::deque<double> samples_;   // insertion order, oldest first
+  // Retained samples as a flat fixed ring (oldest at ring_head_), sized
+  // once at initialize(): MD offers one sample per tick and folds a
+  // batch every b ticks, and neither may touch the heap in steady state
+  // (see the counting-allocator test over FadewichSystem::step).
+  std::vector<double> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
   std::vector<double> sorted_;   // same contents, sorted
   std::vector<double> queue_;    // pending update batch Q
   double bandwidth_ = 1.0;

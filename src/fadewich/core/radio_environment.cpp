@@ -87,4 +87,11 @@ int RadioEnvironment::classify(const std::vector<double>& features) const {
   return label;
 }
 
+void RadioEnvironment::classify_block(
+    const std::vector<std::vector<double>>& features,
+    std::span<int> out) const {
+  svm_.predict_block(features, out);
+  for (const int label : out) count_label(label);
+}
+
 }  // namespace fadewich::core

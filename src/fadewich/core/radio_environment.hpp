@@ -76,6 +76,14 @@ class RadioEnvironment {
   /// Classify a feature vector.  Requires trained().
   int classify(const std::vector<double>& features) const;
 
+  /// Classify a batch of feature vectors in one pass: out[i] = label of
+  /// features[i].  Every pairwise SVM streams its support vectors once
+  /// for the whole batch (ml::MulticlassSvm::predict_block), so offline
+  /// sweeps and evaluation replays pay per-batch, not per-sample, memory
+  /// traffic.  Requires trained() and out.size() == features.size().
+  void classify_block(const std::vector<std::vector<double>>& features,
+                      std::span<int> out) const;
+
  private:
   FeatureConfig features_;
   ml::MulticlassSvm svm_;

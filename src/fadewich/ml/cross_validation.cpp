@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <span>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/flat_matrix.hpp"
 #include "fadewich/exec/thread_pool.hpp"
 #include "fadewich/ml/multiclass_svm.hpp"
 
@@ -89,12 +91,26 @@ CrossValidationResult cross_validate(const Dataset& data,
         }
         MulticlassSvm svm(config);
         svm.train(data.subset(fold.train_indices), pool);
-        outcome.predictions.reserve(fold.test_indices.size());
+        // One batched pass over the held-out fold: every pairwise
+        // machine streams its support vectors once for the whole fold
+        // instead of once per test sample.
+        common::FlatMatrix test_x(fold.test_indices.size(),
+                                  data.features.front().size());
+        for (std::size_t j = 0; j < fold.test_indices.size(); ++j) {
+          const auto& row = data.features[fold.test_indices[j]];
+          FADEWICH_EXPECTS(row.size() == test_x.cols());
+          std::copy(row.begin(), row.end(), test_x.row(j));
+        }
+        outcome.predictions.resize(fold.test_indices.size());
+        svm.predict_block(
+            std::span<const double>(test_x.data(),
+                                    test_x.rows() * test_x.cols()),
+            test_x.rows(), outcome.predictions);
         std::size_t correct = 0;
-        for (std::size_t i : fold.test_indices) {
-          const int predicted = svm.predict(data.features[i]);
-          outcome.predictions.push_back(predicted);
-          if (predicted == data.labels[i]) ++correct;
+        for (std::size_t j = 0; j < fold.test_indices.size(); ++j) {
+          if (outcome.predictions[j] == data.labels[fold.test_indices[j]]) {
+            ++correct;
+          }
         }
         outcome.accuracy = static_cast<double>(correct) /
                            static_cast<double>(fold.test_indices.size());

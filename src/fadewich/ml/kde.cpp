@@ -11,7 +11,142 @@ namespace fadewich::ml {
 namespace {
 constexpr double kInvSqrt2Pi = 0.3989422804014327;
 constexpr double kInvSqrt2 = 0.7071067811865476;
+// Queries evaluated per sample-window scan.  Small enough that the
+// accumulators stay in registers, large enough to amortise the binary
+// search and let the inner loop vectorise.
+constexpr std::size_t kQueryBlock = 8;
+
+// Shared bisection core: invert the pruned CDF inside [lo, hi].
+double bisect_percentile(std::span<const double> sorted, double bandwidth,
+                         double p, double lo, double hi, int max_iterations,
+                         double rel_tol) {
+  for (int i = 0;
+       i < max_iterations && hi - lo > rel_tol * (1.0 + std::abs(hi));
+       ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (kde_cdf_sorted(sorted, bandwidth, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
 }  // namespace
+
+double kde_pdf_sorted(std::span<const double> sorted, double bandwidth,
+                      double x) {
+  const double reach = kKdeKernelReach * bandwidth;
+  const auto lo_it =
+      std::lower_bound(sorted.begin(), sorted.end(), x - reach);
+  const auto hi_it =
+      std::upper_bound(sorted.begin(), sorted.end(), x + reach);
+  double acc = 0.0;
+  for (auto it = lo_it; it != hi_it; ++it) {
+    const double u = (x - *it) / bandwidth;
+    acc += std::exp(-0.5 * u * u);
+  }
+  return acc * kInvSqrt2Pi /
+         (bandwidth * static_cast<double>(sorted.size()));
+}
+
+double kde_cdf_sorted(std::span<const double> sorted, double bandwidth,
+                      double x) {
+  // Samples below x - reach contribute 1; above x + reach contribute 0;
+  // only the middle needs erf.
+  const double reach = kKdeKernelReach * bandwidth;
+  const auto lo_it =
+      std::lower_bound(sorted.begin(), sorted.end(), x - reach);
+  const auto hi_it =
+      std::upper_bound(sorted.begin(), sorted.end(), x + reach);
+  double acc = static_cast<double>(lo_it - sorted.begin());
+  for (auto it = lo_it; it != hi_it; ++it) {
+    acc += 0.5 * (1.0 + std::erf((x - *it) / bandwidth * kInvSqrt2));
+  }
+  return acc / static_cast<double>(sorted.size());
+}
+
+void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs,
+                          std::span<double> out) {
+  FADEWICH_EXPECTS(out.size() == xs.size());
+  const double reach = kKdeKernelReach * bandwidth;
+  const double inv_bw = 1.0 / bandwidth;
+  const double norm =
+      kInvSqrt2Pi / (bandwidth * static_cast<double>(sorted.size()));
+  for (std::size_t base = 0; base < xs.size(); base += kQueryBlock) {
+    const std::size_t n = std::min(kQueryBlock, xs.size() - base);
+    double mn = xs[base];
+    double mx = xs[base];
+    for (std::size_t j = 1; j < n; ++j) {
+      mn = std::min(mn, xs[base + j]);
+      mx = std::max(mx, xs[base + j]);
+    }
+    // One sample-window scan serves the whole block; samples outside a
+    // particular query's own window contribute < exp(-32), invisible at
+    // the 1e-12 equivalence budget.
+    const auto lo_it =
+        std::lower_bound(sorted.begin(), sorted.end(), mn - reach);
+    const auto hi_it =
+        std::upper_bound(sorted.begin(), sorted.end(), mx + reach);
+    double acc[kQueryBlock] = {};
+    for (auto it = lo_it; it != hi_it; ++it) {
+      const double s = *it;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double u = (xs[base + j] - s) * inv_bw;
+        acc[j] += std::exp(-0.5 * u * u);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j] * norm;
+  }
+}
+
+void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs,
+                          std::span<double> out) {
+  FADEWICH_EXPECTS(out.size() == xs.size());
+  const double reach = kKdeKernelReach * bandwidth;
+  const double inv_bw = 1.0 / bandwidth;
+  const double inv_n = 1.0 / static_cast<double>(sorted.size());
+  for (std::size_t base = 0; base < xs.size(); base += kQueryBlock) {
+    const std::size_t n = std::min(kQueryBlock, xs.size() - base);
+    double mn = xs[base];
+    double mx = xs[base];
+    for (std::size_t j = 1; j < n; ++j) {
+      mn = std::min(mn, xs[base + j]);
+      mx = std::max(mx, xs[base + j]);
+    }
+    const auto lo_it =
+        std::lower_bound(sorted.begin(), sorted.end(), mn - reach);
+    const auto hi_it =
+        std::upper_bound(sorted.begin(), sorted.end(), mx + reach);
+    // Every sample below the block window sits 8 bandwidths under every
+    // query in the block (x_j >= mn), so it contributes exactly 1.
+    const double below = static_cast<double>(lo_it - sorted.begin());
+    double acc[kQueryBlock];
+    for (std::size_t j = 0; j < n; ++j) acc[j] = below;
+    for (auto it = lo_it; it != hi_it; ++it) {
+      const double s = *it;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc[j] += 0.5 * (1.0 + std::erf((xs[base + j] - s) * inv_bw *
+                                        kInvSqrt2));
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j] * inv_n;
+  }
+}
+
+double kde_percentile_sorted(std::span<const double> sorted,
+                             double bandwidth, double p, int max_iterations,
+                             double rel_tol) {
+  FADEWICH_EXPECTS(!sorted.empty());
+  FADEWICH_EXPECTS(p > 0.0 && p < 1.0);
+  const double lo = sorted.front() - kKdeKernelReach * bandwidth;
+  const double hi = sorted.back() + kKdeKernelReach * bandwidth;
+  return bisect_percentile(sorted, bandwidth, p, lo, hi, max_iterations,
+                           rel_tol);
+}
 
 GaussianKde::GaussianKde(std::span<const double> samples)
     : GaussianKde(samples, silverman_bandwidth(samples)) {}
@@ -20,6 +155,7 @@ GaussianKde::GaussianKde(std::span<const double> samples, double bandwidth)
     : samples_(samples.begin(), samples.end()), bandwidth_(bandwidth) {
   FADEWICH_EXPECTS(!samples_.empty());
   FADEWICH_EXPECTS(bandwidth_ > 0.0);
+  std::sort(samples_.begin(), samples_.end());
 }
 
 double GaussianKde::silverman_bandwidth(std::span<const double> samples) {
@@ -52,26 +188,30 @@ double GaussianKde::cdf(double x) const {
   return acc / static_cast<double>(samples_.size());
 }
 
+void GaussianKde::pdf_block(std::span<const double> xs,
+                            std::span<double> out) const {
+  kde_pdf_block_sorted(samples_, bandwidth_, xs, out);
+}
+
+void GaussianKde::cdf_block(std::span<const double> xs,
+                            std::span<double> out) const {
+  kde_cdf_block_sorted(samples_, bandwidth_, xs, out);
+}
+
 double GaussianKde::percentile(double p) const {
   FADEWICH_EXPECTS(p > 0.0 && p < 1.0);
   // The p-quantile of a Gaussian mixture lies within ~8 bandwidths of the
-  // sample extremes for any p of practical interest.
-  double lo = *std::min_element(samples_.begin(), samples_.end()) -
-              8.0 * bandwidth_;
-  double hi = *std::max_element(samples_.begin(), samples_.end()) +
-              8.0 * bandwidth_;
-  // Extend until the bracket truly contains p (handles extreme p values).
-  while (cdf(lo) > p) lo -= 8.0 * bandwidth_;
-  while (cdf(hi) < p) hi += 8.0 * bandwidth_;
-  for (int i = 0; i < 200 && hi - lo > 1e-12 * (1.0 + std::abs(hi)); ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (cdf(mid) < p) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
+  // cached sample extremes for any p of practical interest; extend until
+  // the bracket truly contains p (handles extreme p values).
+  double lo = min_sample() - kKdeKernelReach * bandwidth_;
+  double hi = max_sample() + kKdeKernelReach * bandwidth_;
+  while (kde_cdf_sorted(samples_, bandwidth_, lo) > p) {
+    lo -= kKdeKernelReach * bandwidth_;
   }
-  return 0.5 * (lo + hi);
+  while (kde_cdf_sorted(samples_, bandwidth_, hi) < p) {
+    hi += kKdeKernelReach * bandwidth_;
+  }
+  return bisect_percentile(samples_, bandwidth_, p, lo, hi, 200, 1e-12);
 }
 
 }  // namespace fadewich::ml

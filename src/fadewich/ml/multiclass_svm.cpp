@@ -1,14 +1,35 @@
 #include "fadewich/ml/multiclass_svm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/scratch_arena.hpp"
 #include "fadewich/exec/thread_pool.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::ml {
+
+namespace {
+
+struct MlMetrics {
+  obs::Histogram decision_batch = obs::registry().histogram(
+      "fadewich_ml_decision_batch",
+      "queries per batched SVM inference call",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  obs::Gauge arena_bytes = obs::registry().gauge(
+      "fadewich_scratch_arena_bytes",
+      "bytes reserved across all live scratch arenas");
+  static MlMetrics& get() {
+    static MlMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 MulticlassSvm::MulticlassSvm(SvmConfig config) : config_(config) {}
 
@@ -55,32 +76,107 @@ void MulticlassSvm::train(const Dataset& data, exec::ThreadPool* pool) {
   trained_ = true;
 }
 
+// Batched one-vs-one voting over `count` packed unscaled rows.  Work
+// proceeds machine-major: each pairwise machine's support-vector matrix
+// is streamed once per batch (BinarySvm::decision_block), and every
+// row's votes/margins accumulate in machine order — the identical order
+// and arithmetic the per-query path used, so results are bit-for-bit
+// the same.  All temporaries come from the calling thread's arena.
+void MulticlassSvm::predict_rows(const double* xs, std::size_t stride,
+                                 std::size_t count, int* out) const {
+  const std::size_t dim = scaler_.means().size();
+  const std::size_t k = classes_.size();
+  auto& arena = common::ScratchArena::local();
+  const auto frame = arena.frame();
+  const std::span<double> scaled = arena.get<double>(count * dim);
+  scaler_.transform_rows(xs, stride, count, scaled.data());
+  const std::span<double> decisions = arena.get<double>(count);
+  const std::span<int> votes = arena.get<int>(count * k);
+  const std::span<double> margins = arena.get<double>(count * k);
+  std::fill(votes.begin(), votes.end(), 0);
+  std::fill(margins.begin(), margins.end(), 0.0);
+
+  for (const auto& [pair, svm] : machines_) {
+    svm.decision_block(std::span<const double>(scaled.data(), count * dim),
+                       count, decisions);
+    const auto first = static_cast<std::size_t>(
+        std::lower_bound(classes_.begin(), classes_.end(), pair.first) -
+        classes_.begin());
+    const auto second = static_cast<std::size_t>(
+        std::lower_bound(classes_.begin(), classes_.end(), pair.second) -
+        classes_.begin());
+    for (std::size_t r = 0; r < count; ++r) {
+      const double d = decisions[r];
+      const std::size_t winner = d >= 0.0 ? first : second;
+      ++votes[r * k + winner];
+      margins[r * k + winner] += std::abs(d);
+    }
+  }
+
+  for (std::size_t r = 0; r < count; ++r) {
+    int best = classes_[0];
+    int best_votes = -1;
+    double best_margin = -1.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const int v = votes[r * k + c];
+      const double m = margins[r * k + c];
+      if (v > best_votes || (v == best_votes && m > best_margin)) {
+        best = classes_[c];
+        best_votes = v;
+        best_margin = m;
+      }
+    }
+    out[r] = best;
+  }
+
+  auto& metrics = MlMetrics::get();
+  metrics.decision_batch.observe(static_cast<double>(count));
+  metrics.arena_bytes.set(static_cast<double>(
+      common::ScratchArena::process_bytes_reserved()));
+}
+
 int MulticlassSvm::predict(const std::vector<double>& x) const {
   FADEWICH_EXPECTS(trained_);
   if (classes_.size() == 1) return classes_[0];
-  const auto scaled = scaler_.transform(x);
+  FADEWICH_EXPECTS(x.size() == scaler_.means().size());
+  int out = 0;
+  predict_rows(x.data(), x.size(), 1, &out);
+  return out;
+}
 
-  std::map<int, int> votes;
-  std::map<int, double> margins;  // tie-break on summed |decision|
-  for (const auto& [pair, svm] : machines_) {
-    const double d = svm.decision(scaled);
-    const int winner = d >= 0.0 ? pair.first : pair.second;
-    ++votes[winner];
-    margins[winner] += std::abs(d);
+void MulticlassSvm::predict_block(std::span<const double> xs,
+                                  std::size_t count,
+                                  std::span<int> out) const {
+  FADEWICH_EXPECTS(trained_);
+  FADEWICH_EXPECTS(out.size() == count);
+  if (count == 0) return;
+  if (classes_.size() == 1) {
+    std::fill(out.begin(), out.end(), classes_[0]);
+    return;
   }
-  int best = classes_[0];
-  int best_votes = -1;
-  double best_margin = -1.0;
-  for (int c : classes_) {
-    const int v = votes.count(c) ? votes.at(c) : 0;
-    const double m = margins.count(c) ? margins.at(c) : 0.0;
-    if (v > best_votes || (v == best_votes && m > best_margin)) {
-      best = c;
-      best_votes = v;
-      best_margin = m;
-    }
+  FADEWICH_EXPECTS(xs.size() == count * scaler_.means().size());
+  predict_rows(xs.data(), scaler_.means().size(), count, out.data());
+}
+
+void MulticlassSvm::predict_block(
+    const std::vector<std::vector<double>>& xs, std::span<int> out) const {
+  FADEWICH_EXPECTS(trained_);
+  FADEWICH_EXPECTS(out.size() == xs.size());
+  if (xs.empty()) return;
+  if (classes_.size() == 1) {
+    std::fill(out.begin(), out.end(), classes_[0]);
+    return;
   }
-  return best;
+  // Pack the ragged rows once so the batched core streams contiguously.
+  const std::size_t dim = scaler_.means().size();
+  auto& arena = common::ScratchArena::local();
+  const auto frame = arena.frame();
+  const std::span<double> packed = arena.get<double>(xs.size() * dim);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    FADEWICH_EXPECTS(xs[r].size() == dim);
+    std::copy(xs[r].begin(), xs[r].end(), packed.data() + r * dim);
+  }
+  predict_rows(packed.data(), dim, xs.size(), out.data());
 }
 
 MulticlassSvmState MulticlassSvm::export_state() const {
@@ -139,9 +235,13 @@ void MulticlassSvm::import_state(MulticlassSvmState state) {
 
 double MulticlassSvm::accuracy(const Dataset& test) const {
   FADEWICH_EXPECTS(!test.empty());
+  auto& arena = common::ScratchArena::local();
+  const auto frame = arena.frame();
+  const std::span<int> predicted = arena.get<int>(test.size());
+  predict_block(test.features, predicted);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    if (predict(test.features[i]) == test.labels[i]) ++correct;
+    if (predicted[i] == test.labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }

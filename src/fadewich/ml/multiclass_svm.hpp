@@ -3,7 +3,9 @@
 // window sample to a label w0 (entered) / w1..wk (left workstation i).
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -46,8 +48,23 @@ class MulticlassSvm {
   /// identical at any thread count.
   void train(const Dataset& data, exec::ThreadPool* pool = nullptr);
 
-  /// Predict the class of a sample.  Requires trained.
+  /// Predict the class of a sample.  Requires trained.  The single-query
+  /// special case of predict_block, so both paths agree bit-for-bit.
   int predict(const std::vector<double>& x) const;
+
+  /// Predict every sample in one pass: out[i] = class of xs[i].  Each
+  /// pairwise machine's support-vector matrix is streamed once per batch
+  /// (via BinarySvm::decision_block) instead of once per query; scratch
+  /// comes from the calling thread's arena, so steady-state batches do
+  /// not allocate.  Requires trained and out.size() == xs.size().
+  void predict_block(const std::vector<std::vector<double>>& xs,
+                     std::span<int> out) const;
+
+  /// As above, with the queries given as one packed row-major span of
+  /// `count` rows of feature width (e.g. scratch-arena or FlatMatrix
+  /// storage), skipping the packing copy.
+  void predict_block(std::span<const double> xs, std::size_t count,
+                     std::span<int> out) const;
 
   /// Accuracy over a test set.  Requires trained and non-empty test set.
   double accuracy(const Dataset& test) const;
@@ -65,6 +82,9 @@ class MulticlassSvm {
   void import_state(MulticlassSvmState state);
 
  private:
+  void predict_rows(const double* xs, std::size_t stride,
+                    std::size_t count, int* out) const;
+
   SvmConfig config_;
   bool trained_ = false;
   std::vector<int> classes_;

@@ -66,4 +66,28 @@ std::vector<std::vector<double>> StandardScaler::transform(
   return out;
 }
 
+void StandardScaler::transform_rows(const double* xs, std::size_t stride,
+                                    std::size_t count, double* out) const {
+  FADEWICH_EXPECTS(fitted());
+  const std::size_t dim = means_.size();
+  for (std::size_t r = 0; r < count; ++r) {
+    const double* src = xs + r * stride;
+    double* dst = out + r * dim;
+    for (std::size_t j = 0; j < dim; ++j) {
+      dst[j] = (src[j] - means_[j]) / scales_[j];
+    }
+  }
+}
+
+void StandardScaler::transform_block(
+    const std::vector<std::vector<double>>& features,
+    common::FlatMatrix& out) const {
+  FADEWICH_EXPECTS(fitted());
+  out.resize(features.size(), means_.size());
+  for (std::size_t r = 0; r < features.size(); ++r) {
+    FADEWICH_EXPECTS(features[r].size() == means_.size());
+    transform_rows(features[r].data(), means_.size(), 1, out.row(r));
+  }
+}
+
 }  // namespace fadewich::ml

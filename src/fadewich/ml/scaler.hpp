@@ -3,8 +3,10 @@
 // sees comparable feature scales.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "fadewich/common/flat_matrix.hpp"
 #include "fadewich/ml/dataset.hpp"
 
 namespace fadewich::ml {
@@ -22,6 +24,18 @@ class StandardScaler {
   /// Standardise a whole matrix.
   std::vector<std::vector<double>> transform(
       const std::vector<std::vector<double>>& features) const;
+
+  /// Standardise a whole matrix into flat row-major storage; `out` is
+  /// resized to features.size() x dim.  Element-for-element the same
+  /// arithmetic as transform(), just without the per-row allocations.
+  void transform_block(const std::vector<std::vector<double>>& features,
+                       common::FlatMatrix& out) const;
+
+  /// Standardise `count` packed rows (row stride `stride`, scaler width)
+  /// into `out`, which must hold count * dim doubles.  The raw-pointer
+  /// core the batched predictors feed from scratch-arena storage.
+  void transform_rows(const double* xs, std::size_t stride,
+                      std::size_t count, double* out) const;
 
   bool fitted() const { return !means_.empty(); }
   const std::vector<double>& means() const { return means_; }

@@ -9,29 +9,56 @@
 
 namespace fadewich::ml {
 
+namespace {
+
+// Queries evaluated per support-vector pass.  The accumulator arrays fit
+// in registers and the inner loops over the block vectorise.
+constexpr std::size_t kQueryBlock = 8;
+
+// t[j] += dot(s, x_j) for the block of `n` queries starting at `xs`
+// (row stride `stride`).  Dimension-major so each query's dot product
+// accumulates in the same index order as the scalar kernel.
+inline void dot_block(const double* s, std::size_t dim, const double* xs,
+                      std::size_t stride, std::size_t n, double* t) {
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double sd = s[d];
+    for (std::size_t j = 0; j < n; ++j) {
+      t[j] += sd * xs[j * stride + d];
+    }
+  }
+}
+
+// t[j] += ||s - x_j||^2 for the block of `n` queries.
+inline void sqdist_block(const double* s, std::size_t dim, const double* xs,
+                         std::size_t stride, std::size_t n, double* t) {
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double sd = s[d];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double diff = sd - xs[j * stride + d];
+      t[j] += diff * diff;
+    }
+  }
+}
+
+}  // namespace
+
 BinarySvm::BinarySvm(SvmConfig config) : config_(config) {
   FADEWICH_EXPECTS(config_.c > 0.0);
   FADEWICH_EXPECTS(config_.rbf_gamma > 0.0);
   FADEWICH_EXPECTS(config_.tolerance > 0.0);
 }
 
-double BinarySvm::kernel(const std::vector<double>& a,
-                         const std::vector<double>& b) const {
+double BinarySvm::kernel(std::span<const double> a,
+                         std::span<const double> b) const {
   FADEWICH_EXPECTS(a.size() == b.size());
+  double t = 0.0;
   switch (config_.kernel) {
-    case KernelType::kLinear: {
-      double dot = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
-      return dot;
-    }
-    case KernelType::kRbf: {
-      double d2 = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        d2 += d * d;
-      }
-      return std::exp(-config_.rbf_gamma * d2);
-    }
+    case KernelType::kLinear:
+      dot_block(a.data(), a.size(), b.data(), b.size(), 1, &t);
+      return t;
+    case KernelType::kRbf:
+      sqdist_block(a.data(), a.size(), b.data(), b.size(), 1, &t);
+      return std::exp(-config_.rbf_gamma * t);
   }
   FADEWICH_ENSURES(false);
   return 0.0;
@@ -52,13 +79,18 @@ void BinarySvm::train(const std::vector<std::vector<double>>& features,
   }
   FADEWICH_EXPECTS(has_pos && has_neg);
 
-  // Precompute the kernel matrix; n <= a few hundred in our regime.
-  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  // Flatten once; the kernel matrix and the final support extraction both
+  // stream rows out of this contiguous copy.
+  const common::FlatMatrix x = common::FlatMatrix::from_rows(features);
+
+  // Precompute the kernel matrix (flat n x n); n <= a few hundred in our
+  // regime.
+  std::vector<double> k(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel(features[i], features[j]);
-      k[i][j] = v;
-      k[j][i] = v;
+      const double v = kernel(x.row_span(i), x.row_span(j));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
     }
   }
 
@@ -70,8 +102,9 @@ void BinarySvm::train(const std::vector<std::vector<double>>& features,
 
   auto f = [&](std::size_t i) {
     double s = b;
+    const double* col = k.data() + i;
     for (std::size_t j = 0; j < n; ++j) {
-      if (alpha[j] > 0.0) s += alpha[j] * labels[j] * k[j][i];
+      if (alpha[j] > 0.0) s += alpha[j] * labels[j] * col[j * n];
     }
     return s;
   };
@@ -107,7 +140,7 @@ void BinarySvm::train(const std::vector<std::vector<double>>& features,
       }
       if (lo >= hi) continue;
 
-      const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
       if (eta >= 0.0) continue;
 
       double aj = aj_old - labels[j] * (ei - ej) / eta;
@@ -117,10 +150,10 @@ void BinarySvm::train(const std::vector<std::vector<double>>& features,
       const double ai =
           ai_old + labels[i] * labels[j] * (aj_old - aj);
 
-      const double b1 = b - ei - labels[i] * (ai - ai_old) * k[i][i] -
-                        labels[j] * (aj - aj_old) * k[i][j];
-      const double b2 = b - ej - labels[i] * (ai - ai_old) * k[i][j] -
-                        labels[j] * (aj - aj_old) * k[j][j];
+      const double b1 = b - ei - labels[i] * (ai - ai_old) * k[i * n + i] -
+                        labels[j] * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - labels[i] * (ai - ai_old) * k[i * n + j] -
+                        labels[j] * (aj - aj_old) * k[j * n + j];
       alpha[i] = ai;
       alpha[j] = aj;
       if (ai > 0.0 && ai < c) {
@@ -135,25 +168,79 @@ void BinarySvm::train(const std::vector<std::vector<double>>& features,
     passes = (changed == 0) ? passes + 1 : 0;
   }
 
-  support_x_.clear();
+  std::size_t sv_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12) ++sv_count;
+  }
+  support_x_.resize(sv_count, dim);
   support_alpha_y_.clear();
+  support_alpha_y_.reserve(sv_count);
+  std::size_t sv = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (alpha[i] > 1e-12) {
-      support_x_.push_back(features[i]);
+      std::copy(x.row(i), x.row(i) + dim, support_x_.row(sv));
       support_alpha_y_.push_back(alpha[i] * labels[i]);
+      ++sv;
     }
   }
   bias_ = b;
   trained_ = true;
 }
 
+void BinarySvm::decision_rows(const double* xs, std::size_t stride,
+                              std::size_t count, double* out) const {
+  const std::size_t dim = support_x_.cols();
+  const std::size_t nsv = support_x_.rows();
+  const double gamma = config_.rbf_gamma;
+  for (std::size_t base = 0; base < count; base += kQueryBlock) {
+    const std::size_t n = std::min(kQueryBlock, count - base);
+    const double* qs = xs + base * stride;
+    double acc[kQueryBlock];
+    for (std::size_t j = 0; j < n; ++j) acc[j] = bias_;
+    // Support-vector-major: each SV row is read once for the whole block,
+    // and each query's sum accumulates in SV order — the same order the
+    // scalar path uses, so results are bit-identical.
+    for (std::size_t sv = 0; sv < nsv; ++sv) {
+      const double* s = support_x_.row(sv);
+      const double w = support_alpha_y_[sv];
+      double t[kQueryBlock] = {};
+      if (config_.kernel == KernelType::kLinear) {
+        dot_block(s, dim, qs, stride, n, t);
+        for (std::size_t j = 0; j < n; ++j) acc[j] += w * t[j];
+      } else {
+        sqdist_block(s, dim, qs, stride, n, t);
+        for (std::size_t j = 0; j < n; ++j) {
+          acc[j] += w * std::exp(-gamma * t[j]);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j];
+  }
+}
+
 double BinarySvm::decision(const std::vector<double>& x) const {
   FADEWICH_EXPECTS(trained_);
-  double s = bias_;
-  for (std::size_t i = 0; i < support_x_.size(); ++i) {
-    s += support_alpha_y_[i] * kernel(support_x_[i], x);
-  }
-  return s;
+  FADEWICH_EXPECTS(x.size() == support_x_.cols());
+  double out = 0.0;
+  decision_rows(x.data(), x.size(), 1, &out);
+  return out;
+}
+
+void BinarySvm::decision_block(const common::FlatMatrix& xs,
+                               std::span<double> out) const {
+  FADEWICH_EXPECTS(trained_);
+  FADEWICH_EXPECTS(xs.cols() == support_x_.cols());
+  FADEWICH_EXPECTS(out.size() == xs.rows());
+  decision_rows(xs.data(), xs.stride(), xs.rows(), out.data());
+}
+
+void BinarySvm::decision_block(std::span<const double> xs,
+                               std::size_t count,
+                               std::span<double> out) const {
+  FADEWICH_EXPECTS(trained_);
+  FADEWICH_EXPECTS(xs.size() == count * support_x_.cols());
+  FADEWICH_EXPECTS(out.size() == count);
+  decision_rows(xs.data(), support_x_.cols(), count, out.data());
 }
 
 int BinarySvm::predict(const std::vector<double>& x) const {
@@ -162,12 +249,12 @@ int BinarySvm::predict(const std::vector<double>& x) const {
 
 std::size_t BinarySvm::support_vector_count() const {
   FADEWICH_EXPECTS(trained_);
-  return support_x_.size();
+  return support_x_.rows();
 }
 
 BinarySvmState BinarySvm::export_state() const {
   FADEWICH_EXPECTS(trained_);
-  return {support_x_, support_alpha_y_, bias_};
+  return {support_x_.to_rows(), support_alpha_y_, bias_};
 }
 
 void BinarySvm::import_state(BinarySvmState state) {
@@ -183,7 +270,7 @@ void BinarySvm::import_state(BinarySvmState state) {
   for (const auto& row : state.support_x) {
     if (row.size() != dim) throw Error("svm state has ragged support rows");
   }
-  support_x_ = std::move(state.support_x);
+  support_x_ = common::FlatMatrix::from_rows(state.support_x);
   support_alpha_y_ = std::move(state.support_alpha_y);
   bias_ = state.bias;
   trained_ = true;

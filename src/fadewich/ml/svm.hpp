@@ -5,12 +5,21 @@
 // linear and RBF kernels; with tens-to-hundreds of samples and a few
 // hundred features (the paper's regime: <=130 samples, 3 features per
 // stream x m(m-1) streams) it converges in milliseconds.
+//
+// Layout: support vectors live in one row-major common::FlatMatrix so the
+// kernel expansion streams them linearly.  decision_block() evaluates a
+// whole batch of queries per pass over the support-vector matrix (queries
+// blocked in groups of eight, support-vector-major inner loops), which is
+// what MulticlassSvm, RadioEnvironment, and cross-validation call; the
+// scalar decision() is the one-row special case of the same code path, so
+// batched and scalar results are bit-identical.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <span>
 #include <vector>
 
+#include "fadewich/common/flat_matrix.hpp"
 #include "fadewich/common/rng.hpp"
 
 namespace fadewich::ml {
@@ -29,7 +38,9 @@ struct SvmConfig {
 
 /// The trained parameters of a BinarySvm, exposed for persistence: the
 /// kernel expansion is fully determined by the support vectors, their
-/// signed dual weights, and the bias.
+/// signed dual weights, and the bias.  Kept in the nested layout the
+/// snapshot format serialises; the machine converts to/from its flat
+/// layout at the import/export boundary.
 struct BinarySvmState {
   std::vector<std::vector<double>> support_x;
   std::vector<double> support_alpha_y;  // alpha_i * y_i per support vector
@@ -48,6 +59,18 @@ class BinarySvm {
 
   /// Signed decision value w.x + b (kernel expansion).  Requires trained.
   double decision(const std::vector<double>& x) const;
+
+  /// Batched decision values: out[i] = decision on xs.row(i).  One pass
+  /// over the support-vector matrix serves the whole batch, so per-query
+  /// memory traffic shrinks by the batch size.  Bit-identical to calling
+  /// decision() per row.  Requires trained and out.size() == xs.rows().
+  void decision_block(const common::FlatMatrix& xs,
+                      std::span<double> out) const;
+
+  /// As above, with the queries given as one packed row-major span of
+  /// `count` rows of support-vector width (e.g. scratch-arena storage).
+  void decision_block(std::span<const double> xs, std::size_t count,
+                      std::span<double> out) const;
 
   /// Predicted label: +1 if decision >= 0 else -1.  Requires trained.
   int predict(const std::vector<double>& x) const;
@@ -68,12 +91,13 @@ class BinarySvm {
   void import_state(BinarySvmState state);
 
  private:
-  double kernel(const std::vector<double>& a,
-                const std::vector<double>& b) const;
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+  void decision_rows(const double* xs, std::size_t stride,
+                     std::size_t count, double* out) const;
 
   SvmConfig config_;
   bool trained_ = false;
-  std::vector<std::vector<double>> support_x_;
+  common::FlatMatrix support_x_;         // one support vector per row
   std::vector<double> support_alpha_y_;  // alpha_i * y_i per support vector
   double bias_ = 0.0;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/scratch_arena.hpp"
 #include "fadewich/exec/thread_pool.hpp"
 
 namespace fadewich::rf {
@@ -30,12 +32,19 @@ ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
   links_.reserve(m * (m - 1));
 
   // Undirected link shadowing is shared by both directions; a small
-  // per-direction offset models RX chain differences.
-  std::vector<std::vector<double>> undirected_shadow(
-      m, std::vector<double>(m, 0.0));
+  // per-direction offset models RX chain differences.  One flat
+  // upper-triangular array (pair (i, j), i < j, at index
+  // i*m - i*(i+1)/2 + (j-i-1)) instead of an m x m nested vector; the
+  // draws happen in the same (i, j) order as before, so the RNG stream
+  // and every static RSSI are unchanged.
+  std::vector<double> undirected_shadow(m * (m - 1) / 2, 0.0);
+  const auto pair_index = [m](std::size_t i, std::size_t j) {
+    // Requires i < j.
+    return i * m - i * (i + 1) / 2 + (j - i - 1);
+  };
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = i + 1; j < m; ++j) {
-      undirected_shadow[i][j] = undirected_shadow[j][i] =
+      undirected_shadow[pair_index(i, j)] =
           shadow_rng.normal(0.0, config_.link_shadow_sigma_db);
     }
   }
@@ -47,15 +56,18 @@ ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
       const PrecomputedSegment geom(seg);
       const double offset =
           shadow_rng.normal(0.0, config_.direction_offset_sigma_db);
+      const double shadow =
+          undirected_shadow[pair_index(std::min(tx, rx), std::max(tx, rx))];
       const double static_rssi = config_.tx_power_dbm -
                                  path_loss_.loss_db(geom.length) -
-                                 undirected_shadow[tx][rx] - offset;
+                                 shadow - offset;
       links_.push_back(LinkState{
           seg, geom, static_rssi, shadow_rng.uniform(0.0, kTwoPi),
           Ar1Fading(config_.fading, fading_seed_rng.split(links_.size())),
           link_noise_seed_rng.split(links_.size())});
     }
   }
+  interference_affected_.assign(links_.size(), 0);
 
   FADEWICH_EXPECTS(config_.tick_hz > 0.0);
   if (config_.interference_mean_gap_s > 0.0) {
@@ -104,10 +116,11 @@ void ChannelMatrix::advance_interference() {
                                     config_.tick_hz));
   interference_std_db_ =
       noise_rng_.uniform(1.0, config_.interference_max_std_db);
-  interference_affected_.assign(links_.size(), false);
+  // The mask buffer is sized once at construction; bursts overwrite it in
+  // place, so the steady-state tick loop never allocates.
   for (std::size_t s = 0; s < links_.size(); ++s) {
     interference_affected_[s] =
-        noise_rng_.bernoulli(config_.interference_link_fraction);
+        noise_rng_.bernoulli(config_.interference_link_fraction) ? 1 : 0;
   }
   interference_gap_ticks_ = noise_rng_.exponential(
       1.0 / (config_.interference_mean_gap_s * config_.tick_hz));
@@ -122,8 +135,13 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
     sample(bodies, out);
     return;
   }
-  // Receiver-side interference: one noise level per RX sensor.
-  std::vector<double> jam_var(sensors_.size(), 0.0);
+  // Receiver-side interference: one noise level per RX sensor, staged in
+  // the calling thread's scratch arena (this path runs inside the tick
+  // loop when jammers are active, and must not allocate per call).
+  auto& arena = common::ScratchArena::local();
+  const auto frame = arena.frame();
+  const std::span<double> jam_var = arena.get<double>(sensors_.size());
+  std::fill(jam_var.begin(), jam_var.end(), 0.0);
   for (std::size_t rx = 0; rx < sensors_.size(); ++rx) {
     for (const Jammer& jammer : jammers) {
       const double std_db =
@@ -210,27 +228,37 @@ void ChannelMatrix::sample_block(
 
   // Serial prologue: advance the global per-tick state (interference
   // schedule, drift clock) exactly as `ticks` successive sample() calls
-  // would, recording what each tick saw.
+  // would, recording what each tick saw.  The staging buffers are
+  // retained members — pool workers read them concurrently, so they must
+  // not live in the caller's thread-local arena — and their capacity
+  // survives across calls: after the first block of a given size, the
+  // prologue allocates nothing.
   const bool drifting = config_.baseline_drift_amplitude_db > 0.0 ||
                         config_.noise_drift_fraction > 0.0;
-  std::vector<double> drift_args(ticks, 0.0);
-  std::vector<double> tick_std(ticks, 0.0);
-  std::vector<std::uint32_t> burst_of(ticks, 0);
-  std::vector<std::vector<bool>> affected;  // one snapshot per burst seen
-  std::uint64_t snapshot_seq = 0;           // burst seq of affected.back()
+  blk_drift_args_.assign(ticks, 0.0);
+  blk_tick_std_.assign(ticks, 0.0);
+  blk_burst_of_.assign(ticks, 0);
+  std::size_t snapshots = 0;        // bursts seen in this block
+  std::uint64_t snapshot_seq = 0;   // burst seq of the latest snapshot
   for (std::size_t t = 0; t < ticks; ++t) {
     advance_interference();
     const double now_s = static_cast<double>(tick_++) / config_.tick_hz;
     if (drifting) {
-      drift_args[t] = kTwoPi * now_s / config_.baseline_drift_period_s;
+      blk_drift_args_[t] = kTwoPi * now_s / config_.baseline_drift_period_s;
     }
     if (interference_remaining_ticks_ > 0.0) {
-      tick_std[t] = interference_std_db_;
-      if (affected.empty() || snapshot_seq != interference_burst_seq_) {
-        affected.push_back(interference_affected_);
+      blk_tick_std_[t] = interference_std_db_;
+      if (snapshots == 0 || snapshot_seq != interference_burst_seq_) {
+        // Flat [burst][stream] snapshot of the affected-link mask.
+        blk_affected_.resize((snapshots + 1) * streams);
+        std::copy(interference_affected_.begin(),
+                  interference_affected_.end(),
+                  blk_affected_.begin() +
+                      static_cast<std::ptrdiff_t>(snapshots * streams));
+        ++snapshots;
         snapshot_seq = interference_burst_seq_;
       }
-      burst_of[t] = static_cast<std::uint32_t>(affected.size() - 1);
+      blk_burst_of_[t] = static_cast<std::uint32_t>(snapshots - 1);
     }
   }
 
@@ -240,9 +268,12 @@ void ChannelMatrix::sample_block(
     LinkState& ls = links_[s];
     for (std::size_t t = 0; t < ticks; ++t) {
       const double interference_std =
-          tick_std[t] > 0.0 && affected[burst_of[t]][s] ? tick_std[t] : 0.0;
+          blk_tick_std_[t] > 0.0 &&
+                  blk_affected_[blk_burst_of_[t] * streams + s] != 0
+              ? blk_tick_std_[t]
+              : 0.0;
       out[t * streams + s] = sample_stream_tick(
-          ls, bodies_per_tick[t], drift_args[t], interference_std);
+          ls, bodies_per_tick[t], blk_drift_args_[t], interference_std);
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {

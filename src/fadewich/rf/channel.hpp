@@ -150,8 +150,21 @@ class ChannelMatrix {
   double interference_gap_ticks_ = 0.0;       // until the next burst
   double interference_remaining_ticks_ = 0.0;  // of the current burst
   double interference_std_db_ = 0.0;
-  std::vector<bool> interference_affected_;
+  // Affected-link mask, one byte per stream (not vector<bool>: byte loads
+  // keep the hot loop branch-free and the buffer reusable in place).
+  // Sized once at construction, overwritten per burst.
+  std::vector<std::uint8_t> interference_affected_;
   std::uint64_t interference_burst_seq_ = 0;  // bursts started so far
+
+  // sample_block staging, retained across calls so the steady-state loop
+  // is allocation-free once warmed: per-tick drift phase, interference
+  // level, burst snapshot index, and the flat [burst][stream] mask
+  // snapshots.  Members (not thread-local scratch) because pool workers
+  // read them concurrently during the parallel stream loop.
+  std::vector<double> blk_drift_args_;
+  std::vector<double> blk_tick_std_;
+  std::vector<std::uint32_t> blk_burst_of_;
+  std::vector<std::uint8_t> blk_affected_;
 
   Tick tick_ = 0;  // samples taken, for the baseline drift clock
 };

@@ -1,0 +1,77 @@
+#include "fadewich/common/flat_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::common {
+namespace {
+
+TEST(FlatMatrixTest, RowsArePackedBackToBack) {
+  FlatMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.stride(), 4u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(m.row(r), m.data() + r * 4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), 0.0);  // value-initialised
+      m.at(r, c) = static_cast<double>(10 * r + c);
+    }
+  }
+  EXPECT_EQ(m.row_span(1).size(), 4u);
+  EXPECT_EQ(m.row_span(1)[2], 12.0);
+  EXPECT_EQ(m.data()[1 * 4 + 2], 12.0);
+}
+
+TEST(FlatMatrixTest, FromRowsToRowsRoundTrips) {
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {-7.0, 0.5, 9.0}, {0.0, 0.0, 1.0}};
+  const FlatMatrix m = FlatMatrix::from_rows(rows);
+  ASSERT_EQ(m.rows(), 4u);
+  ASSERT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      EXPECT_EQ(m.at(r, c), rows[r][c]);
+    }
+  }
+  EXPECT_EQ(m.to_rows(), rows);
+}
+
+TEST(FlatMatrixTest, FromRowsEmptyAndRaggedInputs) {
+  const FlatMatrix empty = FlatMatrix::from_rows({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.rows(), 0u);
+
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(FlatMatrix::from_rows(ragged), ContractViolation);
+}
+
+TEST(FlatMatrixTest, ResizeReusesStorageWhenItFits) {
+  FlatMatrix m(8, 8);
+  const double* before = m.data();
+  m.resize(4, 16);  // same element count
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 16u);
+  m.resize(2, 8);  // shrink: capacity retained by std::vector
+  EXPECT_EQ(m.data(), before);
+  m.resize(8, 8);  // back up within the original capacity
+  EXPECT_EQ(m.data(), before);
+}
+
+TEST(FlatMatrixTest, OutOfRangeAccessThrows) {
+  FlatMatrix m(2, 3);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 3), ContractViolation);
+  EXPECT_THROW(m.row(2), ContractViolation);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_THROW(m.row(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fadewich::common

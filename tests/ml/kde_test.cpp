@@ -103,6 +103,103 @@ TEST(KdeTest, ConstantSamplesGetFlooredBandwidth) {
   EXPECT_NEAR(kde.percentile(0.5), 5.0, 1e-4);
 }
 
+TEST(KdeTest, CachedExtremesMatchTheSamples) {
+  Rng rng(21);
+  std::vector<double> xs;
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(rng.normal(12.0, 4.0));
+    lo = std::min(lo, xs.back());
+    hi = std::max(hi, xs.back());
+  }
+  const GaussianKde kde(xs);
+  EXPECT_EQ(kde.min_sample(), lo);
+  EXPECT_EQ(kde.max_sample(), hi);
+}
+
+TEST(KdeTest, PercentileBracketsFromCachedExtremes) {
+  // A heavy outlier stretches the bracket: the inversion must still find
+  // percentiles on both sides of the bulk.
+  Rng rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  xs.push_back(500.0);
+  const GaussianKde kde(xs);
+  for (double p : {0.001, 0.5, 0.999}) {
+    const double x = kde.percentile(p);
+    EXPECT_NEAR(kde.cdf(x), p, 1e-6);
+  }
+}
+
+TEST(KdeTest, PdfBlockMatchesScalarWithinBudget) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const GaussianKde kde(xs);
+
+  // Monotone sweep (the Fig. 2 profile-curve pattern) and a shuffled,
+  // out-of-order query set, both including far-tail queries the pruning
+  // drops entirely.
+  std::vector<double> sweep;
+  for (double x = 20.0; x <= 80.0; x += 0.037) sweep.push_back(x);
+  std::vector<double> scattered;
+  for (int i = 0; i < 777; ++i) scattered.push_back(rng.uniform(-20.0, 120.0));
+
+  for (const auto& queries : {sweep, scattered}) {
+    std::vector<double> block(queries.size());
+    kde.pdf_block(queries, block);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_NEAR(block[i], kde.pdf(queries[i]), 1e-12) << "i=" << i;
+    }
+  }
+}
+
+TEST(KdeTest, CdfBlockMatchesScalarWithinBudget) {
+  Rng rng(32);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  const GaussianKde kde(xs);
+
+  std::vector<double> queries;
+  for (double x = 10.0; x <= 90.0; x += 0.051) queries.push_back(x);
+  for (int i = 0; i < 500; ++i) queries.push_back(rng.uniform(-50.0, 150.0));
+
+  std::vector<double> block(queries.size());
+  kde.cdf_block(queries, block);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(block[i], kde.cdf(queries[i]), 1e-12) << "i=" << i;
+  }
+}
+
+TEST(KdeTest, BlockRejectsMismatchedOutputSize) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const GaussianKde kde(xs);
+  const std::vector<double> queries{1.0, 2.0};
+  std::vector<double> out(3);
+  EXPECT_THROW(kde.pdf_block(queries, out), ContractViolation);
+  EXPECT_THROW(kde.cdf_block(queries, out), ContractViolation);
+}
+
+TEST(KdeTest, BlockHandlesOddSizesAndEmptyQuerySets) {
+  // Sizes straddling the internal query-block width, plus zero queries.
+  Rng rng(33);
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(rng.normal(0.0, 2.0));
+  const GaussianKde kde(xs);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 17u}) {
+    std::vector<double> queries(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      queries[i] = rng.uniform(-6.0, 6.0);
+    }
+    std::vector<double> out(n);
+    kde.pdf_block(queries, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i], kde.pdf(queries[i]), 1e-12);
+    }
+  }
+}
+
 TEST(KdeTest, NinetyNinthPercentileAboveMostSamples) {
   Rng rng(9);
   std::vector<double> xs;

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "fadewich/common/error.hpp"
 #include "fadewich/common/rng.hpp"
+#include "fadewich/common/scratch_arena.hpp"
+#include "fadewich/obs/obs.hpp"
 
 namespace fadewich::ml {
 namespace {
@@ -162,6 +166,101 @@ TEST(MulticlassSvmTest, ImportRejectsInconsistentState) {
   bad = good;
   bad.machines[0].svm.support_alpha_y.pop_back();
   EXPECT_THROW(MulticlassSvm{}.import_state(bad), Error);
+}
+
+TEST(MulticlassSvmTest, PredictBlockMatchesScalarPredict) {
+  const Dataset data = gaussian_classes(
+      {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}}, 35, 1.5, 25);
+  MulticlassSvm svm;
+  svm.train(data);
+
+  Rng rng(26);
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 101; ++i) {  // odd count: straddles the query block
+    queries.push_back({rng.uniform(-3.0, 13.0), rng.uniform(-3.0, 13.0)});
+  }
+  std::vector<int> block(queries.size());
+  svm.predict_block(queries, block);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(block[i], svm.predict(queries[i])) << "i=" << i;
+  }
+}
+
+TEST(MulticlassSvmTest, PredictBlockPackedOverloadMatchesRagged) {
+  const Dataset data =
+      gaussian_classes({{-6.0, 0.0}, {6.0, 0.0}, {0.0, 8.0}}, 30, 1.0, 27);
+  MulticlassSvm svm;
+  svm.train(data);
+
+  Rng rng(28);
+  const std::size_t count = 48;
+  std::vector<std::vector<double>> ragged;
+  std::vector<double> packed;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a = rng.uniform(-8.0, 8.0);
+    const double b = rng.uniform(-2.0, 10.0);
+    ragged.push_back({a, b});
+    packed.push_back(a);
+    packed.push_back(b);
+  }
+  std::vector<int> via_ragged(count);
+  std::vector<int> via_packed(count);
+  svm.predict_block(ragged, via_ragged);
+  svm.predict_block(packed, count, via_packed);
+  EXPECT_EQ(via_ragged, via_packed);
+}
+
+TEST(MulticlassSvmTest, PredictBlockSingleClassAndContractChecks) {
+  Dataset single;
+  single.add({1.0}, 7);
+  single.add({2.0}, 7);
+  MulticlassSvm svm;
+  svm.train(single);
+  std::vector<int> out(3);
+  svm.predict_block({{0.0}, {50.0}, {-50.0}}, out);
+  EXPECT_EQ(out, (std::vector<int>{7, 7, 7}));
+
+  MulticlassSvm untrained;
+  EXPECT_THROW(untrained.predict_block({{1.0}}, std::span<int>(out.data(), 1)),
+               ContractViolation);
+  std::vector<int> short_out(1);
+  EXPECT_THROW(svm.predict_block({{1.0}, {2.0}}, short_out),
+               ContractViolation);
+}
+
+TEST(MulticlassSvmTest, PredictBlockRecordsBatchMetrics) {
+  const Dataset data =
+      gaussian_classes({{-5.0, 0.0}, {5.0, 0.0}}, 25, 0.8, 29);
+  MulticlassSvm svm;
+  svm.train(data);
+
+  const auto before = obs::registry().snapshot();
+  const auto* hist_before = before.find_histogram("fadewich_ml_decision_batch");
+  const std::uint64_t count_before = hist_before ? hist_before->count : 0;
+  const double sum_before = hist_before ? hist_before->sum : 0.0;
+
+  Rng rng(30);
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back({rng.uniform(-7.0, 7.0), rng.uniform(-2.0, 2.0)});
+  }
+  std::vector<int> out(queries.size());
+  svm.predict_block(queries, out);
+
+  const auto after = obs::registry().snapshot();
+  const auto* hist = after.find_histogram("fadewich_ml_decision_batch");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, count_before + 1);  // one batched call
+  EXPECT_NEAR(hist->sum - sum_before, 64.0, 1e-12);  // of 64 queries
+
+  const auto* gauge = after.find_gauge("fadewich_scratch_arena_bytes");
+  ASSERT_NE(gauge, nullptr);
+  // predict_block drew its scratch from this thread's arena, so the
+  // process-wide reservation gauge must be live and non-zero.
+  EXPECT_GT(gauge->value, 0.0);
+  EXPECT_EQ(gauge->value,
+            static_cast<double>(
+                common::ScratchArena::process_bytes_reserved()));
 }
 
 // Class-count sweep: one-vs-one voting stays consistent as classes grow.

@@ -161,6 +161,105 @@ TEST(BinarySvmTest, ToleratesLabelNoise) {
   EXPECT_GE(static_cast<double>(correct) / test.x.size(), 0.9);
 }
 
+TEST(BinarySvmTest, DecisionBlockBitIdenticalToScalarLinear) {
+  const Blob blob = two_gaussian_blobs(2.0, 40, 41);
+  BinarySvm svm;
+  svm.train(blob.x, blob.y);
+
+  Rng rng(42);
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 37; ++i) {  // odd count: straddles the query block
+    queries.push_back({rng.uniform(-5.0, 5.0), rng.uniform(-3.0, 3.0)});
+  }
+  const common::FlatMatrix xs = common::FlatMatrix::from_rows(queries);
+  std::vector<double> block(queries.size());
+  svm.decision_block(xs, block);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(block[i], svm.decision(queries[i])) << "i=" << i;
+  }
+}
+
+TEST(BinarySvmTest, DecisionBlockBitIdenticalToScalarRbf) {
+  const Blob blob = two_gaussian_blobs(1.5, 50, 43);
+  SvmConfig config;
+  config.kernel = KernelType::kRbf;
+  config.rbf_gamma = 0.3;
+  BinarySvm svm(config);
+  svm.train(blob.x, blob.y);
+
+  Rng rng(44);
+  std::vector<std::vector<double>> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back({rng.uniform(-5.0, 5.0), rng.uniform(-3.0, 3.0)});
+  }
+  const common::FlatMatrix xs = common::FlatMatrix::from_rows(queries);
+  std::vector<double> block(queries.size());
+  svm.decision_block(xs, block);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(block[i], svm.decision(queries[i])) << "i=" << i;
+  }
+}
+
+TEST(BinarySvmTest, PackedSpanOverloadMatchesFlatMatrixOverload) {
+  const Blob blob = two_gaussian_blobs(2.5, 30, 47);
+  BinarySvm svm;
+  svm.train(blob.x, blob.y);
+
+  Rng rng(48);
+  const std::size_t count = 23;
+  std::vector<double> packed;
+  common::FlatMatrix xs(count, 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a = rng.uniform(-4.0, 4.0);
+    const double b = rng.uniform(-4.0, 4.0);
+    packed.push_back(a);
+    packed.push_back(b);
+    xs.at(i, 0) = a;
+    xs.at(i, 1) = b;
+  }
+  std::vector<double> via_matrix(count);
+  std::vector<double> via_span(count);
+  svm.decision_block(xs, via_matrix);
+  svm.decision_block(packed, count, via_span);
+  EXPECT_EQ(via_matrix, via_span);
+}
+
+TEST(BinarySvmTest, DecisionBlockContractChecks) {
+  BinarySvm untrained;
+  common::FlatMatrix xs(2, 2);
+  std::vector<double> out(2);
+  EXPECT_THROW(untrained.decision_block(xs, out), ContractViolation);
+
+  const Blob blob = two_gaussian_blobs(2.0, 20, 49);
+  BinarySvm svm;
+  svm.train(blob.x, blob.y);
+  std::vector<double> short_out(1);
+  EXPECT_THROW(svm.decision_block(xs, short_out), ContractViolation);
+  common::FlatMatrix wrong_width(2, 5);
+  EXPECT_THROW(svm.decision_block(wrong_width, out), ContractViolation);
+}
+
+TEST(BinarySvmTest, DecisionBlockSurvivesStatePersistenceRoundTrip) {
+  const Blob blob = two_gaussian_blobs(2.0, 35, 53);
+  BinarySvm svm;
+  svm.train(blob.x, blob.y);
+
+  BinarySvm restored;
+  restored.import_state(svm.export_state());
+
+  Rng rng(54);
+  common::FlatMatrix xs(16, 2);
+  for (std::size_t i = 0; i < 16; ++i) {
+    xs.at(i, 0) = rng.uniform(-4.0, 4.0);
+    xs.at(i, 1) = rng.uniform(-4.0, 4.0);
+  }
+  std::vector<double> a(16);
+  std::vector<double> b(16);
+  svm.decision_block(xs, a);
+  restored.decision_block(xs, b);
+  EXPECT_EQ(a, b);
+}
+
 // Separation sweep: accuracy should grow with class separation.
 class SvmSeparation : public ::testing::TestWithParam<double> {};
 

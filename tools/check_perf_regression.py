@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI perf gate for the numeric hot paths.
+
+Compares a freshly measured BENCH_hotpaths.json against the checked-in
+baseline and fails (exit 1) when any batched kernel's speedup over its
+scalar twin regressed by more than the tolerance (default 25%).
+
+The gate is ratio-based on purpose: absolute ns/op numbers are
+machine-speed artifacts, but "how much faster is the batched kernel than
+the scalar one on the same machine, same run" transfers across runners.
+`system_step` has no scalar twin and is recorded for trajectory only.
+
+Usage:
+    check_perf_regression.py BASELINE CURRENT [--tolerance 0.25]
+
+Regenerating the baseline (after an intentional kernel change):
+    FADEWICH_BENCH_FAST=1 ./build/bench/bench_micro_hotpaths --fast \
+        bench/BENCH_hotpaths.baseline.json
+
+Verifying the gate bites: FADEWICH_BENCH_HANDICAP=<hotpath name> makes
+bench_micro_hotpaths run that kernel's batched side twice (a synthetic
+2x slowdown); the gate must then fail.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_hotpaths(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "hotpaths" not in doc:
+        sys.exit(f"{path}: no 'hotpaths' section (wrong schema?)")
+    return doc["hotpaths"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_hotpaths(args.baseline)
+    current = load_hotpaths(args.current)
+
+    failures = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        if "speedup" not in base:
+            continue  # trajectory-only entry (system_step)
+        if name not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        cur = current[name]
+        if "speedup" not in cur:
+            failures.append(f"{name}: current report has no speedup")
+            continue
+        floor = base["speedup"] * (1.0 - args.tolerance)
+        status = "OK" if cur["speedup"] >= floor else "REGRESSED"
+        print(f"{name}: baseline speedup {base['speedup']:.3f}, "
+              f"current {cur['speedup']:.3f}, floor {floor:.3f} "
+              f"[{status}]")
+        checked += 1
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.3f} fell below "
+                f"{floor:.3f} ({args.tolerance:.0%} under baseline "
+                f"{base['speedup']:.3f})")
+    for name, cur in sorted(current.items()):
+        if "ns_per_op" in cur:
+            print(f"{name}: {cur['ns_per_op']:.1f} ns/op "
+                  "(trajectory only, not gated)")
+
+    if checked == 0:
+        failures.append("no gated hot paths found in the baseline")
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {checked} hot paths within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
