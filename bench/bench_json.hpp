@@ -1,17 +1,21 @@
 // Shared JSON-report scaffolding for the BENCH_*.json trajectory files.
 //
 // Every bench report opens with the same stamp — schema version, git sha,
-// thread count, hardware concurrency, and whether FADEWICH_BENCH_FAST
-// shrank the workloads — so diffing reports across PRs never requires
-// guessing which build or machine produced them.  The sha resolves from
-// the FADEWICH_GIT_SHA environment variable first (CI sets it to the
-// exact commit under test), then the sha baked in at configure time, then
-// "unknown".
+// thread count, hardware concurrency, whether FADEWICH_BENCH_FAST shrank
+// the workloads, the SIMD ISA the kernel dispatch selected, and whether
+// the build used FADEWICH_NATIVE — so diffing reports across PRs never
+// requires guessing which build or machine produced them, and the perf
+// gate can refuse cross-ISA comparisons instead of failing spuriously.
+// The sha resolves from the FADEWICH_GIT_SHA environment variable first
+// (CI sets it to the exact commit under test), then the sha baked in at
+// configure time, then "unknown".
 #pragma once
 
 #include <cstdlib>
 #include <string>
 #include <thread>
+
+#include "fadewich/common/simd.hpp"
 
 namespace fadewich::bench {
 
@@ -44,6 +48,13 @@ inline std::string json_stamp(const std::string& schema,
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += std::string("  \"fast_mode\": ") +
          (fast_mode() ? "true" : "false") + ",\n";
+  out += std::string("  \"simd_isa\": \"") +
+         simd::isa_name(simd::active_isa()) + "\",\n";
+#ifdef FADEWICH_NATIVE_BUILD
+  out += "  \"native\": true,\n";
+#else
+  out += "  \"native\": false,\n";
+#endif
   return out;
 }
 

@@ -11,7 +11,9 @@
 // regression for verifying the gate actually fails.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +25,7 @@
 #include "bench_json.hpp"
 #include "fadewich/common/flat_matrix.hpp"
 #include "fadewich/common/rng.hpp"
+#include "fadewich/common/simd_kernels.hpp"
 #include "fadewich/core/system.hpp"
 #include "fadewich/ml/dataset.hpp"
 #include "fadewich/ml/svm.hpp"
@@ -402,6 +405,183 @@ HotpathPair bench_channel_sample_block() {
   return result;
 }
 
+// --- Kernel-level scalar-vs-SIMD rows --------------------------------
+// The pairs below pin the two ends of the runtime dispatch: the scalar
+// kernel table versus whatever active_kernels() resolved on this host.
+// Under FADEWICH_SIMD=off both sides run the scalar table and the
+// speedups sit near 1.0 (the forced-scalar baseline captures that).
+
+// KDE pdf inner loop: the fast-exp sum over the pruned sample window,
+// scalar table vs active table, same pruning/binary-search structure.
+HotpathPair bench_kde_pdf_block() {
+  const bool fast = bench::fast_mode();
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < (fast ? 400 : 1200); ++i) {
+    samples.push_back(rng.normal(50.0, 5.0));
+  }
+  std::sort(samples.begin(), samples.end());
+  const double bandwidth = 1.5;
+  const std::size_t queries = fast ? 4096 : 16384;
+  std::vector<double> xs(queries);
+  std::vector<double> out(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    xs[i] = 20.0 + 60.0 * static_cast<double>(i) /
+                       static_cast<double>(queries - 1);
+  }
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("kde_pdf_block");
+  HotpathPair result{"kde_pdf_block",
+                     static_cast<std::int64_t>(queries), 0.0, 0.0};
+  const simd::KernelTable& scalar = simd::kernel_table(simd::Isa::kScalar);
+  const simd::KernelTable& active = simd::active_kernels();
+  result.scalar_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    ml::kde_pdf_block_sorted(samples, bandwidth, xs, out, scalar);
+    benchmark::DoNotOptimize(out.data());
+  });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) {
+      ml::kde_pdf_block_sorted(samples, bandwidth, xs, out, active);
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+  return result;
+}
+
+// SVM squared-distance kernel over a transposed 8-query block at paper
+// dimensionality, streamed across a support-vector matrix.
+HotpathPair bench_svm_sqdist_block() {
+  const bool fast = bench::fast_mode();
+  const std::size_t dim = fast ? 64 : 216;
+  const std::size_t nsv = fast ? 60 : 100;
+  constexpr std::size_t kNq = 8;
+  const std::size_t rounds = fast ? 64 : 128;
+  Rng rng(11);
+  std::vector<double> svs(nsv * dim);
+  for (auto& v : svs) v = rng.normal(0.0, 1.0);
+  std::vector<double> qt(dim * kNq);
+  for (auto& v : qt) v = rng.normal(0.0, 1.0);
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("svm_sqdist_block");
+  HotpathPair result{
+      "svm_sqdist_block",
+      static_cast<std::int64_t>(rounds * nsv * kNq), 0.0, 0.0};
+  const simd::KernelTable& scalar = simd::kernel_table(simd::Isa::kScalar);
+  const simd::KernelTable& active = simd::active_kernels();
+  const auto run = [&](const simd::KernelTable& kt) {
+    double sink = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t sv = 0; sv < nsv; ++sv) {
+        double t[kNq] = {};
+        kt.sqdist_block(svs.data() + sv * dim, dim, qt.data(), kNq, kNq, t);
+        sink += t[0];
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  };
+  result.scalar_ns =
+      time_best_ns_per_op(reps, result.ops, [&] { run(scalar); });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) run(active);
+  });
+  return result;
+}
+
+// MD's per-tick window update: the lockstep Welford replace step plus
+// the batched stddev over a full-size stream bank.
+HotpathPair bench_welford_push_row() {
+  const bool fast = bench::fast_mode();
+  constexpr std::size_t kStreams = 72;
+  const std::size_t pushes = fast ? 20000 : 80000;
+  Rng rng(7);
+  std::vector<double> rows(256 * kStreams);
+  for (auto& v : rows) v = rng.normal(-60.0, 1.0);
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("welford_push_row");
+  HotpathPair result{
+      "welford_push_row",
+      static_cast<std::int64_t>(pushes * kStreams), 0.0, 0.0};
+  const simd::KernelTable& scalar = simd::kernel_table(simd::Isa::kScalar);
+  const simd::KernelTable& active = simd::active_kernels();
+  std::vector<double> slot(kStreams, -60.0);
+  std::vector<double> mean(kStreams, -60.0);
+  std::vector<double> m2(kStreams, 1.0);
+  std::vector<double> sd(kStreams);
+  const auto run = [&](const simd::KernelTable& kt) {
+    for (std::size_t t = 0; t < pushes; ++t) {
+      const double* row = rows.data() + (t % 256) * kStreams;
+      kt.welford_push_full(slot.data(), row, mean.data(), m2.data(), 10.0,
+                           kStreams);
+      kt.stddev_from_m2(m2.data(), 10.0, sd.data(), kStreams);
+    }
+    benchmark::DoNotOptimize(sd.data());
+  };
+  result.scalar_ns =
+      time_best_ns_per_op(reps, result.ops, [&] { run(scalar); });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) run(active);
+  });
+  return result;
+}
+
+// One body's shadowing pass over the office's 72 links: the fast-exp
+// spatial kernels on the SoA geometry, the inner loop of every channel
+// tick with bodies present.
+HotpathPair bench_channel_shadow_pass() {
+  const bool fast = bench::fast_mode();
+  constexpr std::size_t kLinks = 72;
+  const std::size_t ticks = fast ? 20000 : 80000;
+  Rng rng(3);
+  std::vector<double> ax(kLinks), ay(kLinks), bx(kLinks), by(kLinks);
+  std::vector<double> dirx(kLinks), diry(kLinks), len(kLinks),
+      inv_len2(kLinks);
+  for (std::size_t s = 0; s < kLinks; ++s) {
+    ax[s] = rng.uniform(0.0, 6.0);
+    ay[s] = rng.uniform(0.0, 4.0);
+    bx[s] = rng.uniform(0.0, 6.0);
+    by[s] = rng.uniform(0.0, 4.0);
+    dirx[s] = bx[s] - ax[s];
+    diry[s] = by[s] - ay[s];
+    const double len2 = dirx[s] * dirx[s] + diry[s] * diry[s];
+    len[s] = std::sqrt(len2);
+    inv_len2[s] = len2 > 0.0 ? 1.0 / len2 : 0.0;
+  }
+  const simd::ShadowGeomView geom{ax.data(),   ay.data(),  bx.data(),
+                                  by.data(),   dirx.data(), diry.data(),
+                                  len.data(),  inv_len2.data()};
+  simd::ShadowParams params;
+  params.px = 2.0;
+  params.py = 1.5;
+  params.max_attenuation_db = 9.0;
+  params.shadow_decay_m = 0.18;
+  params.motion_coeff = 3.0;
+  params.motion_decay_m = 0.55;
+  params.ambient_coeff = 0.64 * 1.4;
+  params.ambient_decay_m = 4.0;
+  std::vector<double> rssi(kLinks, -60.0);
+  std::vector<double> noise_var(kLinks, 0.0);
+  const int reps = fast ? 5 : 10;
+  const int factor = handicap("channel_shadow_pass");
+  HotpathPair result{
+      "channel_shadow_pass",
+      static_cast<std::int64_t>(ticks * kLinks), 0.0, 0.0};
+  const simd::KernelTable& scalar = simd::kernel_table(simd::Isa::kScalar);
+  const simd::KernelTable& active = simd::active_kernels();
+  const auto run = [&](const simd::KernelTable& kt) {
+    for (std::size_t t = 0; t < ticks; ++t) {
+      kt.shadow_body_pass(geom, kLinks, params, rssi.data(),
+                          noise_var.data());
+    }
+    benchmark::DoNotOptimize(rssi.data());
+  };
+  result.scalar_ns =
+      time_best_ns_per_op(reps, result.ops, [&] { run(scalar); });
+  result.batched_ns = time_best_ns_per_op(reps, result.ops, [&] {
+    for (int f = 0; f < factor; ++f) run(active);
+  });
+  return result;
+}
+
 // Steady-state cost of one full online pipeline tick (KMA + MD + RE +
 // controller + sessions) on a warmed, quiet system — the loop the
 // zero-allocation budget covers.  No scalar/batched pair; tracked as a
@@ -464,8 +644,10 @@ SingleRate bench_system_step() {
 
 int run_hotpath_report(const std::string& path) {
   const std::vector<HotpathPair> pairs{
-      bench_kde_pdf_sweep(), bench_svm_decision(),
-      bench_channel_sample_block()};
+      bench_kde_pdf_sweep(),      bench_svm_decision(),
+      bench_channel_sample_block(), bench_kde_pdf_block(),
+      bench_svm_sqdist_block(),   bench_welford_push_row(),
+      bench_channel_shadow_pass()};
   const SingleRate step = bench_system_step();
 
   std::ofstream out(path);
@@ -474,7 +656,7 @@ int run_hotpath_report(const std::string& path) {
     return 1;
   }
   out << "{\n";
-  out << bench::json_stamp("fadewich-bench-hotpaths/1",
+  out << bench::json_stamp("fadewich-bench-hotpaths/2",
                            exec::default_thread_count());
   out << "  \"hotpaths\": {\n";
   for (const HotpathPair& p : pairs) {

@@ -1,0 +1,21 @@
+// AVX2 kernel table.  This translation unit is the only one compiled
+// with -mavx2 (plus -ffp-contract=off); everything in the shared impl
+// header has internal linkage, so no AVX2-encoded code can leak into
+// other translation units through the linker.  The table is reached
+// exclusively via kernel_table(), which consults cpuid first.
+#include "fadewich/common/simd_kernels.hpp"
+
+#if !defined(__AVX2__)
+#error "simd_kernels_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include "fadewich/common/simd_kernels_impl.hpp"
+
+namespace fadewich::simd::detail {
+
+const KernelTable& avx2_kernel_table() {
+  static const KernelTable table = make_table<VAvx2>(Isa::kAvx2);
+  return table;
+}
+
+}  // namespace fadewich::simd::detail

@@ -1,0 +1,544 @@
+// Width-generic implementations behind simd_kernels.hpp.
+//
+// Included ONLY by the kernel translation units (simd_kernels.cpp and
+// simd_kernels_avx2.cpp, the latter compiled with -mavx2).  Everything
+// lives in an anonymous namespace on purpose: template instantiations
+// get internal linkage, so the linker can never satisfy the baseline
+// unit's VScalar tail code with the AVX2-compiled copy (which would
+// smuggle AVX2 encodings into code reachable on a non-AVX2 host).
+//
+// Bit-exactness contract: each backend exposes the same op set with
+// identical per-lane IEEE-754 semantics (min/max use the SSE rule
+// `(a OP b) ? a : b`; no FMA; the TUs compile with -ffp-contract=off),
+// and every kernel walks its reduction in the same order at any width.
+// Lane j of any table therefore produces the same bits as the scalar
+// table — the property the SIMD equivalence suites assert with EXPECT_EQ.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "fadewich/common/simd_kernels.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace fadewich::simd {
+namespace {
+
+// --- vector backends -------------------------------------------------
+
+struct VScalar {
+  static constexpr std::size_t kLanes = 1;
+  double v;
+  using Mask = bool;
+  static VScalar load(const double* p) { return {*p}; }
+  static void store(double* p, VScalar a) { *p = a.v; }
+  static VScalar splat(double x) { return {x}; }
+  static VScalar add(VScalar a, VScalar b) { return {a.v + b.v}; }
+  static VScalar sub(VScalar a, VScalar b) { return {a.v - b.v}; }
+  static VScalar mul(VScalar a, VScalar b) { return {a.v * b.v}; }
+  static VScalar div(VScalar a, VScalar b) { return {a.v / b.v}; }
+  static VScalar sqrt(VScalar a) { return {std::sqrt(a.v)}; }
+  static VScalar neg(VScalar a) { return {-a.v}; }
+  // SSE minpd/maxpd semantics: (a OP b) ? a : b, second operand on
+  // unordered — NOT std::min/std::max, which return the first.
+  static VScalar min(VScalar a, VScalar b) { return {a.v < b.v ? a.v : b.v}; }
+  static VScalar max(VScalar a, VScalar b) { return {a.v > b.v ? a.v : b.v}; }
+  static Mask cmp_gt(VScalar a, VScalar b) { return a.v > b.v; }
+  static Mask cmp_lt(VScalar a, VScalar b) { return a.v < b.v; }
+  static Mask is_nan(VScalar a) { return a.v != a.v; }
+  static VScalar blend(Mask m, VScalar a, VScalar b) { return m ? a : b; }
+  /// n = nearest-even integer of x (as a double); p2 = 2^n via exponent
+  /// bits.  Well-defined only for |x| < ~2^31; vexp clamps first.
+  static void round_pow2(VScalar x, VScalar& n, VScalar& p2) {
+    const double nd = std::nearbyint(x.v);
+    n.v = nd;
+    const auto ni = static_cast<std::int64_t>(nd);
+    p2.v = std::bit_cast<double>(static_cast<std::uint64_t>(ni + 1023)
+                                 << 52);
+  }
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+struct VSse2 {
+  static constexpr std::size_t kLanes = 2;
+  __m128d v;
+  using Mask = __m128d;
+  static VSse2 load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static void store(double* p, VSse2 a) { _mm_storeu_pd(p, a.v); }
+  static VSse2 splat(double x) { return {_mm_set1_pd(x)}; }
+  static VSse2 add(VSse2 a, VSse2 b) { return {_mm_add_pd(a.v, b.v)}; }
+  static VSse2 sub(VSse2 a, VSse2 b) { return {_mm_sub_pd(a.v, b.v)}; }
+  static VSse2 mul(VSse2 a, VSse2 b) { return {_mm_mul_pd(a.v, b.v)}; }
+  static VSse2 div(VSse2 a, VSse2 b) { return {_mm_div_pd(a.v, b.v)}; }
+  static VSse2 sqrt(VSse2 a) { return {_mm_sqrt_pd(a.v)}; }
+  static VSse2 neg(VSse2 a) {
+    return {_mm_xor_pd(a.v, _mm_set1_pd(-0.0))};
+  }
+  static VSse2 min(VSse2 a, VSse2 b) { return {_mm_min_pd(a.v, b.v)}; }
+  static VSse2 max(VSse2 a, VSse2 b) { return {_mm_max_pd(a.v, b.v)}; }
+  static Mask cmp_gt(VSse2 a, VSse2 b) { return _mm_cmpgt_pd(a.v, b.v); }
+  static Mask cmp_lt(VSse2 a, VSse2 b) { return _mm_cmplt_pd(a.v, b.v); }
+  static Mask is_nan(VSse2 a) { return _mm_cmpunord_pd(a.v, a.v); }
+  static VSse2 blend(Mask m, VSse2 a, VSse2 b) {
+    return {_mm_or_pd(_mm_and_pd(m, a.v), _mm_andnot_pd(m, b.v))};
+  }
+  static void round_pow2(VSse2 x, VSse2& n, VSse2& p2) {
+    // cvtpd_epi32 rounds to nearest-even under the default MXCSR mode,
+    // matching std::nearbyint; the 64-bit widen is a manual sign-extend
+    // (cvtepi32_epi64 is SSE4.1).
+    const __m128i n32 = _mm_cvtpd_epi32(x.v);
+    n.v = _mm_cvtepi32_pd(n32);
+    __m128i n64 = _mm_unpacklo_epi32(n32, _mm_srai_epi32(n32, 31));
+    n64 = _mm_add_epi64(n64, _mm_set1_epi64x(1023));
+    p2.v = _mm_castsi128_pd(_mm_slli_epi64(n64, 52));
+  }
+};
+
+#endif  // x86-64
+
+#if defined(__AVX2__)
+
+struct VAvx2 {
+  static constexpr std::size_t kLanes = 4;
+  __m256d v;
+  using Mask = __m256d;
+  static VAvx2 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static void store(double* p, VAvx2 a) { _mm256_storeu_pd(p, a.v); }
+  static VAvx2 splat(double x) { return {_mm256_set1_pd(x)}; }
+  static VAvx2 add(VAvx2 a, VAvx2 b) { return {_mm256_add_pd(a.v, b.v)}; }
+  static VAvx2 sub(VAvx2 a, VAvx2 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  static VAvx2 mul(VAvx2 a, VAvx2 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  static VAvx2 div(VAvx2 a, VAvx2 b) { return {_mm256_div_pd(a.v, b.v)}; }
+  static VAvx2 sqrt(VAvx2 a) { return {_mm256_sqrt_pd(a.v)}; }
+  static VAvx2 neg(VAvx2 a) {
+    return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};
+  }
+  static VAvx2 min(VAvx2 a, VAvx2 b) { return {_mm256_min_pd(a.v, b.v)}; }
+  static VAvx2 max(VAvx2 a, VAvx2 b) { return {_mm256_max_pd(a.v, b.v)}; }
+  static Mask cmp_gt(VAvx2 a, VAvx2 b) {
+    return _mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ);
+  }
+  static Mask cmp_lt(VAvx2 a, VAvx2 b) {
+    return _mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ);
+  }
+  static Mask is_nan(VAvx2 a) {
+    return _mm256_cmp_pd(a.v, a.v, _CMP_UNORD_Q);
+  }
+  static VAvx2 blend(Mask m, VAvx2 a, VAvx2 b) {
+    return {_mm256_blendv_pd(b.v, a.v, m)};
+  }
+  static void round_pow2(VAvx2 x, VAvx2& n, VAvx2& p2) {
+    const __m128i n32 = _mm256_cvtpd_epi32(x.v);
+    n.v = _mm256_cvtepi32_pd(n32);
+    __m256i n64 = _mm256_cvtepi32_epi64(n32);
+    n64 = _mm256_add_epi64(n64, _mm256_set1_epi64x(1023));
+    p2.v = _mm256_castsi256_pd(_mm256_slli_epi64(n64, 52));
+  }
+};
+
+#endif  // __AVX2__
+
+#if defined(__aarch64__)
+
+struct VNeon {
+  static constexpr std::size_t kLanes = 2;
+  float64x2_t v;
+  using Mask = uint64x2_t;
+  static VNeon load(const double* p) { return {vld1q_f64(p)}; }
+  static void store(double* p, VNeon a) { vst1q_f64(p, a.v); }
+  static VNeon splat(double x) { return {vdupq_n_f64(x)}; }
+  static VNeon add(VNeon a, VNeon b) { return {vaddq_f64(a.v, b.v)}; }
+  static VNeon sub(VNeon a, VNeon b) { return {vsubq_f64(a.v, b.v)}; }
+  static VNeon mul(VNeon a, VNeon b) { return {vmulq_f64(a.v, b.v)}; }
+  static VNeon div(VNeon a, VNeon b) { return {vdivq_f64(a.v, b.v)}; }
+  static VNeon sqrt(VNeon a) { return {vsqrtq_f64(a.v)}; }
+  static VNeon neg(VNeon a) { return {vnegq_f64(a.v)}; }
+  // Built from compare+select so the -0/NaN corner semantics match the
+  // SSE rule instead of vminq/vmaxq's NaN propagation.
+  static VNeon min(VNeon a, VNeon b) {
+    return blend(vcltq_f64(a.v, b.v), a, b);
+  }
+  static VNeon max(VNeon a, VNeon b) {
+    return blend(vcgtq_f64(a.v, b.v), a, b);
+  }
+  static Mask cmp_gt(VNeon a, VNeon b) { return vcgtq_f64(a.v, b.v); }
+  static Mask cmp_lt(VNeon a, VNeon b) { return vcltq_f64(a.v, b.v); }
+  static Mask is_nan(VNeon a) {
+    return vreinterpretq_u64_u32(
+        vmvnq_u32(vreinterpretq_u32_u64(vceqq_f64(a.v, a.v))));
+  }
+  static VNeon blend(Mask m, VNeon a, VNeon b) {
+    return {vbslq_f64(m, a.v, b.v)};
+  }
+  static void round_pow2(VNeon x, VNeon& n, VNeon& p2) {
+    const int64x2_t ni = vcvtnq_s64_f64(x.v);  // nearest-even
+    n.v = vcvtq_f64_s64(ni);
+    p2.v = vreinterpretq_f64_s64(
+        vshlq_n_s64(vaddq_s64(ni, vdupq_n_s64(1023)), 52));
+  }
+};
+
+#endif  // __aarch64__
+
+// --- fast exponential ------------------------------------------------
+
+// Cephes-style expl: n = nearest(x * log2(e)); Cody-Waite reduction
+// r = x - n*C1 - n*C2; exp(r) via a Pade ratio in r^2; scale by 2^n from
+// exponent bits.  ~2 ulp over the normal range.  x > kMaxArg -> +inf;
+// x < kMinArg -> 0 (results below the smallest normal flush to zero);
+// NaN passes through.  The input is clamped before the integer round so
+// the double->int conversion is always in range (no UB at +-inf/NaN).
+inline constexpr double kExpLog2e = 1.4426950408889634073599;
+inline constexpr double kExpC1 = 6.93145751953125e-1;
+inline constexpr double kExpC2 = 1.42860682030941723212e-6;
+inline constexpr double kExpP0 = 1.26177193074810590878e-4;
+inline constexpr double kExpP1 = 3.02994407707441961300e-2;
+inline constexpr double kExpP2 = 9.99999999999999999910e-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042e-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192e-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766e-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005e0;
+inline constexpr double kExpMaxArg = 709.782712893383996843;
+inline constexpr double kExpMinArg = -708.396418532264106224;
+
+template <typename V>
+V vexp(V x) {
+  const V xm = V::max(V::min(x, V::splat(710.0)), V::splat(-745.0));
+  V n;
+  V p2;
+  V::round_pow2(V::mul(xm, V::splat(kExpLog2e)), n, p2);
+  V r = V::sub(xm, V::mul(n, V::splat(kExpC1)));
+  r = V::sub(r, V::mul(n, V::splat(kExpC2)));
+  const V rr = V::mul(r, r);
+  const V px = V::mul(
+      r, V::add(V::mul(V::add(V::mul(V::splat(kExpP0), rr),
+                              V::splat(kExpP1)),
+                       rr),
+                V::splat(kExpP2)));
+  const V qx = V::add(
+      V::mul(V::add(V::mul(V::add(V::mul(V::splat(kExpQ0), rr),
+                                  V::splat(kExpQ1)),
+                           rr),
+                    V::splat(kExpQ2)),
+             rr),
+      V::splat(kExpQ3));
+  const V e = V::div(px, V::sub(qx, px));
+  V res = V::mul(V::add(V::splat(1.0), V::add(e, e)), p2);
+  res = V::blend(V::cmp_gt(x, V::splat(kExpMaxArg)),
+                 V::splat(std::numeric_limits<double>::infinity()), res);
+  res = V::blend(V::cmp_lt(x, V::splat(kExpMinArg)), V::splat(0.0), res);
+  res = V::blend(V::is_nan(x), x, res);
+  return res;
+}
+
+// --- kernels ---------------------------------------------------------
+//
+// Each kernel runs full vectors then recurses on the remainder with the
+// scalar backend, so ragged lengths share the exact per-lane sequence.
+
+template <typename V>
+void k_exp_block(const double* x, double* out, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    V::store(out + j, vexp(V::load(x + j)));
+  }
+  if constexpr (V::kLanes > 1) {
+    k_exp_block<VScalar>(x + j, out + j, n - j);
+  }
+}
+
+template <typename V>
+void k_kde_expsum_block(const double* samples, std::size_t count,
+                        const double* xs, std::size_t nq, double inv_bw,
+                        double* acc) {
+  const V ibw = V::splat(inv_bw);
+  const V mhalf = V::splat(-0.5);
+  std::size_t j = 0;
+  for (; j + V::kLanes <= nq; j += V::kLanes) {
+    const V x = V::load(xs + j);
+    V a = V::load(acc + j);
+    for (std::size_t i = 0; i < count; ++i) {
+      const V u = V::mul(V::sub(x, V::splat(samples[i])), ibw);
+      // (-0.5 * u) * u: the scalar expression's association.
+      a = V::add(a, vexp(V::mul(V::mul(mhalf, u), u)));
+    }
+    V::store(acc + j, a);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_kde_expsum_block<VScalar>(samples, count, xs + j, nq - j, inv_bw,
+                                acc + j);
+  }
+}
+
+template <typename V>
+void k_kde_erfsum_block(const double* samples, std::size_t count,
+                        const double* xs, std::size_t nq, double inv_bw,
+                        double* acc) {
+  // Exact path: libm erf per lane, same for every table.  The surrounding
+  // arithmetic keeps the pre-SIMD association ((x - s) * inv_bw) * c.
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  for (std::size_t j = 0; j < nq; ++j) {
+    double a = acc[j];
+    const double x = xs[j];
+    for (std::size_t i = 0; i < count; ++i) {
+      a += 0.5 * (1.0 + std::erf((x - samples[i]) * inv_bw * kInvSqrt2));
+    }
+    acc[j] = a;
+  }
+}
+
+template <typename V>
+void k_dot_block(const double* s, std::size_t dim, const double* qt,
+                 std::size_t qstride, std::size_t nq, double* t) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= nq; j += V::kLanes) {
+    V acc = V::load(t + j);
+    for (std::size_t d = 0; d < dim; ++d) {
+      acc = V::add(acc,
+                   V::mul(V::splat(s[d]), V::load(qt + d * qstride + j)));
+    }
+    V::store(t + j, acc);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_dot_block<VScalar>(s, dim, qt + j, qstride, nq - j, t + j);
+  }
+}
+
+template <typename V>
+void k_sqdist_block(const double* s, std::size_t dim, const double* qt,
+                    std::size_t qstride, std::size_t nq, double* t) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= nq; j += V::kLanes) {
+    V acc = V::load(t + j);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const V diff = V::sub(V::splat(s[d]), V::load(qt + d * qstride + j));
+      acc = V::add(acc, V::mul(diff, diff));
+    }
+    V::store(t + j, acc);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_sqdist_block<VScalar>(s, dim, qt + j, qstride, nq - j, t + j);
+  }
+}
+
+template <typename V>
+void k_rbf_accum_block(const double* t, std::size_t n, double w,
+                       double gamma, double* acc) {
+  // Exact path: libm exp — a decision value's sign classifies.
+  for (std::size_t j = 0; j < n; ++j) {
+    acc[j] += w * std::exp(-gamma * t[j]);
+  }
+}
+
+template <typename V>
+void k_welford_push_full(double* slot, const double* values, double* mean,
+                         double* m2, double window_n, std::size_t n) {
+  const V wn = V::splat(window_n);
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    const V v = V::load(values + j);
+    const V evicted = V::load(slot + j);
+    V m = V::load(mean + j);
+    const V delta = V::sub(v, evicted);
+    const V dev_old = V::sub(evicted, m);
+    m = V::add(m, V::div(delta, wn));
+    const V dev_new = V::sub(v, m);
+    const V m2v = V::add(V::load(m2 + j),
+                         V::mul(delta, V::add(dev_old, dev_new)));
+    V::store(mean + j, m);
+    V::store(m2 + j, m2v);
+    V::store(slot + j, v);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_welford_push_full<VScalar>(slot + j, values + j, mean + j, m2 + j,
+                                 window_n, n - j);
+  }
+}
+
+template <typename V>
+void k_welford_push_grow(double* slot, const double* values, double* mean,
+                         double* m2, double new_size, std::size_t n) {
+  const V ns = V::splat(new_size);
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    const V v = V::load(values + j);
+    V m = V::load(mean + j);
+    const V delta = V::sub(v, m);
+    m = V::add(m, V::div(delta, ns));
+    const V m2v = V::add(V::load(m2 + j), V::mul(delta, V::sub(v, m)));
+    V::store(mean + j, m);
+    V::store(m2 + j, m2v);
+    V::store(slot + j, v);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_welford_push_grow<VScalar>(slot + j, values + j, mean + j, m2 + j,
+                                 new_size, n - j);
+  }
+}
+
+template <typename V>
+void k_stddev_from_m2(const double* m2, double window_n, double* out,
+                      std::size_t n) {
+  const V wn = V::splat(window_n);
+  const V zero = V::splat(0.0);
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    V var = V::div(V::load(m2 + j), wn);
+    var = V::blend(V::cmp_gt(var, zero), var, zero);
+    V::store(out + j, V::sqrt(var));
+  }
+  if constexpr (V::kLanes > 1) {
+    k_stddev_from_m2<VScalar>(m2 + j, window_n, out + j, n - j);
+  }
+}
+
+template <typename V>
+void k_colsum(const double* data, std::size_t rows, std::size_t stride,
+              double* out, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    V acc = V::splat(0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      acc = V::add(acc, V::load(data + r * stride + j));
+    }
+    V::store(out + j, acc);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_colsum<VScalar>(data + j, rows, stride, out + j, n - j);
+  }
+}
+
+template <typename V>
+void k_coldev2(const double* data, std::size_t rows, std::size_t stride,
+               const double* mean, double* out, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    const V m = V::load(mean + j);
+    V acc = V::splat(0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const V d = V::sub(V::load(data + r * stride + j), m);
+      acc = V::add(acc, V::mul(d, d));
+    }
+    V::store(out + j, acc);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_coldev2<VScalar>(data + j, rows, stride, mean + j, out + j, n - j);
+  }
+}
+
+template <typename V>
+void k_collagprod(const double* data, std::size_t rows, std::size_t lag,
+                  std::size_t stride, const double* mean, double* out,
+                  std::size_t n) {
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    const V m = V::load(mean + j);
+    V acc = V::splat(0.0);
+    for (std::size_t r = 0; r + lag < rows; ++r) {
+      const V a = V::sub(V::load(data + r * stride + j), m);
+      const V b = V::sub(V::load(data + (r + lag) * stride + j), m);
+      acc = V::add(acc, V::mul(a, b));
+    }
+    V::store(out + j, acc);
+  }
+  if constexpr (V::kLanes > 1) {
+    k_collagprod<VScalar>(data + j, rows, lag, stride, mean + j, out + j,
+                          n - j);
+  }
+}
+
+template <typename V>
+void k_shadow_body_pass(const ShadowGeomView& g, std::size_t n,
+                        const ShadowParams& p, double* rssi,
+                        double* noise_var) {
+  if constexpr (V::kLanes > 1) {
+    // Short banks go straight to the scalar body: skipping the vector
+    // splats keeps sub-lane calls cheap (no wide-register warm-up for a
+    // handful of streams).
+    if (n < V::kLanes) {
+      k_shadow_body_pass<VScalar>(g, n, p, rssi, noise_var);
+      return;
+    }
+  }
+  const V px = V::splat(p.px);
+  const V py = V::splat(p.py);
+  const bool noisy = p.motion_coeff != 0.0 || p.ambient_coeff != 0.0;
+  std::size_t j = 0;
+  for (; j + V::kLanes <= n; j += V::kLanes) {
+    const V ax = V::load(g.ax + j);
+    const V ay = V::load(g.ay + j);
+    // excess = |a - p| + |p - b| - length (the operand orders the scalar
+    // geometry helpers use).
+    const V dax = V::sub(ax, px);
+    const V day = V::sub(ay, py);
+    const V da = V::sqrt(V::add(V::mul(dax, dax), V::mul(day, day)));
+    const V dbx = V::sub(px, V::load(g.bx + j));
+    const V dby = V::sub(py, V::load(g.by + j));
+    const V db = V::sqrt(V::add(V::mul(dbx, dbx), V::mul(dby, dby)));
+    const V excess = V::sub(V::add(da, db), V::load(g.length + j));
+    const V att =
+        V::mul(V::splat(p.max_attenuation_db),
+               vexp(V::div(V::neg(excess), V::splat(p.shadow_decay_m))));
+    V::store(rssi + j, V::sub(V::load(rssi + j), att));
+    if (noisy) {
+      const V mo =
+          V::mul(V::splat(p.motion_coeff),
+                 vexp(V::div(V::neg(excess), V::splat(p.motion_decay_m))));
+      // Point-segment distance, mirroring the scalar clamp/projection.
+      const V dirx = V::load(g.dirx + j);
+      const V diry = V::load(g.diry + j);
+      V t = V::mul(V::add(V::mul(V::sub(px, ax), dirx),
+                          V::mul(V::sub(py, ay), diry)),
+                   V::load(g.inv_len2 + j));
+      t = V::min(V::max(t, V::splat(0.0)), V::splat(1.0));
+      const V dx = V::sub(px, V::add(ax, V::mul(dirx, t)));
+      const V dy = V::sub(py, V::add(ay, V::mul(diry, t)));
+      const V d = V::sqrt(V::add(V::mul(dx, dx), V::mul(dy, dy)));
+      const V am =
+          V::mul(V::splat(p.ambient_coeff),
+                 vexp(V::div(V::neg(d), V::splat(p.ambient_decay_m))));
+      // One combined add, like `noise_var += motion^2 + ambient^2`.
+      V::store(noise_var + j,
+               V::add(V::load(noise_var + j),
+                      V::add(V::mul(mo, mo), V::mul(am, am))));
+    }
+  }
+  if constexpr (V::kLanes > 1) {
+    const ShadowGeomView tail{g.ax + j,   g.ay + j,     g.bx + j,
+                              g.by + j,   g.dirx + j,   g.diry + j,
+                              g.length + j, g.inv_len2 + j};
+    k_shadow_body_pass<VScalar>(tail, n - j, p, rssi + j, noise_var + j);
+  }
+}
+
+template <typename V>
+KernelTable make_table(Isa isa) {
+  KernelTable t;
+  t.isa = isa;
+  t.exp_block = &k_exp_block<V>;
+  t.kde_expsum_block = &k_kde_expsum_block<V>;
+  t.kde_erfsum_block = &k_kde_erfsum_block<V>;
+  t.dot_block = &k_dot_block<V>;
+  t.sqdist_block = &k_sqdist_block<V>;
+  t.rbf_accum_block = &k_rbf_accum_block<V>;
+  t.welford_push_full = &k_welford_push_full<V>;
+  t.welford_push_grow = &k_welford_push_grow<V>;
+  t.stddev_from_m2 = &k_stddev_from_m2<V>;
+  t.colsum = &k_colsum<V>;
+  t.coldev2 = &k_coldev2<V>;
+  t.collagprod = &k_collagprod<V>;
+  t.shadow_body_pass = &k_shadow_body_pass<V>;
+  return t;
+}
+
+}  // namespace
+}  // namespace fadewich::simd

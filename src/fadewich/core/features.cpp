@@ -1,6 +1,8 @@
 #include "fadewich/core/features.hpp"
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/scratch_arena.hpp"
+#include "fadewich/common/simd_kernels.hpp"
 #include "fadewich/stats/autocorrelation.hpp"
 #include "fadewich/stats/descriptive.hpp"
 #include "fadewich/stats/histogram.hpp"
@@ -18,10 +20,71 @@ void append_stream_features(std::span<const double> window,
   }
 }
 
+namespace {
+
+// Batched path for the common case: every stream window has the same
+// length.  The windows are transposed into one row-major [rows x
+// streams] block so the column-reduction kernels compute all variances
+// and lag products SIMD-wide; the per-column accumulation runs in the
+// same index order as stats::variance / stats::autocorrelation, so each
+// stream's features are bit-identical to append_stream_features.
+// Entropy stays scalar — it is a histogram walk, not a reduction.
+std::vector<double> extract_features_batched(
+    const std::vector<std::vector<double>>& stream_windows,
+    std::size_t rows, const FeatureConfig& config) {
+  const std::size_t n = stream_windows.size();
+  const std::size_t lag = config.autocorr_lag;
+  const simd::KernelTable& kt = simd::active_kernels();
+  auto& arena = common::ScratchArena::local();
+  const auto scratch_frame = arena.frame();
+  const std::span<double> data = arena.get<double>(rows * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& window = stream_windows[i];
+    for (std::size_t r = 0; r < rows; ++r) data[r * n + i] = window[r];
+  }
+  const std::span<double> mean = arena.get<double>(n);
+  const std::span<double> var = arena.get<double>(n);
+  kt.colsum(data.data(), rows, n, mean.data(), n);
+  const double rows_d = static_cast<double>(rows);
+  for (std::size_t i = 0; i < n; ++i) mean[i] /= rows_d;
+  kt.coldev2(data.data(), rows, n, mean.data(), var.data(), n);
+  for (std::size_t i = 0; i < n; ++i) var[i] /= rows_d;
+  std::span<double> ac;
+  if (config.use_autocorrelation) {
+    ac = arena.get<double>(n);
+    kt.collagprod(data.data(), rows, lag, n, mean.data(), ac.data(), n);
+    const double denom_rows = static_cast<double>(rows - lag);
+    for (std::size_t i = 0; i < n; ++i) {
+      ac[i] = var[i] == 0.0 ? 0.0 : ac[i] / (denom_rows * var[i]);
+    }
+  }
+  std::vector<double> out;
+  out.reserve(n * config.features_per_stream());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config.use_variance) out.push_back(var[i]);
+    if (config.use_entropy) {
+      out.push_back(stats::value_entropy(stream_windows[i]));
+    }
+    if (config.use_autocorrelation) out.push_back(ac[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<double> extract_features(
     const std::vector<std::vector<double>>& stream_windows,
     const FeatureConfig& config) {
   FADEWICH_EXPECTS(!stream_windows.empty());
+  const std::size_t rows = stream_windows.front().size();
+  bool uniform = rows > config.autocorr_lag;
+  for (const auto& window : stream_windows) {
+    uniform = uniform && window.size() == rows;
+  }
+  if (uniform && (config.use_variance || config.use_autocorrelation)) {
+    return extract_features_batched(stream_windows, rows, config);
+  }
+  // Ragged windows (or entropy-only configs): per-stream scalar path.
   std::vector<double> out;
   out.reserve(stream_windows.size() * config.features_per_stream());
   for (const auto& window : stream_windows) {

@@ -31,10 +31,23 @@ struct MdMetrics {
 
 }  // namespace
 
+namespace {
+
+std::size_t md_window_ticks(const TickRate& rate,
+                            const MovementDetectorConfig& config) {
+  return static_cast<std::size_t>(
+      std::max<Tick>(2, rate.to_ticks_ceil(config.std_window)));
+}
+
+}  // namespace
+
 MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
                                    MovementDetectorConfig config)
     : rate_(tick_hz),
       config_(config),
+      windows_(std::max<std::size_t>(stream_count, 1),
+               md_window_ticks(rate_, config)),
+      stddev_row_(stream_count, 0.0),
       profile_(config.profile),
       calibration_ticks_(rate_.to_ticks_ceil(config.calibration)),
       merge_gap_ticks_(rate_.to_ticks_ceil(config.merge_gap)) {
@@ -42,12 +55,6 @@ MovementDetector::MovementDetector(std::size_t stream_count, double tick_hz,
   FADEWICH_EXPECTS(config.std_window > 0.0);
   FADEWICH_EXPECTS(config.min_live_fraction > 0.0 &&
                    config.min_live_fraction <= 1.0);
-  const auto window_ticks = static_cast<std::size_t>(
-      std::max<Tick>(2, rate_.to_ticks_ceil(config.std_window)));
-  windows_.reserve(stream_count);
-  for (std::size_t i = 0; i < stream_count; ++i) {
-    windows_.emplace_back(window_ticks);
-  }
 }
 
 MdState MovementDetector::step(std::span<const double> rssi_row) {
@@ -56,32 +63,35 @@ MdState MovementDetector::step(std::span<const double> rssi_row) {
 
 MdState MovementDetector::step(std::span<const double> rssi_row,
                                std::span<const std::uint8_t> valid) {
-  FADEWICH_EXPECTS(rssi_row.size() == windows_.size());
-  FADEWICH_EXPECTS(valid.empty() || valid.size() == windows_.size());
+  FADEWICH_EXPECTS(rssi_row.size() == windows_.streams());
+  FADEWICH_EXPECTS(valid.empty() || valid.size() == windows_.streams());
   const Tick tick = now_++;
 
-  // Single pass: one O(1) incremental window update plus one O(1) stddev
-  // query per stream — constant work per (stream, tick) regardless of the
-  // window length d.  Stale samples (valid mask false) still enter the
-  // windows — the row is the station's best reconstruction — but only
-  // live streams contribute to s_t.
+  // Two kernel passes over the bank: one lockstep Welford row update, one
+  // batched stddev — constant work per (stream, tick) regardless of the
+  // window length d, with the per-stream state walked SIMD-wide instead
+  // of object-by-object.  Stale samples (valid mask false) still enter
+  // the windows — the row is the station's best reconstruction — but
+  // only live streams contribute to s_t, summed in stream order so the
+  // result matches the per-object loop bit-for-bit.
+  windows_.push_row(rssi_row);
+  windows_.stddev_into(stddev_row_);
   double st = 0.0;
   std::size_t live = 0;
-  for (std::size_t i = 0; i < windows_.size(); ++i) {
-    windows_[i].push(rssi_row[i]);
+  for (std::size_t i = 0; i < windows_.streams(); ++i) {
     if (valid.empty() || valid[i]) {
-      st += windows_[i].stddev();
+      st += stddev_row_[i];
       ++live;
     }
   }
   if (!windows_warm_) {
     // Every stream receives exactly one sample per tick, so the windows
-    // fill in lockstep: the first window's state speaks for all.
-    if (!windows_[0].full()) return MdState::kCalibrating;
+    // fill in lockstep.
+    if (!windows_.full()) return MdState::kCalibrating;
     windows_warm_ = true;
   }
 
-  const auto n = static_cast<double>(windows_.size());
+  const auto n = static_cast<double>(windows_.streams());
   const double live_fraction = static_cast<double>(live) / n;
   last_live_fraction_ = live_fraction;
   const bool degraded = live_fraction < config_.min_live_fraction;
@@ -91,7 +101,7 @@ MdState MovementDetector::step(std::span<const double> rssi_row,
     ++degraded_ticks_;
     MdMetrics::get().degraded.inc();
     st = last_st_;
-  } else if (live < windows_.size()) {
+  } else if (live < windows_.streams()) {
     // Rescale the partial sum so the threshold calibrated on all streams
     // still applies.  (Skipped when all streams are live, keeping the
     // fault-free path bit-identical.)
@@ -171,7 +181,7 @@ void MovementDetector::import_state(const MovementDetectorState& state) {
   degraded_ticks_ = state.degraded_ticks;
   last_live_fraction_ = 1.0;
   // The sliding windows restart empty: detection resumes once they fill.
-  for (auto& window : windows_) window.clear();
+  windows_.clear();
   windows_warm_ = false;
   open_.reset();
   completed_.clear();

@@ -20,7 +20,7 @@
 
 #include "fadewich/common/time.hpp"
 #include "fadewich/core/normal_profile.hpp"
-#include "fadewich/stats/rolling_window.hpp"
+#include "fadewich/stats/window_bank.hpp"
 
 namespace fadewich::core {
 
@@ -130,7 +130,8 @@ class MovementDetector {
 
   TickRate rate_;
   MovementDetectorConfig config_;
-  std::vector<stats::RollingWindow> windows_;
+  stats::WindowBank windows_;          // one per-stream window per lane
+  std::vector<double> stddev_row_;     // per-tick batched stddev scratch
   bool windows_warm_ = false;  // all per-stream windows have filled once
   NormalProfile profile_;
   std::vector<double> calibration_buffer_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/simd_kernels.hpp"
 #include "fadewich/stats/descriptive.hpp"
 
 namespace fadewich::ml {
@@ -68,8 +69,8 @@ double kde_cdf_sorted(std::span<const double> sorted, double bandwidth,
 }
 
 void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
-                          std::span<const double> xs,
-                          std::span<double> out) {
+                          std::span<const double> xs, std::span<double> out,
+                          const simd::KernelTable& kernels) {
   FADEWICH_EXPECTS(out.size() == xs.size());
   const double reach = kKdeKernelReach * bandwidth;
   const double inv_bw = 1.0 / bandwidth;
@@ -91,20 +92,22 @@ void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
     const auto hi_it =
         std::upper_bound(sorted.begin(), sorted.end(), mx + reach);
     double acc[kQueryBlock] = {};
-    for (auto it = lo_it; it != hi_it; ++it) {
-      const double s = *it;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double u = (xs[base + j] - s) * inv_bw;
-        acc[j] += std::exp(-0.5 * u * u);
-      }
-    }
+    kernels.kde_expsum_block(sorted.data() + (lo_it - sorted.begin()),
+                             static_cast<std::size_t>(hi_it - lo_it),
+                             xs.data() + base, n, inv_bw, acc);
     for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j] * norm;
   }
 }
 
-void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
+void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
                           std::span<const double> xs,
                           std::span<double> out) {
+  kde_pdf_block_sorted(sorted, bandwidth, xs, out, simd::active_kernels());
+}
+
+void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs, std::span<double> out,
+                          const simd::KernelTable& kernels) {
   FADEWICH_EXPECTS(out.size() == xs.size());
   const double reach = kKdeKernelReach * bandwidth;
   const double inv_bw = 1.0 / bandwidth;
@@ -126,15 +129,17 @@ void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
     const double below = static_cast<double>(lo_it - sorted.begin());
     double acc[kQueryBlock];
     for (std::size_t j = 0; j < n; ++j) acc[j] = below;
-    for (auto it = lo_it; it != hi_it; ++it) {
-      const double s = *it;
-      for (std::size_t j = 0; j < n; ++j) {
-        acc[j] += 0.5 * (1.0 + std::erf((xs[base + j] - s) * inv_bw *
-                                        kInvSqrt2));
-      }
-    }
+    kernels.kde_erfsum_block(sorted.data() + (lo_it - sorted.begin()),
+                             static_cast<std::size_t>(hi_it - lo_it),
+                             xs.data() + base, n, inv_bw, acc);
     for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j] * inv_n;
   }
+}
+
+void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs,
+                          std::span<double> out) {
+  kde_cdf_block_sorted(sorted, bandwidth, xs, out, simd::active_kernels());
 }
 
 double kde_percentile_sorted(std::span<const double> sorted,

@@ -20,6 +20,10 @@
 #include <span>
 #include <vector>
 
+namespace fadewich::simd {
+struct KernelTable;
+}
+
 namespace fadewich::ml {
 
 /// Bandwidths beyond which a Gaussian kernel's tail is numerically flat:
@@ -42,12 +46,26 @@ double kde_cdf_sorted(std::span<const double> sorted, double bandwidth,
 /// Batched pruned PDF: out[i] = pdf(xs[i]).  Queries are processed in
 /// small blocks sharing one sample-window scan; monotone (sweep-like)
 /// query orders get the tightest windows.  out.size() == xs.size().
+/// The exp sum runs through simd::active_kernels() (fast_exp, within the
+/// 1e-12 pruning budget already granted to this API).
 void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
                           std::span<const double> xs, std::span<double> out);
 
-/// Batched pruned CDF, same contract as kde_pdf_block_sorted.
+/// Same, through an explicit kernel table (benches / equivalence tests).
+void kde_pdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs, std::span<double> out,
+                          const simd::KernelTable& kernels);
+
+/// Batched pruned CDF, same contract as kde_pdf_block_sorted.  The erf
+/// sum stays on libm erf in every table (exact path — percentile()
+/// bisection reads these tails).
 void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
                           std::span<const double> xs, std::span<double> out);
+
+/// Same, through an explicit kernel table.
+void kde_cdf_block_sorted(std::span<const double> sorted, double bandwidth,
+                          std::span<const double> xs, std::span<double> out,
+                          const simd::KernelTable& kernels);
 
 /// Inverse CDF by bisection over the pruned CDF, bracketed at the cached
 /// extremes ± reach.  `max_iterations` bisection steps or until the

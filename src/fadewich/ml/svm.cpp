@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/scratch_arena.hpp"
+#include "fadewich/common/simd_kernels.hpp"
 
 namespace fadewich::ml {
 
@@ -14,31 +16,6 @@ namespace {
 // Queries evaluated per support-vector pass.  The accumulator arrays fit
 // in registers and the inner loops over the block vectorise.
 constexpr std::size_t kQueryBlock = 8;
-
-// t[j] += dot(s, x_j) for the block of `n` queries starting at `xs`
-// (row stride `stride`).  Dimension-major so each query's dot product
-// accumulates in the same index order as the scalar kernel.
-inline void dot_block(const double* s, std::size_t dim, const double* xs,
-                      std::size_t stride, std::size_t n, double* t) {
-  for (std::size_t d = 0; d < dim; ++d) {
-    const double sd = s[d];
-    for (std::size_t j = 0; j < n; ++j) {
-      t[j] += sd * xs[j * stride + d];
-    }
-  }
-}
-
-// t[j] += ||s - x_j||^2 for the block of `n` queries.
-inline void sqdist_block(const double* s, std::size_t dim, const double* xs,
-                         std::size_t stride, std::size_t n, double* t) {
-  for (std::size_t d = 0; d < dim; ++d) {
-    const double sd = s[d];
-    for (std::size_t j = 0; j < n; ++j) {
-      const double diff = sd - xs[j * stride + d];
-      t[j] += diff * diff;
-    }
-  }
-}
 
 }  // namespace
 
@@ -51,13 +28,16 @@ BinarySvm::BinarySvm(SvmConfig config) : config_(config) {
 double BinarySvm::kernel(std::span<const double> a,
                          std::span<const double> b) const {
   FADEWICH_EXPECTS(a.size() == b.size());
+  // With a single query, the dimension-major transposed layout the table
+  // kernels expect (qt[d * qstride + j], qstride = 1) is just b itself.
+  const simd::KernelTable& kt = simd::active_kernels();
   double t = 0.0;
   switch (config_.kernel) {
     case KernelType::kLinear:
-      dot_block(a.data(), a.size(), b.data(), b.size(), 1, &t);
+      kt.dot_block(a.data(), a.size(), b.data(), 1, 1, &t);
       return t;
     case KernelType::kRbf:
-      sqdist_block(a.data(), a.size(), b.data(), b.size(), 1, &t);
+      kt.sqdist_block(a.data(), a.size(), b.data(), 1, 1, &t);
       return std::exp(-config_.rbf_gamma * t);
   }
   FADEWICH_ENSURES(false);
@@ -192,26 +172,36 @@ void BinarySvm::decision_rows(const double* xs, std::size_t stride,
   const std::size_t dim = support_x_.cols();
   const std::size_t nsv = support_x_.rows();
   const double gamma = config_.rbf_gamma;
+  const simd::KernelTable& kt = simd::active_kernels();
+  // The table kernels want the query block dimension-major so lane j can
+  // load query j's component d from qt[d * kQueryBlock + j] contiguously.
+  // Transposing costs one pass over the block; every SV then streams it.
+  auto& arena = common::ScratchArena::local();
+  const auto scratch_frame = arena.frame();
+  const std::span<double> qt = arena.get<double>(dim * kQueryBlock);
   for (std::size_t base = 0; base < count; base += kQueryBlock) {
     const std::size_t n = std::min(kQueryBlock, count - base);
     const double* qs = xs + base * stride;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        qt[d * kQueryBlock + j] = qs[j * stride + d];
+      }
+    }
     double acc[kQueryBlock];
     for (std::size_t j = 0; j < n; ++j) acc[j] = bias_;
     // Support-vector-major: each SV row is read once for the whole block,
-    // and each query's sum accumulates in SV order — the same order the
-    // scalar path uses, so results are bit-identical.
+    // and each query's sum accumulates in SV order then dimension order —
+    // the same order the scalar path uses, so results are bit-identical.
     for (std::size_t sv = 0; sv < nsv; ++sv) {
       const double* s = support_x_.row(sv);
       const double w = support_alpha_y_[sv];
       double t[kQueryBlock] = {};
       if (config_.kernel == KernelType::kLinear) {
-        dot_block(s, dim, qs, stride, n, t);
+        kt.dot_block(s, dim, qt.data(), kQueryBlock, n, t);
         for (std::size_t j = 0; j < n; ++j) acc[j] += w * t[j];
       } else {
-        sqdist_block(s, dim, qs, stride, n, t);
-        for (std::size_t j = 0; j < n; ++j) {
-          acc[j] += w * std::exp(-gamma * t[j]);
-        }
+        kt.sqdist_block(s, dim, qt.data(), kQueryBlock, n, t);
+        kt.rbf_accum_block(t, n, w, gamma, acc);
       }
     }
     for (std::size_t j = 0; j < n; ++j) out[base + j] = acc[j];

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <limits>
+#include <string>
+
+#include "fadewich/common/simd.hpp"
 
 namespace fadewich::obs {
 
@@ -192,6 +195,15 @@ ScrapeReport scrape(const MetricsRegistry& registry, const EventLog* events,
                     const Tracer* tracer) {
   ScrapeReport report;
   report.metrics = registry.snapshot();
+  // The kernel dispatch is resolved once per process, outside any
+  // registry; stamp it into every scrape so dashboards can tell which
+  // ISA (and FADEWICH_SIMD override) a deployment is actually running.
+  GaugeSample isa;
+  isa.name = std::string("fadewich_simd_isa{isa=\"") +
+             simd::isa_name(simd::active_isa()) + "\"}";
+  isa.help = "active SIMD kernel ISA (0=scalar, 1=sse2, 2=neon, 3=avx2)";
+  isa.value = static_cast<double>(simd::active_isa());
+  report.metrics.gauges.push_back(std::move(isa));
   if (events != nullptr) report.events = events->recent();
   if (tracer != nullptr) report.spans = tracer->finished();
   return report;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/simd.hpp"
 
 namespace fadewich::persist {
 
@@ -90,6 +91,7 @@ obs::ScrapeReport SupervisedSystem::scrape(
   pipeline.add("degraded_start", degraded_start_ ? 1.0 : 0.0);
   pipeline.add("checkpoints_written",
                static_cast<double>(checkpoints_written()));
+  pipeline.add("simd_isa", static_cast<double>(simd::active_isa()));
   report.health.push_back(std::move(pipeline));
 
   report.health.push_back(net::health_block(station_health_));

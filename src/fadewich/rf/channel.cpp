@@ -12,6 +12,29 @@ namespace fadewich::rf {
 
 namespace {
 constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+// One body's kernel parameters for a tick: position plus each spatial
+// kernel's amplitude with the speed factors folded in, computed exactly
+// as BodyShadowingModel's per-link helpers would (same multiplication
+// association), so the wide pass reproduces the per-link model.
+simd::ShadowParams make_shadow_params(const BodyModelConfig& config,
+                                      const BodyState& body) {
+  simd::ShadowParams p;
+  p.px = body.position.x;
+  p.py = body.position.y;
+  p.max_attenuation_db = config.max_attenuation_db;
+  p.shadow_decay_m = config.shadow_decay_m;
+  p.motion_decay_m = config.motion_decay_m;
+  p.ambient_decay_m = config.ambient_decay_m;
+  if (body.speed > 0.0) {
+    p.motion_coeff =
+        config.motion_noise_db *
+        std::min(body.speed / config.reference_speed, 1.5);
+    p.ambient_coeff = config.ambient_motion_db * std::min(body.speed, 2.0);
+  }
+  return p;
+}
+
 }  // namespace
 
 ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
@@ -68,6 +91,27 @@ ChannelMatrix::ChannelMatrix(std::vector<Point> sensors,
     }
   }
   interference_affected_.assign(links_.size(), 0);
+
+  const std::size_t streams = links_.size();
+  geo_ax_.resize(streams);
+  geo_ay_.resize(streams);
+  geo_bx_.resize(streams);
+  geo_by_.resize(streams);
+  geo_dirx_.resize(streams);
+  geo_diry_.resize(streams);
+  geo_len_.resize(streams);
+  geo_inv_len2_.resize(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    const PrecomputedSegment& g = links_[s].geom;
+    geo_ax_[s] = g.a.x;
+    geo_ay_[s] = g.a.y;
+    geo_bx_[s] = g.b.x;
+    geo_by_[s] = g.b.y;
+    geo_dirx_[s] = g.dir.x;
+    geo_diry_[s] = g.dir.y;
+    geo_len_[s] = g.length;
+    geo_inv_len2_[s] = g.inv_len2;
+  }
 
   FADEWICH_EXPECTS(config_.tick_hz > 0.0);
   if (config_.interference_mean_gap_s > 0.0) {
@@ -162,12 +206,7 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
   }
 }
 
-// One stream, one tick.  Every random draw comes from the link's own
-// generators (fading + noise_rng), so the per-stream value sequence is
-// invariant to which thread computes it and to how other streams advance.
-double ChannelMatrix::sample_stream_tick(
-    LinkState& ls, std::span<const BodyState> bodies, double drift_arg,
-    double interference_std_db) const {
+double ChannelMatrix::stream_base(LinkState& ls, double drift_arg) const {
   double fading = ls.fading.step();
   if (config_.noise_drift_fraction > 0.0) {
     // Common phase across links: co-channel load raises the noise of
@@ -181,22 +220,26 @@ double ChannelMatrix::sample_stream_tick(
     rssi += config_.baseline_drift_amplitude_db *
             std::sin(drift_arg + ls.drift_phase);
   }
+  return rssi;
+}
 
-  double noise_var = 0.0;
-  for (const BodyState& body : bodies) {
-    rssi -= body_model_.attenuation_db(body, ls.geom);
-    const double motion = body_model_.motion_noise_std_db(body, ls.geom);
-    const double ambient = body_model_.ambient_noise_std_db(body, ls.geom);
-    noise_var += motion * motion + ambient * ambient;
-  }
+double ChannelMatrix::finish_stream(LinkState& ls, double rssi,
+                                    double noise_var,
+                                    double interference_std_db) const {
   noise_var += interference_std_db * interference_std_db;
   if (noise_var > 0.0) {
     rssi += ls.noise_rng.normal(0.0, std::sqrt(noise_var));
   }
-
   rssi = std::clamp(rssi, config_.rssi_floor_dbm, config_.rssi_ceiling_dbm);
   if (config_.quantize) rssi = std::round(rssi);
   return rssi;
+}
+
+simd::ShadowGeomView ChannelMatrix::geom_view(std::size_t s) const {
+  return {geo_ax_.data() + s,   geo_ay_.data() + s,
+          geo_bx_.data() + s,   geo_by_.data() + s,
+          geo_dirx_.data() + s, geo_diry_.data() + s,
+          geo_len_.data() + s,  geo_inv_len2_.data() + s};
 }
 
 void ChannelMatrix::sample(std::span<const BodyState> bodies,
@@ -209,12 +252,33 @@ void ChannelMatrix::sample(std::span<const BodyState> bodies,
                         config_.noise_drift_fraction > 0.0;
   const double drift_arg =
       drifting ? kTwoPi * now_s / config_.baseline_drift_period_s : 0.0;
-  for (std::size_t s = 0; s < links_.size(); ++s) {
+  const std::size_t streams = links_.size();
+  const simd::KernelTable& kt = simd::active_kernels();
+
+  // Wide tick: per-link prologue (fading draws, in stream order), one
+  // all-links shadowing kernel pass per body, per-link epilogue (noise
+  // draw, clamp, quantise).  Per-link RNG sequences are unchanged — the
+  // prologue consumes each fading generator and the epilogue each noise
+  // generator exactly as the per-stream path does.
+  auto& arena = common::ScratchArena::local();
+  const auto scratch_frame = arena.frame();
+  const std::span<double> rssi = arena.get<double>(streams);
+  const std::span<double> noise_var = arena.get<double>(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    rssi[s] = stream_base(links_[s], drift_arg);
+    noise_var[s] = 0.0;
+  }
+  const simd::ShadowGeomView geom = geom_view(0);
+  for (const BodyState& body : bodies) {
+    const simd::ShadowParams p = make_shadow_params(config_.body, body);
+    kt.shadow_body_pass(geom, streams, p, rssi.data(), noise_var.data());
+  }
+  for (std::size_t s = 0; s < streams; ++s) {
     const double interference_std =
         interfering && interference_affected_[s] ? interference_std_db_
                                                  : 0.0;
-    out[s] = sample_stream_tick(links_[s], bodies, drift_arg,
-                                interference_std);
+    out[s] = finish_stream(links_[s], rssi[s], noise_var[s],
+                           interference_std);
   }
 }
 
@@ -263,23 +327,57 @@ void ChannelMatrix::sample_block(
   }
 
   // Per-stream time series are mutually independent: each draws only from
-  // its own link state.  Output layout is [tick][stream].
-  const auto compute_stream = [&](std::size_t s) {
-    LinkState& ls = links_[s];
+  // its own link state.  A worker owns a contiguous range of streams and
+  // runs the same wide tick structure as sample() over that range —
+  // per-link prologue, one shadowing-kernel pass per body across the
+  // whole range, per-link epilogue — so every stream runs the identical
+  // per-lane arithmetic regardless of which path or thread computed it.
+  // Output layout is [tick][stream].
+  const auto compute_stream_range = [&](std::size_t s0, std::size_t s1) {
+    const std::size_t n = s1 - s0;
+    const simd::KernelTable& kt = simd::active_kernels();
+    const simd::ShadowGeomView geom = geom_view(s0);
+    auto& arena = common::ScratchArena::local();
+    const auto frame = arena.frame();
+    const std::span<double> rssi = arena.get<double>(n);
+    const std::span<double> noise_var = arena.get<double>(n);
     for (std::size_t t = 0; t < ticks; ++t) {
-      const double interference_std =
-          blk_tick_std_[t] > 0.0 &&
-                  blk_affected_[blk_burst_of_[t] * streams + s] != 0
-              ? blk_tick_std_[t]
-              : 0.0;
-      out[t * streams + s] = sample_stream_tick(
-          ls, bodies_per_tick[t], blk_drift_args_[t], interference_std);
+      const double drift_arg = blk_drift_args_[t];
+      for (std::size_t s = s0; s < s1; ++s) {
+        rssi[s - s0] = stream_base(links_[s], drift_arg);
+        noise_var[s - s0] = 0.0;
+      }
+      for (const BodyState& body : bodies_per_tick[t]) {
+        const simd::ShadowParams p = make_shadow_params(config_.body, body);
+        kt.shadow_body_pass(geom, n, p, rssi.data(), noise_var.data());
+      }
+      const double tick_std = blk_tick_std_[t];
+      double* out_row = out.data() + t * streams;
+      for (std::size_t s = s0; s < s1; ++s) {
+        const double interference_std =
+            tick_std > 0.0 &&
+                    blk_affected_[blk_burst_of_[t] * streams + s] != 0
+                ? tick_std
+                : 0.0;
+        out_row[s] = finish_stream(links_[s], rssi[s - s0],
+                                   noise_var[s - s0], interference_std);
+      }
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {
-    pool->parallel_for(0, streams, compute_stream, /*grain=*/4);
+    // Chunks wide enough to keep the kernel in its vector main loop
+    // (a one-stream chunk would run the scalar tail every tick).
+    const std::size_t chunks =
+        std::max<std::size_t>(1, std::min(streams / 8,
+                                          pool->thread_count() * 4));
+    const std::size_t per = (streams + chunks - 1) / chunks;
+    pool->parallel_for(0, chunks, [&](std::size_t c) {
+      const std::size_t s0 = c * per;
+      const std::size_t s1 = std::min(s0 + per, streams);
+      if (s0 < s1) compute_stream_range(s0, s1);
+    });
   } else {
-    for (std::size_t s = 0; s < streams; ++s) compute_stream(s);
+    compute_stream_range(0, streams);
   }
 }
 

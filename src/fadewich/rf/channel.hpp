@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fadewich/common/rng.hpp"
+#include "fadewich/common/simd_kernels.hpp"
 #include "fadewich/common/time.hpp"
 #include "fadewich/rf/body_shadowing.hpp"
 #include "fadewich/rf/fading.hpp"
@@ -134,16 +135,25 @@ class ChannelMatrix {
   };
 
   void advance_interference();
-  double sample_stream_tick(LinkState& ls,
-                            std::span<const BodyState> bodies,
-                            double drift_arg,
-                            double interference_std_db) const;
+  /// Deterministic base + the link's fading draw (stream prologue).
+  double stream_base(LinkState& ls, double drift_arg) const;
+  /// Interference variance, noise draw, clamp, quantise (epilogue).
+  double finish_stream(LinkState& ls, double rssi, double noise_var,
+                       double interference_std_db) const;
+  /// SoA geometry view starting at stream s (the whole bank at s = 0).
+  simd::ShadowGeomView geom_view(std::size_t s) const;
 
   std::vector<Point> sensors_;
   ChannelConfig config_;
   BodyShadowingModel body_model_;
   LogDistancePathLoss path_loss_;  // constants cached once, not per call
   std::vector<LinkState> links_;
+  // Structure-of-arrays copy of every link's cached geometry, filled once
+  // at construction: the wide shadowing kernel loads lane j's segment
+  // from element j of each array.  sample_block slices the same arrays at
+  // per-worker offsets, so both paths run the identical kernel.
+  std::vector<double> geo_ax_, geo_ay_, geo_bx_, geo_by_;
+  std::vector<double> geo_dirx_, geo_diry_, geo_len_, geo_inv_len2_;
   Rng noise_rng_;  // interference burst scheduling only
 
   // Interference burst state.

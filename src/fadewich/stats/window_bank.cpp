@@ -1,0 +1,98 @@
+#include "fadewich/stats/window_bank.hpp"
+
+#include <cmath>
+
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/simd_kernels.hpp"
+
+namespace fadewich::stats {
+
+WindowBank::WindowBank(std::size_t streams, std::size_t capacity)
+    : streams_(streams),
+      capacity_(capacity),
+      buffer_(streams * capacity),
+      mean_(streams, 0.0),
+      m2_(streams, 0.0) {
+  FADEWICH_EXPECTS(streams >= 1);
+  FADEWICH_EXPECTS(capacity >= 1);
+}
+
+void WindowBank::push_row(std::span<const double> row) {
+  FADEWICH_EXPECTS(row.size() == streams_);
+  const simd::KernelTable& kt = simd::active_kernels();
+  double* slot = buffer_.data() + head_ * streams_;
+  if (full()) {
+    kt.welford_push_full(slot, row.data(), mean_.data(), m2_.data(),
+                         static_cast<double>(size_), streams_);
+  } else {
+    ++size_;
+    kt.welford_push_grow(slot, row.data(), mean_.data(), m2_.data(),
+                         static_cast<double>(size_), streams_);
+  }
+  head_ = (head_ + 1) % capacity_;
+
+  if (++pushes_since_refresh_ >= kRefreshInterval) refresh_sums();
+}
+
+double WindowBank::mean(std::size_t i) const {
+  FADEWICH_EXPECTS(!empty());
+  FADEWICH_EXPECTS(i < streams_);
+  return mean_[i];
+}
+
+double WindowBank::variance(std::size_t i) const {
+  FADEWICH_EXPECTS(!empty());
+  FADEWICH_EXPECTS(i < streams_);
+  const double var = m2_[i] / static_cast<double>(size_);
+  // Guard the tiny negative values incremental updates can produce.
+  return var > 0.0 ? var : 0.0;
+}
+
+double WindowBank::stddev(std::size_t i) const {
+  return std::sqrt(variance(i));
+}
+
+void WindowBank::stddev_into(std::span<double> out) const {
+  FADEWICH_EXPECTS(!empty());
+  FADEWICH_EXPECTS(out.size() == streams_);
+  simd::active_kernels().stddev_from_m2(
+      m2_.data(), static_cast<double>(size_), out.data(), streams_);
+}
+
+std::vector<double> WindowBank::values(std::size_t i) const {
+  FADEWICH_EXPECTS(i < streams_);
+  std::vector<double> out;
+  out.reserve(size_);
+  // Oldest row sits at head_ when full, at 0 otherwise.
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    out.push_back(buffer_[((start + k) % capacity_) * streams_ + i]);
+  }
+  return out;
+}
+
+void WindowBank::clear() {
+  head_ = 0;
+  size_ = 0;
+  mean_.assign(streams_, 0.0);
+  m2_.assign(streams_, 0.0);
+  pushes_since_refresh_ = 0;
+}
+
+void WindowBank::refresh_sums() {
+  // Re-derive the accumulators with a batch Welford pass over the live
+  // rows, all streams at once.  welford_push_grow with slot == values
+  // rewrites each sample with itself, which keeps the buffer intact.
+  const simd::KernelTable& kt = simd::active_kernels();
+  mean_.assign(streams_, 0.0);
+  m2_.assign(streams_, 0.0);
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    double* slot = buffer_.data() + ((start + k) % capacity_) * streams_;
+    kt.welford_push_grow(slot, slot, mean_.data(), m2_.data(),
+                         static_cast<double>(k + 1), streams_);
+  }
+  pushes_since_refresh_ = 0;
+}
+
+}  // namespace fadewich::stats

@@ -1,0 +1,75 @@
+// A bank of per-stream sliding windows updated in lockstep.
+//
+// MD pushes one sample per stream per tick into windows that share a
+// single size and capacity, then sums the per-stream standard
+// deviations.  A vector<RollingWindow> scatters each stream's Welford
+// state across objects, so the per-tick update is a strided walk the
+// compiler cannot vectorise.  WindowBank stores the same state
+// structure-of-arrays — one flat [capacity x streams] ring for the
+// samples, flat mean/M2 arrays — and performs the whole row's Welford
+// replace step through the SIMD kernel table.
+//
+// Equivalence contract: stream i of a WindowBank evolves bit-for-bit
+// like a RollingWindow(capacity) fed the same samples (the kernels run
+// the identical IEEE sequence per lane, including the delta / n division
+// and the periodic batch-Welford refresh), so swapping MD onto the bank
+// changes no detector output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fadewich::stats {
+
+class WindowBank {
+ public:
+  /// `streams` parallel windows, each `capacity` samples; both >= 1.
+  WindowBank(std::size_t streams, std::size_t capacity);
+
+  /// Append one sample per stream (row.size() == streams()), evicting
+  /// each window's oldest sample once full.  Windows fill in lockstep.
+  void push_row(std::span<const double> row);
+
+  std::size_t streams() const { return streams_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Samples currently in every window (they share one fill level).
+  std::size_t size() const { return size_; }
+  bool full() const { return size_ == capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Mean of stream i's window.  Requires non-empty.
+  double mean(std::size_t i) const;
+
+  /// Population variance of stream i's window.  Requires non-empty.
+  double variance(std::size_t i) const;
+
+  /// Population standard deviation of stream i's window.
+  double stddev(std::size_t i) const;
+
+  /// out[i] = stddev(i) for every stream in one kernel call.
+  /// out.size() == streams(); requires non-empty.
+  void stddev_into(std::span<double> out) const;
+
+  /// Stream i's window contents in arrival order (oldest first).
+  std::vector<double> values(std::size_t i) const;
+
+  /// Remove all samples; capacity is unchanged.
+  void clear();
+
+ private:
+  void refresh_sums();
+
+  static constexpr std::size_t kRefreshInterval = 1u << 16;
+
+  std::size_t streams_;
+  std::size_t capacity_;
+  std::vector<double> buffer_;  // ring of rows: slot k stream i at k*streams_+i
+  std::size_t head_ = 0;        // row the next push_row writes
+  std::size_t size_ = 0;
+  std::vector<double> mean_;  // per-stream Welford running mean
+  std::vector<double> m2_;    // per-stream Welford sum of squared deviations
+  std::size_t pushes_since_refresh_ = 0;
+};
+
+}  // namespace fadewich::stats

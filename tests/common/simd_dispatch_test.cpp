@@ -1,0 +1,62 @@
+// FADEWICH_SIMD dispatch-knob test.  Its own binary: active_isa()
+// resolves the env var exactly once, on first use, so forcing the scalar
+// table has to happen before any other suite touches the kernel table —
+// the variable is set from a namespace-scope initializer, which runs
+// before gtest ever calls a test body.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fadewich/common/simd.hpp"
+#include "fadewich/common/simd_kernels.hpp"
+
+namespace fadewich::simd {
+namespace {
+
+const bool kForcedOff = [] {
+  setenv("FADEWICH_SIMD", "off", /*overwrite=*/1);
+  return true;
+}();
+
+TEST(SimdDispatchKnob, OffForcesScalarTable) {
+  ASSERT_TRUE(kForcedOff);
+  EXPECT_EQ(active_isa(), Isa::kScalar);
+  EXPECT_FALSE(simd_enabled());
+  EXPECT_EQ(active_kernels().isa, Isa::kScalar);
+  EXPECT_EQ(&active_kernels(), &kernel_table(Isa::kScalar));
+}
+
+TEST(SimdDispatchKnob, ResolveIsaRules) {
+  // Kill values, whatever the host offers.
+  for (const char* off : {"off", "OFF", "0", "scalar"}) {
+    EXPECT_EQ(resolve_isa(off, Isa::kAvx2), Isa::kScalar) << off;
+    EXPECT_EQ(resolve_isa(off, Isa::kScalar), Isa::kScalar) << off;
+  }
+  // Unset or unrecognised picks the best.
+  for (const char* best : {"", "on", "auto", "garbage", "AVX2"}) {
+    EXPECT_EQ(resolve_isa(best, Isa::kAvx2), Isa::kAvx2) << best;
+    EXPECT_EQ(resolve_isa(best, Isa::kSse2), Isa::kSse2) << best;
+  }
+  // A named ISA is honoured exactly when the build/host provide it.
+  EXPECT_EQ(resolve_isa("avx2", Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(resolve_isa("sse2", Isa::kSse2), Isa::kSse2);
+  EXPECT_EQ(resolve_isa("neon", Isa::kNeon), Isa::kNeon);
+  // SSE2 is the one honoured subset request (x86-64 carries it whenever
+  // it carries AVX2); every other mismatch falls back to best.
+  EXPECT_EQ(resolve_isa("sse2", Isa::kAvx2), Isa::kSse2);
+  EXPECT_EQ(resolve_isa("avx2", Isa::kSse2), Isa::kSse2);
+  EXPECT_EQ(resolve_isa("neon", Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(resolve_isa("avx2", Isa::kNeon), Isa::kNeon);
+  EXPECT_EQ(resolve_isa("sse2", Isa::kNeon), Isa::kNeon);
+}
+
+TEST(SimdDispatchKnob, IsaNames) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kSse2), "sse2");
+  EXPECT_STREQ(isa_name(Isa::kNeon), "neon");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace fadewich::simd

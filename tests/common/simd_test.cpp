@@ -1,0 +1,336 @@
+// SIMD-vs-scalar equivalence suite for the kernel table.
+//
+// The shim's contract is bit-exactness: every table is the same
+// width-generic template, so lane j runs the identical IEEE-754 sequence
+// at any vector width.  These tests hold every kernel entry to that
+// contract — EXPECT_EQ on doubles, no tolerance — across every table the
+// build and host provide, over ragged lengths that exercise the vector
+// main loop, the scalar tail, and the empty case.  fast_exp additionally
+// gets an absolute accuracy bound (ULPs against libm) and a
+// special-value sweep, since it is the one place the shim replaces libm.
+
+#include "fadewich/common/simd_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/common/simd.hpp"
+
+namespace fadewich::simd {
+namespace {
+
+// Lengths straddling every lane width the shim builds (1, 2, 4): empty,
+// single, one under / at / over each boundary, and a large odd run so
+// wide tables execute both the main loop and the tail.
+const std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 257};
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+// Bit-identity that treats any NaN encoding pair as equal would be too
+// lax — the tables run the same instructions, so we demand the same
+// payload too.
+void expect_bits_eq(double a, double b, const char* what, std::size_t i) {
+  EXPECT_EQ(bits(a), bits(b)) << what << " lane " << i << ": " << a
+                              << " vs " << b;
+}
+
+/// Every distinct table reachable on this build/host.  kernel_table()
+/// degrades unavailable ISAs toward scalar, so dedupe by the table's own
+/// stamp; index 0 is always the scalar reference.
+std::vector<const KernelTable*> available_tables() {
+  std::vector<const KernelTable*> tables{&kernel_table(Isa::kScalar)};
+  for (Isa isa : {Isa::kSse2, Isa::kNeon, Isa::kAvx2}) {
+    const KernelTable& t = kernel_table(isa);
+    bool seen = false;
+    for (const KernelTable* have : tables) seen = seen || have->isa == t.isa;
+    if (!seen) tables.push_back(&t);
+  }
+  return tables;
+}
+
+std::vector<double> random_vec(Rng& rng, std::size_t n, double lo,
+                               double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  const auto to_ordered = [](double x) {
+    std::int64_t i;
+    std::memcpy(&i, &x, sizeof i);
+    return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+  };
+  return std::abs(to_ordered(a) - to_ordered(b));
+}
+
+TEST(FastExp, WithinTwoUlpOfLibmOverNormalRange) {
+  // Sweep the full argument range that yields normal results.  Below
+  // exp(x) ~ DBL_MIN the shim flushes to zero by design, so the bound
+  // applies where both results are normal.
+  std::int64_t worst = 0;
+  for (double x = -708.0; x <= 709.0; x += 0.37) {
+    const double exact = std::exp(x);
+    if (exact < std::numeric_limits<double>::min()) continue;
+    const std::int64_t d = ulp_distance(fast_exp(x), exact);
+    worst = std::max(worst, d);
+    ASSERT_LE(d, 2) << "x = " << x;
+  }
+  // The sweep must have seen real work, not skipped everything.
+  EXPECT_GE(worst, 0);
+}
+
+TEST(FastExp, SpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(fast_exp(0.0), 1.0);
+  EXPECT_EQ(fast_exp(-0.0), 1.0);
+  EXPECT_EQ(fast_exp(inf), inf);
+  EXPECT_EQ(fast_exp(-inf), 0.0);
+  EXPECT_TRUE(std::isnan(fast_exp(std::numeric_limits<double>::quiet_NaN())));
+  // Denormal arguments behave like zero (exp(tiny) == 1 exactly).
+  EXPECT_EQ(fast_exp(5e-324), 1.0);
+  EXPECT_EQ(fast_exp(-5e-324), 1.0);
+  // Deep underflow flushes to +0, far overflow saturates to +inf.
+  EXPECT_EQ(fast_exp(-746.0), 0.0);
+  EXPECT_EQ(fast_exp(-1e9), 0.0);
+  EXPECT_EQ(fast_exp(711.0), inf);
+  EXPECT_EQ(fast_exp(1e9), inf);
+  // Results are never denormal: the flush threshold is the smallest
+  // argument whose libm exp is still normal.
+  EXPECT_EQ(std::fpclassify(fast_exp(-708.5)), FP_ZERO);
+}
+
+TEST(SimdKernels, ExpBlockMatchesScalarIncludingSpecials) {
+  const auto tables = available_tables();
+  Rng rng(101);
+  for (std::size_t n : kLengths) {
+    std::vector<double> xs = random_vec(rng, n, -750.0, 715.0);
+    // Salt the block with specials at deterministic spots.
+    const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity(),
+                               5e-324, -5e-324, 0.0, -0.0, -709.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 3 == 0) xs[i] = specials[(i / 3) % std::size(specials)];
+    }
+    std::vector<double> ref(n, -1.0);
+    tables[0]->exp_block(xs.data(), ref.data(), n);
+    for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+      std::vector<double> out(n, -2.0);
+      tables[ti]->exp_block(xs.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_bits_eq(out[i], ref[i], isa_name(tables[ti]->isa), i);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, KdeSumBlocksMatchScalar) {
+  const auto tables = available_tables();
+  Rng rng(202);
+  for (std::size_t count : kLengths) {
+    for (std::size_t nq : {std::size_t{1}, std::size_t{8}, std::size_t{13}}) {
+      const std::vector<double> samples = random_vec(rng, count, -5.0, 5.0);
+      const std::vector<double> xs = random_vec(rng, nq, -6.0, 6.0);
+      const double inv_bw = 1.0 / 0.37;
+      std::vector<double> exp_ref(nq, 0.125), erf_ref(nq, 0.25);
+      tables[0]->kde_expsum_block(samples.data(), count, xs.data(), nq,
+                                  inv_bw, exp_ref.data());
+      tables[0]->kde_erfsum_block(samples.data(), count, xs.data(), nq,
+                                  inv_bw, erf_ref.data());
+      for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+        std::vector<double> exp_out(nq, 0.125), erf_out(nq, 0.25);
+        tables[ti]->kde_expsum_block(samples.data(), count, xs.data(), nq,
+                                     inv_bw, exp_out.data());
+        tables[ti]->kde_erfsum_block(samples.data(), count, xs.data(), nq,
+                                     inv_bw, erf_out.data());
+        for (std::size_t j = 0; j < nq; ++j) {
+          expect_bits_eq(exp_out[j], exp_ref[j], "kde_expsum", j);
+          expect_bits_eq(erf_out[j], erf_ref[j], "kde_erfsum", j);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SvmBlocksMatchScalar) {
+  const auto tables = available_tables();
+  Rng rng(303);
+  const std::size_t dim = 29;  // odd, so dot/sqdist walk a ragged row
+  for (std::size_t nq : kLengths) {
+    const std::vector<double> s = random_vec(rng, dim, -2.0, 2.0);
+    // Dimension-major transposed query block, qstride == nq.
+    const std::vector<double> qt = random_vec(rng, dim * nq, -2.0, 2.0);
+    std::vector<double> dot_ref(nq, 0.5), sq_ref(nq, 0.5);
+    tables[0]->dot_block(s.data(), dim, qt.data(), nq, nq, dot_ref.data());
+    tables[0]->sqdist_block(s.data(), dim, qt.data(), nq, nq, sq_ref.data());
+    std::vector<double> rbf_ref(nq, -0.75);
+    tables[0]->rbf_accum_block(sq_ref.data(), nq, 1.75, 0.31,
+                               rbf_ref.data());
+    for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+      std::vector<double> dot_out(nq, 0.5), sq_out(nq, 0.5);
+      std::vector<double> rbf_out(nq, -0.75);
+      tables[ti]->dot_block(s.data(), dim, qt.data(), nq, nq,
+                            dot_out.data());
+      tables[ti]->sqdist_block(s.data(), dim, qt.data(), nq, nq,
+                               sq_out.data());
+      tables[ti]->rbf_accum_block(sq_out.data(), nq, 1.75, 0.31,
+                                  rbf_out.data());
+      for (std::size_t j = 0; j < nq; ++j) {
+        expect_bits_eq(dot_out[j], dot_ref[j], "dot_block", j);
+        expect_bits_eq(sq_out[j], sq_ref[j], "sqdist_block", j);
+        expect_bits_eq(rbf_out[j], rbf_ref[j], "rbf_accum", j);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, WelfordRowKernelsMatchScalar) {
+  const auto tables = available_tables();
+  Rng rng(404);
+  const double window_n = 24.0;
+  for (std::size_t n : kLengths) {
+    // Shared starting state, copied per table; several steps so the
+    // running mean / M2 recurrences compound.
+    const std::vector<double> mean0 = random_vec(rng, n, -1.0, 1.0);
+    const std::vector<double> m2_0 = random_vec(rng, n, 0.0, 4.0);
+    const std::vector<double> slot0 = random_vec(rng, n, -3.0, 3.0);
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 5; ++r) rows.push_back(random_vec(rng, n, -3.0, 3.0));
+
+    const auto run = [&](const KernelTable& kt) {
+      std::vector<double> mean = mean0, m2 = m2_0, slot = slot0;
+      std::vector<double> sd(n, 0.0);
+      for (int r = 0; r < 5; ++r) {
+        if (r % 2 == 0) {
+          kt.welford_push_full(slot.data(), rows[r].data(), mean.data(),
+                               m2.data(), window_n, n);
+        } else {
+          kt.welford_push_grow(slot.data(), rows[r].data(), mean.data(),
+                               m2.data(), static_cast<double>(r + 1), n);
+        }
+      }
+      kt.stddev_from_m2(m2.data(), window_n, sd.data(), n);
+      mean.insert(mean.end(), m2.begin(), m2.end());
+      mean.insert(mean.end(), slot.begin(), slot.end());
+      mean.insert(mean.end(), sd.begin(), sd.end());
+      return mean;
+    };
+
+    const std::vector<double> ref = run(*tables[0]);
+    for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+      const std::vector<double> out = run(*tables[ti]);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        expect_bits_eq(out[i], ref[i], isa_name(tables[ti]->isa), i);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ColumnReductionsMatchScalar) {
+  const auto tables = available_tables();
+  Rng rng(505);
+  const std::size_t rows = 11, lag = 3;
+  for (std::size_t n : kLengths) {
+    const std::size_t stride = n + 2;  // reductions must honour stride
+    const std::vector<double> data =
+        random_vec(rng, rows * stride, -4.0, 4.0);
+    std::vector<double> mean_ref(n, 0.0), dev_ref(n, 0.0), lag_ref(n, 0.0);
+    tables[0]->colsum(data.data(), rows, stride, mean_ref.data(), n);
+    for (double& m : mean_ref) m /= static_cast<double>(rows);
+    tables[0]->coldev2(data.data(), rows, stride, mean_ref.data(),
+                       dev_ref.data(), n);
+    tables[0]->collagprod(data.data(), rows, lag, stride, mean_ref.data(),
+                          lag_ref.data(), n);
+    for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+      std::vector<double> mean(n, 0.0), dev(n, 0.0), lagp(n, 0.0);
+      tables[ti]->colsum(data.data(), rows, stride, mean.data(), n);
+      for (double& m : mean) m /= static_cast<double>(rows);
+      tables[ti]->coldev2(data.data(), rows, stride, mean.data(),
+                          dev.data(), n);
+      tables[ti]->collagprod(data.data(), rows, lag, stride, mean.data(),
+                             lagp.data(), n);
+      for (std::size_t c = 0; c < n; ++c) {
+        expect_bits_eq(mean[c], mean_ref[c], "colsum", c);
+        expect_bits_eq(dev[c], dev_ref[c], "coldev2", c);
+        expect_bits_eq(lagp[c], lag_ref[c], "collagprod", c);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ShadowBodyPassMatchesScalar) {
+  const auto tables = available_tables();
+  Rng rng(606);
+  for (std::size_t n : kLengths) {
+    // Random link segments in a small room; direction/length/inv_len2
+    // derived the way PrecomputedSegment does.
+    std::vector<double> ax(n), ay(n), bx(n), by(n), dirx(n), diry(n),
+        len(n), il2(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      ax[j] = rng.uniform(0.0, 8.0);
+      ay[j] = rng.uniform(0.0, 6.0);
+      bx[j] = rng.uniform(0.0, 8.0);
+      by[j] = rng.uniform(0.0, 6.0);
+      dirx[j] = bx[j] - ax[j];
+      diry[j] = by[j] - ay[j];
+      const double l2 = dirx[j] * dirx[j] + diry[j] * diry[j];
+      len[j] = std::sqrt(l2);
+      il2[j] = l2 > 0.0 ? 1.0 / l2 : 0.0;
+    }
+    const ShadowGeomView g{ax.data(),   ay.data(),  bx.data(),  by.data(),
+                           dirx.data(), diry.data(), len.data(), il2.data()};
+    for (bool noisy : {false, true}) {
+      ShadowParams p;
+      p.px = rng.uniform(0.0, 8.0);
+      p.py = rng.uniform(0.0, 6.0);
+      p.max_attenuation_db = 9.0;
+      p.shadow_decay_m = 0.18;
+      p.motion_decay_m = 0.55;
+      p.ambient_decay_m = 4.0;
+      if (noisy) {
+        p.motion_coeff = 3.0;
+        p.ambient_coeff = 0.9;
+      }
+      const std::vector<double> rssi0 = random_vec(rng, n, -80.0, -40.0);
+      const std::vector<double> nv0 = random_vec(rng, n, 0.0, 2.0);
+      std::vector<double> rssi_ref = rssi0, nv_ref = nv0;
+      tables[0]->shadow_body_pass(g, n, p, rssi_ref.data(), nv_ref.data());
+      for (std::size_t ti = 1; ti < tables.size(); ++ti) {
+        std::vector<double> rssi = rssi0, nv = nv0;
+        tables[ti]->shadow_body_pass(g, n, p, rssi.data(), nv.data());
+        for (std::size_t j = 0; j < n; ++j) {
+          expect_bits_eq(rssi[j], rssi_ref[j], "shadow rssi", j);
+          expect_bits_eq(nv[j], nv_ref[j], "shadow noise_var", j);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, ActiveTableIsBestSupportedByDefault) {
+  // This binary never sets FADEWICH_SIMD, so the active table must be
+  // the widest one the build and host provide (the forced-scalar knob is
+  // covered by simd_dispatch_test, a separate binary that sets the env
+  // var before the one-time resolution).
+  if (std::getenv("FADEWICH_SIMD") != nullptr) {
+    GTEST_SKIP() << "FADEWICH_SIMD set in the environment";
+  }
+  EXPECT_EQ(active_isa(), best_supported_isa());
+  EXPECT_EQ(active_kernels().isa, active_isa());
+}
+
+}  // namespace
+}  // namespace fadewich::simd

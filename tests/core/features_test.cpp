@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
 #include "fadewich/stats/autocorrelation.hpp"
 #include "fadewich/stats/descriptive.hpp"
 #include "fadewich/stats/histogram.hpp"
@@ -95,6 +96,58 @@ TEST(FeaturesTest, NamesRespectAblation) {
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "d1-d2-ent");
   EXPECT_EQ(names[1], "d1-d2-ac");
+}
+
+// Uniform-length windows take the SIMD column-reduction path; the
+// contract is that it matches the per-stream scalar path bit-for-bit.
+// Stream counts straddle the vector widths (scalar tails included) and
+// the ablation grid covers every batched-eligible config.
+TEST(FeaturesTest, BatchedPathMatchesPerStreamScalarPath) {
+  Rng rng(73);
+  for (std::size_t streams : {1u, 2u, 3u, 4u, 5u, 9u, 17u}) {
+    std::vector<std::vector<double>> windows(streams);
+    for (auto& w : windows) {
+      w.resize(25);
+      for (double& v : w) v = rng.normal(-60.0, 2.5);
+    }
+    for (int mask = 0; mask < 8; ++mask) {
+      FeatureConfig config;
+      config.use_variance = (mask & 1) != 0;
+      config.use_entropy = (mask & 2) != 0;
+      config.use_autocorrelation = (mask & 4) != 0;
+      if (!config.use_variance && !config.use_autocorrelation) {
+        continue;  // entropy-only / empty configs use the scalar path
+      }
+      std::vector<double> scalar_out;
+      for (const auto& w : windows) {
+        append_stream_features(w, config, scalar_out);
+      }
+      const std::vector<double> batched = extract_features(windows, config);
+      ASSERT_EQ(batched.size(), scalar_out.size());
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_EQ(batched[i], scalar_out[i])
+            << "streams " << streams << " mask " << mask << " idx " << i;
+      }
+    }
+  }
+}
+
+// A constant window has zero variance; the batched autocorrelation must
+// use the same 0/0 -> 0 convention as stats::autocorrelation.
+TEST(FeaturesTest, BatchedPathHandlesZeroVarianceStreams) {
+  std::vector<std::vector<double>> windows{
+      std::vector<double>(10, -61.0),          // constant
+      {-60, -61, -62, -60, -61, -62, -60, -61, -62, -60}};
+  const FeatureConfig config;
+  std::vector<double> scalar_out;
+  for (const auto& w : windows) {
+    append_stream_features(w, config, scalar_out);
+  }
+  const std::vector<double> batched = extract_features(windows, config);
+  ASSERT_EQ(batched.size(), scalar_out.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], scalar_out[i]) << "idx " << i;
+  }
 }
 
 }  // namespace

@@ -10,6 +10,13 @@ machine-speed artifacts, but "how much faster is the batched kernel than
 the scalar one on the same machine, same run" transfers across runners.
 `system_step` has no scalar twin and is recorded for trajectory only.
 
+Speedup ratios do NOT transfer across SIMD ISAs or native/portable
+builds: an AVX2 baseline would spuriously fail on an SSE2 or
+forced-scalar runner (and vice versa).  When the two reports' stamps
+disagree on `simd_isa` or `native`, the gate refuses the comparison —
+prints SKIPPED and exits 0 — instead of emitting a bogus verdict.
+CI keeps one baseline per (isa, native) leg it gates.
+
 Usage:
     check_perf_regression.py BASELINE CURRENT [--tolerance 0.25]
 
@@ -27,12 +34,27 @@ import json
 import sys
 
 
-def load_hotpaths(path):
+def load_report(path):
     with open(path) as f:
         doc = json.load(f)
     if "hotpaths" not in doc:
         sys.exit(f"{path}: no 'hotpaths' section (wrong schema?)")
-    return doc["hotpaths"]
+    return doc
+
+
+def comparable(baseline, current):
+    """None when the stamps allow a ratio comparison, else the reason.
+
+    Reports older than schema /2 carry no simd_isa/native stamp; a
+    missing key is treated as unknown and only mismatches between two
+    *present* values refuse the comparison (so pre-SIMD baselines keep
+    gating until regenerated).
+    """
+    for key in ("simd_isa", "native"):
+        b, c = baseline.get(key), current.get(key)
+        if b is not None and c is not None and b != c:
+            return f"{key} mismatch: baseline {b!r} vs current {c!r}"
+    return None
 
 
 def main():
@@ -44,8 +66,17 @@ def main():
                              "(default 0.25)")
     args = parser.parse_args()
 
-    baseline = load_hotpaths(args.baseline)
-    current = load_hotpaths(args.current)
+    baseline_doc = load_report(args.baseline)
+    current_doc = load_report(args.current)
+
+    reason = comparable(baseline_doc, current_doc)
+    if reason is not None:
+        print(f"SKIPPED: reports are not comparable ({reason}); "
+              "ratio gating needs a baseline from the same ISA/build leg")
+        return 0
+
+    baseline = baseline_doc["hotpaths"]
+    current = current_doc["hotpaths"]
 
     failures = []
     checked = 0
