@@ -1,0 +1,485 @@
+// Line-rate ingestion trajectory: replay a recorded week through the
+// binary wire front door — capture file -> FrameDecoder -> IngestQueue
+// -> CentralStation — at max speed, and prove the transport is lossless:
+// the released rows (values and validity masks) must be bit-identical to
+// the in-process MessageBus path over the same recording.
+//
+//   ./bench_ingest [output.json]
+//
+// Legs, all recorded in BENCH_ingest.json:
+//   in_process          the MessageBus reference path (ratio baseline)
+//   wire_single_thread  decode -> ring -> station on one thread, with
+//                       queue-depth percentiles via an obs histogram
+//   wire_sharded        the capture split into contiguous tick ranges,
+//                       one decoder/ring/station per shard on the exec
+//                       pool (the fleet-ingestion shape)
+//   corrupt             the same frames with injected bit flips and a
+//                       torn tail: every rejection must land in a
+//                       WireCounters bucket, never a throw
+//
+// Exits nonzero when any wire leg is not bit-identical to the reference,
+// so CI fails on transport loss rather than archiving a bad report.
+//
+// Environment: FADEWICH_BENCH_FAST=1 shrinks the week to 2 days x 2 h;
+// FADEWICH_INGEST_RING / FADEWICH_INGEST_BATCH size the ring and the
+// station batch (defaults 65536 / 1024).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+#include "fadewich/common/rng.hpp"
+#include "fadewich/exec/thread_pool.hpp"
+#include "fadewich/net/capture.hpp"
+#include "fadewich/net/central_station.hpp"
+#include "fadewich/net/ingest_queue.hpp"
+#include "fadewich/net/wire.hpp"
+#include "fadewich/obs/obs.hpp"
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::bench {
+namespace {
+
+using net::Measurement;
+
+constexpr std::size_t kDevices = 9;  // the paper's office deployment
+constexpr std::size_t kReportsPerFrame = kDevices - 1;
+constexpr std::size_t kFrameBytes = net::wire_frame_size(kReportsPerFrame);
+constexpr std::size_t kFeedChunk = 64 * 1024;  // decoder feed granularity
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long value = std::strtol(raw, nullptr, 10);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A week of synthetic RSSI: per-stream bounded random walks.  The bench
+/// measures transport, not physics — what matters is that every tick of
+/// every stream carries a distinct, reproducible value.
+sim::Recording make_week() {
+  const bool fast = fast_mode();
+  const double day_hours = fast ? 2.0 : 8.0;
+  const std::size_t days = fast ? 2 : 5;
+  sim::Recording recording(5.0, kDevices, day_hours * 3600.0, days);
+  const auto ticks = static_cast<Tick>(
+      static_cast<double>(days) * day_hours * 3600.0 * 5.0);
+  Rng rng(20170605);  // ICDCS'17
+  std::vector<double> row(recording.stream_count(), -55.0);
+  for (Tick t = 0; t < ticks; ++t) {
+    for (auto& v : row) {
+      v = std::clamp(v + rng.normal(0.0, 0.8), -90.0, -30.0);
+    }
+    recording.append_samples(row);
+  }
+  return recording;
+}
+
+/// Row digest: tick + values + validity mask, order-sensitive.  Two row
+/// streams are bit-identical iff their digests match.
+void digest_row(Crc32& crc, const net::StationRow& row) {
+  const std::int64_t tick = row.tick;
+  crc.update(&tick, sizeof(tick));
+  crc.update(row.values.data(), row.values.size() * sizeof(double));
+  crc.update(row.valid.data(), row.valid.size());
+}
+
+struct ReferenceResult {
+  double seconds = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t reports = 0;
+  std::uint32_t digest = 0;             // whole-stream digest
+  std::vector<std::uint32_t> shard_digests;  // one per tick range
+};
+
+/// The in-process reference path: publish every measurement on the bus,
+/// ingest per tick, digest the released rows — whole-stream and per shard
+/// range so both wire legs can be verified against the same run.
+ReferenceResult run_in_process(const sim::Recording& recording,
+                               std::size_t shards, Tick ticks_per_shard) {
+  net::CentralStation station(kDevices);
+  net::MessageBus bus;
+  Crc32 whole;
+  std::vector<Crc32> per_shard(shards);
+  ReferenceResult result;
+  const Tick ticks = recording.tick_count();
+  const auto start = std::chrono::steady_clock::now();
+  for (Tick t = 0; t < ticks; ++t) {
+    for (net::DeviceId tx = 0; tx < kDevices; ++tx) {
+      for (net::DeviceId rx = 0; rx < kDevices; ++rx) {
+        if (tx == rx) continue;
+        bus.publish({tx, rx, t,
+                     recording.rssi(recording.stream_index(tx, rx), t)});
+        ++result.reports;
+      }
+    }
+    for (const Tick ready : station.ingest(bus)) {
+      const auto row = station.take_row(ready);
+      digest_row(whole, *row);
+      digest_row(per_shard[static_cast<std::size_t>(ready / ticks_per_shard)],
+                 *row);
+      ++result.rows;
+    }
+  }
+  result.seconds = seconds_since(start);
+  result.digest = whole.value();
+  for (Crc32& crc : per_shard) result.shard_digests.push_back(crc.value());
+  return result;
+}
+
+/// Write the whole recording as a capture file: one frame per (tick, tx)
+/// carrying that transmitter's m-1 receiver reports, in tick-major order
+/// so the byte offset of tick t is t * kDevices * kFrameBytes.
+std::uint64_t write_capture(const sim::Recording& recording,
+                            const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("cannot open capture for writing: " + path);
+  net::CaptureWriter writer(os, recording.rate().hz(), kDevices);
+  std::uint64_t seq = 0;
+  std::vector<net::WireReport> reports;
+  const Tick ticks = recording.tick_count();
+  for (Tick t = 0; t < ticks; ++t) {
+    for (net::DeviceId tx = 0; tx < kDevices; ++tx) {
+      reports.clear();
+      for (net::DeviceId rx = 0; rx < kDevices; ++rx) {
+        if (rx == tx) continue;
+        const auto s = recording.stream_index(tx, rx);
+        reports.push_back(
+            {rx, recording.stream(s)[static_cast<std::size_t>(t)]});
+      }
+      writer.append({0, seq++, t, tx}, reports);
+    }
+  }
+  return writer.frames_written();
+}
+
+struct WireRun {
+  double seconds = 0.0;
+  std::uint64_t rows = 0;
+  std::uint32_t digest = 0;
+  net::WireCounters decode;
+  net::IngestQueue::Counters queue;
+};
+
+/// The hot route: decode a span of capture frames, push through the SPSC
+/// ring, drain in batches into the station, digest released rows.
+/// `depth` (a null handle unless the caller registered one) samples ring
+/// occupancy before each drain.
+WireRun run_wire(std::span<const std::uint8_t> frames,
+                 std::size_t ring_capacity, std::size_t batch_size,
+                 obs::Histogram depth) {
+  net::FrameDecoder decoder;
+  net::IngestQueue queue(ring_capacity);
+  net::CentralStation station(kDevices);
+  Crc32 digest;
+  WireRun run;
+  std::vector<Measurement> staged;
+  std::vector<Measurement> batch(batch_size);
+
+  const auto drain = [&]() {
+    depth.observe(static_cast<double>(queue.size()));
+    const std::size_t n = queue.pop_batch(batch);
+    if (n == 0) return false;
+    const std::span<const Measurement> drained(batch.data(), n);
+    for (const Tick ready : station.ingest(drained)) {
+      const auto row = station.take_row(ready);
+      digest_row(digest, *row);
+      ++run.rows;
+    }
+    return true;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t offset = 0; offset < frames.size();
+       offset += kFeedChunk) {
+    const std::size_t len = std::min(kFeedChunk, frames.size() - offset);
+    decoder.feed(frames.subspan(offset, len));
+    while (const net::DecodedFrame* frame = decoder.next()) {
+      staged.clear();
+      net::to_measurements(*frame, staged);
+      std::span<const Measurement> rest(staged);
+      while (!rest.empty()) {
+        rest = rest.subspan(queue.push_some(rest));
+        // A full ring is backpressure: the producer yields to the
+        // consumer (here: the same thread draining a batch).
+        if (!rest.empty()) drain();
+      }
+      if (queue.size() >= batch_size) drain();
+    }
+  }
+  decoder.finish();
+  while (drain()) {
+  }
+  run.seconds = seconds_since(start);
+  run.digest = digest.value();
+  run.decode = decoder.counters();
+  run.queue = queue.counters();
+  return run;
+}
+
+/// The corrupt-corpus leg: bit-flip every 251st byte of a frame slice and
+/// tear its tail mid-frame, then decode.  Every anomaly must land in a
+/// counter; a throw from the decoder fails the bench.
+net::WireCounters run_corrupt(std::span<const std::uint8_t> frames) {
+  std::vector<std::uint8_t> corpus(
+      frames.begin(),
+      frames.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              frames.size(), 4 * 1024 * 1024)));
+  for (std::size_t i = 0; i < corpus.size(); i += 251) {
+    corpus[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  if (corpus.size() > kFrameBytes / 2) {
+    corpus.resize(corpus.size() - kFrameBytes / 2);  // torn tail
+  }
+  net::FrameDecoder decoder;
+  net::IngestQueue queue(1024);
+  net::CentralStation station(kDevices);
+  std::vector<Measurement> staged;
+  std::vector<Measurement> batch(1024);
+  for (std::size_t offset = 0; offset < corpus.size();
+       offset += kFeedChunk) {
+    const std::size_t len = std::min(kFeedChunk, corpus.size() - offset);
+    decoder.feed(std::span<const std::uint8_t>(corpus).subspan(offset, len));
+    while (const net::DecodedFrame* frame = decoder.next()) {
+      staged.clear();
+      net::to_measurements(*frame, staged);
+      std::span<const Measurement> rest(staged);
+      while (!rest.empty()) {
+        rest = rest.subspan(queue.push_some(rest));
+        const std::size_t n = queue.pop_batch(batch);
+        if (n != 0) {
+          station.ingest(std::span<const Measurement>(batch.data(), n));
+        }
+      }
+    }
+  }
+  decoder.finish();
+  return decoder.counters();
+}
+
+std::string wire_json(const char* name, const WireRun& run,
+                      std::uint64_t reports, bool bit_identical,
+                      const std::string& extra) {
+  std::string out;
+  out += std::string("  \"") + name + "\": {\n";
+  out += "    \"seconds\": " + std::to_string(run.seconds) + ",\n";
+  out += "    \"reports_per_sec\": " +
+         std::to_string(run.seconds > 0.0
+                            ? static_cast<double>(reports) / run.seconds
+                            : 0.0) +
+         ",\n";
+  out += "    \"rows\": " + std::to_string(run.rows) + ",\n";
+  out += "    \"frames_ok\": " + std::to_string(run.decode.frames_ok) +
+         ",\n";
+  out += "    \"rejected_frames\": " +
+         std::to_string(run.decode.rejected_frames()) + ",\n";
+  out += "    \"backpressure_rejects\": " +
+         std::to_string(run.queue.rejected_full) + ",\n";
+  if (!extra.empty()) out += extra;
+  out += std::string("    \"bit_identical\": ") +
+         (bit_identical ? "true" : "false") + "\n";
+  out += "  },\n";
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_ingest.json");
+  const std::size_t ring = env_size("FADEWICH_INGEST_RING", 65536);
+  const std::size_t batch = env_size("FADEWICH_INGEST_BATCH", 1024);
+
+  std::cerr << "[bench_ingest] synthesising recording ("
+            << (fast_mode() ? "fast" : "full") << " mode)\n";
+  const sim::Recording recording = make_week();
+  const Tick ticks = recording.tick_count();
+  const std::uint64_t reports =
+      static_cast<std::uint64_t>(ticks) * kDevices * kReportsPerFrame;
+
+  exec::ThreadPool& pool = exec::ThreadPool::global();
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min<std::size_t>(pool.thread_count(),
+                               static_cast<std::size_t>(ticks)));
+  const Tick ticks_per_shard =
+      (ticks + static_cast<Tick>(shards) - 1) / static_cast<Tick>(shards);
+
+  std::cerr << "[bench_ingest] in-process reference pass (" << reports
+            << " reports)\n";
+  const ReferenceResult reference =
+      run_in_process(recording, shards, ticks_per_shard);
+
+  const std::string capture_path = "bench_ingest_capture.bin";
+  std::cerr << "[bench_ingest] writing capture file\n";
+  const std::uint64_t frames_written =
+      write_capture(recording, capture_path);
+  const net::Capture capture = net::load_capture(capture_path);
+  std::cerr << "[bench_ingest] capture: " << frames_written << " frames, "
+            << capture.frames.size() << " payload bytes\n";
+
+  // Queue-depth distribution for the single-thread leg, bucketed on
+  // powers of two up to the default ring size.
+  std::vector<double> depth_bounds;
+  for (double b = 1.0; b <= 65536.0; b *= 2.0) depth_bounds.push_back(b);
+  obs::Histogram depth = obs::registry().histogram(
+      "fadewich_ingest_queue_depth", "ring occupancy sampled per drain",
+      depth_bounds);
+
+  std::cerr << "[bench_ingest] wire single-thread pass\n";
+  const WireRun single = run_wire(capture.frames, ring, batch, depth);
+  const bool single_ok = single.digest == reference.digest &&
+                         single.rows == reference.rows;
+
+  const auto snapshot = obs::registry().snapshot();
+  const auto* depth_sample =
+      snapshot.find_histogram("fadewich_ingest_queue_depth");
+
+  std::cerr << "[bench_ingest] wire sharded pass (" << shards
+            << " shards)\n";
+  std::vector<WireRun> shard_runs(shards);
+  const auto sharded_start = std::chrono::steady_clock::now();
+  pool.parallel_for(0, shards, [&](std::size_t s) {
+    const Tick begin = static_cast<Tick>(s) * ticks_per_shard;
+    const Tick end = std::min(ticks, begin + ticks_per_shard);
+    const std::size_t byte_begin =
+        static_cast<std::size_t>(begin) * kDevices * kFrameBytes;
+    const std::size_t byte_end =
+        static_cast<std::size_t>(end) * kDevices * kFrameBytes;
+    shard_runs[s] =
+        run_wire(std::span<const std::uint8_t>(capture.frames)
+                     .subspan(byte_begin, byte_end - byte_begin),
+                 ring, batch, obs::Histogram{});
+  });
+  const double sharded_seconds = seconds_since(sharded_start);
+
+  WireRun sharded;
+  sharded.seconds = sharded_seconds;
+  bool sharded_ok = true;
+  for (std::size_t s = 0; s < shards; ++s) {
+    sharded.rows += shard_runs[s].rows;
+    sharded.decode.frames_ok += shard_runs[s].decode.frames_ok;
+    sharded.decode.bad_crc += shard_runs[s].decode.bad_crc;
+    sharded.decode.bad_length += shard_runs[s].decode.bad_length;
+    sharded.decode.bad_version += shard_runs[s].decode.bad_version;
+    sharded.decode.truncated += shard_runs[s].decode.truncated;
+    sharded.queue.rejected_full += shard_runs[s].queue.rejected_full;
+    if (shard_runs[s].digest != reference.shard_digests[s]) {
+      sharded_ok = false;
+      std::cerr << "[bench_ingest] shard " << s << " digest mismatch\n";
+    }
+  }
+  sharded_ok = sharded_ok && sharded.rows == reference.rows;
+
+  std::cerr << "[bench_ingest] corrupt-corpus pass\n";
+  const net::WireCounters corrupt = run_corrupt(capture.frames);
+
+  std::ofstream out(path);
+  out << "{\n" << json_stamp("fadewich-bench-ingest/1", shards);
+  out << "  \"ingest\": {\n";
+  out << "    \"devices\": " << kDevices << ",\n";
+  out << "    \"streams\": " << kDevices * kReportsPerFrame << ",\n";
+  out << "    \"ticks\": " << ticks << ",\n";
+  out << "    \"reports\": " << reports << ",\n";
+  out << "    \"frames\": " << frames_written << ",\n";
+  out << "    \"frame_bytes\": " << kFrameBytes << ",\n";
+  out << "    \"capture_bytes\": " << capture.frames.size() << ",\n";
+  out << "    \"ring_capacity\": " << ring << ",\n";
+  out << "    \"batch_size\": " << batch << "\n";
+  out << "  },\n";
+  out << "  \"in_process\": {\n";
+  out << "    \"seconds\": " << std::to_string(reference.seconds) << ",\n";
+  out << "    \"reports_per_sec\": "
+      << std::to_string(reference.seconds > 0.0
+                            ? static_cast<double>(reports) /
+                                  reference.seconds
+                            : 0.0)
+      << ",\n";
+  out << "    \"rows\": " << reference.rows << "\n";
+  out << "  },\n";
+
+  std::string depth_extra;
+  if (depth_sample != nullptr) {
+    depth_extra += "    \"queue_depth_p50\": " +
+                   std::to_string(depth_sample->percentile(0.50)) + ",\n";
+    depth_extra += "    \"queue_depth_p95\": " +
+                   std::to_string(depth_sample->percentile(0.95)) + ",\n";
+    depth_extra += "    \"queue_depth_p99\": " +
+                   std::to_string(depth_sample->percentile(0.99)) + ",\n";
+  }
+  out << wire_json("wire_single_thread", single, reports, single_ok,
+                   depth_extra);
+  out << wire_json("wire_sharded", sharded, reports, sharded_ok,
+                   "    \"shards\": " + std::to_string(shards) + ",\n");
+
+  out << "  \"corrupt\": {\n";
+  out << "    \"frames_offered\": "
+      << corrupt.frames_ok + corrupt.rejected_frames() << ",\n";
+  out << "    \"frames_ok\": " << corrupt.frames_ok << ",\n";
+  out << "    \"rejected_frames\": " << corrupt.rejected_frames() << ",\n";
+  out << "    \"bad_crc\": " << corrupt.bad_crc << ",\n";
+  out << "    \"bad_length\": " << corrupt.bad_length << ",\n";
+  out << "    \"bad_version\": " << corrupt.bad_version << ",\n";
+  out << "    \"truncated\": " << corrupt.truncated << ",\n";
+  out << "    \"resync_bytes\": " << corrupt.resync_bytes << "\n";
+  out << "  },\n";
+
+  // Ratio block in the perf-gate's shape: "speedup" entries under a named
+  // section so tools/check_perf_regression.py --section ingest_ratios can
+  // gate them once a baseline lands.
+  const double wire_vs_inprocess =
+      single.seconds > 0.0 ? reference.seconds / single.seconds : 0.0;
+  const double sharded_vs_single =
+      sharded.seconds > 0.0 ? single.seconds / sharded.seconds : 0.0;
+  out << "  \"ingest_ratios\": {\n";
+  out << "    \"wire_vs_inprocess\": {\"speedup\": "
+      << std::to_string(wire_vs_inprocess) << "},\n";
+  out << "    \"sharded_vs_single_thread\": {\"speedup\": "
+      << std::to_string(sharded_vs_single) << "}\n";
+  out << "  }\n";
+  out << "}\n";
+  out.close();
+
+  std::remove(capture_path.c_str());
+
+  std::cerr << "[bench_ingest] single-thread: "
+            << (single.seconds > 0.0
+                    ? static_cast<double>(reports) / single.seconds
+                    : 0.0)
+            << " reports/sec, bit_identical="
+            << (single_ok ? "true" : "false") << "\n";
+  std::cerr << "[bench_ingest] sharded x" << shards << ": "
+            << (sharded_seconds > 0.0
+                    ? static_cast<double>(reports) / sharded_seconds
+                    : 0.0)
+            << " reports/sec, bit_identical="
+            << (sharded_ok ? "true" : "false") << "\n";
+  std::cerr << "[bench_ingest] wrote " << path << "\n";
+
+  if (!single_ok || !sharded_ok) {
+    std::cerr << "[bench_ingest] FAIL: wire replay diverged from the "
+                 "in-process reference\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fadewich::bench
+
+int main(int argc, char** argv) {
+  return fadewich::bench::run(argc, argv);
+}

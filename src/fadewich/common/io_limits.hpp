@@ -1,0 +1,43 @@
+// Shared allocation guards for every loader that sizes buffers from
+// counts read out of a file (sim::recording_io, net::capture).
+//
+// Per-count caps alone are not enough: a corrupt recording header whose
+// sensor and tick counts each pass their individual caps can still
+// demand their *product* in memory (16M streams x 2^33 ticks is
+// petabytes).  Loaders therefore also bound the total bytes any one
+// artifact may allocate, checked before the first allocation, with the
+// multiplication itself guarded against overflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich {
+
+/// Upper bound on the total bytes a single on-disk artifact may ask a
+/// loader to allocate.  4 GiB: comfortably above a full five-day
+/// nine-sensor recording (hundreds of megabytes) and any plausible
+/// capture, far below what a corrupt length pair could demand.
+inline constexpr std::uint64_t kMaxAggregateLoadBytes = 1ull << 32;
+
+/// `count * unit` as a byte total, throwing fadewich::Error when the
+/// product overflows or exceeds kMaxAggregateLoadBytes.  `what` names
+/// the artifact in the error message.
+inline std::uint64_t checked_load_bytes(std::uint64_t count,
+                                        std::uint64_t unit,
+                                        const char* what) {
+  if (unit != 0 && count > kMaxAggregateLoadBytes / unit) {
+    throw Error(std::string(what) +
+                " would exceed the aggregate allocation cap");
+  }
+  const std::uint64_t total = count * unit;
+  if (total > kMaxAggregateLoadBytes) {
+    throw Error(std::string(what) +
+                " would exceed the aggregate allocation cap");
+  }
+  return total;
+}
+
+}  // namespace fadewich

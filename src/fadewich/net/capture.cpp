@@ -1,0 +1,114 @@
+#include "fadewich/net/capture.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+
+namespace {
+
+constexpr char kCaptureMagic[4] = {'F', 'D', 'W', 'C'};
+
+}  // namespace
+
+CaptureWriter::CaptureWriter(std::ostream& os, double tick_hz,
+                             std::size_t device_count)
+    : os_(&os) {
+  if (!std::isfinite(tick_hz) || tick_hz <= 0.0) {
+    throw Error("capture: tick rate must be finite and positive");
+  }
+  if (device_count < 2 || device_count > kMaxCaptureDevices) {
+    throw Error("capture: implausible device count");
+  }
+  std::uint8_t header[kCaptureHeaderSize];
+  std::memcpy(header, kCaptureMagic, sizeof(kCaptureMagic));
+  const std::uint32_t version = kCaptureVersion;
+  std::memcpy(header + 4, &version, sizeof(version));
+  std::memcpy(header + 8, &tick_hz, sizeof(tick_hz));
+  const auto devices = static_cast<std::uint64_t>(device_count);
+  std::memcpy(header + 16, &devices, sizeof(devices));
+  const std::uint32_t checksum = crc32(header + 4, 20);
+  std::memcpy(header + 24, &checksum, sizeof(checksum));
+  os.write(reinterpret_cast<const char*>(header), sizeof(header));
+  if (!os) throw Error("capture: header write failed");
+}
+
+void CaptureWriter::append(const FrameHeader& header,
+                           std::span<const WireReport> reports) {
+  scratch_.clear();
+  encode_frame(header, reports, scratch_);
+  os_->write(reinterpret_cast<const char*>(scratch_.data()),
+             static_cast<std::streamsize>(scratch_.size()));
+  if (!*os_) throw Error("capture: frame write failed");
+  ++frames_written_;
+}
+
+CaptureHeader read_capture_header(std::istream& is) {
+  std::uint8_t header[kCaptureHeaderSize];
+  is.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!is) throw Error("capture truncated (header missing)");
+  if (std::memcmp(header, kCaptureMagic, sizeof(kCaptureMagic)) != 0) {
+    throw Error("not a FADEWICH capture (bad magic)");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, header + 4, sizeof(version));
+  if (version < 1 || version > kCaptureVersion) {
+    throw Error("unsupported capture version " + std::to_string(version));
+  }
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, header + 24, sizeof(stored));
+  if (stored != crc32(header + 4, 20)) {
+    throw Error("capture header CRC mismatch");
+  }
+  CaptureHeader out;
+  std::memcpy(&out.tick_hz, header + 8, sizeof(out.tick_hz));
+  std::uint64_t devices = 0;
+  std::memcpy(&devices, header + 16, sizeof(devices));
+  // isfinite, not just a sign test: NaN fields must not slip through.
+  if (!std::isfinite(out.tick_hz) || out.tick_hz <= 0.0 || devices < 2 ||
+      devices > kMaxCaptureDevices) {
+    throw Error("capture header is implausible");
+  }
+  out.device_count = static_cast<std::size_t>(devices);
+  return out;
+}
+
+std::vector<std::uint8_t> read_capture_frames(std::istream& is,
+                                              std::uint64_t max_bytes) {
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    is.read(reinterpret_cast<char*>(chunk), sizeof(chunk));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    if (got == 0) break;
+    // Checked per chunk, so the cap binds before the allocation grows —
+    // a hostile capture cannot demand more than one chunk past it.
+    if (out.size() + got > max_bytes) {
+      throw Error("capture frame stream exceeds the load cap");
+    }
+    out.insert(out.end(), chunk, chunk + got);
+    if (!is) break;  // short final read: end of stream
+  }
+  return out;
+}
+
+Capture load_capture(std::istream& is) {
+  Capture capture;
+  capture.header = read_capture_header(is);
+  capture.frames = read_capture_frames(is);
+  return capture;
+}
+
+Capture load_capture(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open for reading: " + path);
+  return load_capture(is);
+}
+
+}  // namespace fadewich::net

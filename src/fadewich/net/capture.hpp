@@ -1,0 +1,85 @@
+// Append-only capture files: a recorded wire-frame stream on disk, the
+// pcap-style artifact the replay driver pushes back through the decoder.
+//
+// Layout follows the recording_io v2 CRC-framing conventions: a magic +
+// version preamble, a CRC over the header payload, then data.  Unlike a
+// recording there is no trailer — capture is append-only (a crashed
+// capturer must leave a readable file), and every appended frame already
+// carries its own CRC, so a torn tail costs one truncated frame at
+// decode time, never the file.
+//
+//   offset size field
+//   0      4    magic 'F' 'D' 'W' 'C'
+//   4      4    version (currently 1), little-endian
+//   8      8    tick rate in Hz (IEEE-754 double)
+//   16     8    device count (u64)
+//   24     4    CRC-32 over bytes [4, 24)
+//   28     ...  wire frames (see net/wire.hpp), back to back
+//
+// Readers validate the header strictly — finite positive tick rate,
+// plausible device count, CRC — and cap the total bytes they will load
+// (common/io_limits.hpp, shared with the recording loader), so a corrupt
+// or hostile file is rejected before any large allocation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fadewich/common/io_limits.hpp"
+#include "fadewich/net/wire.hpp"
+
+namespace fadewich::net {
+
+inline constexpr std::uint32_t kCaptureVersion = 1;
+inline constexpr std::size_t kCaptureHeaderSize = 28;
+/// Device cap mirrors the recording loader's sensor cap.
+inline constexpr std::uint64_t kMaxCaptureDevices = 4096;
+
+struct CaptureHeader {
+  double tick_hz = 0.0;
+  std::size_t device_count = 0;
+};
+
+/// Streams wire frames to an append-only capture.  The header is written
+/// on construction; append() encodes and writes one frame.  Write
+/// failures throw fadewich::Error (disk full is a runtime error, not a
+/// contract bug).
+class CaptureWriter {
+ public:
+  CaptureWriter(std::ostream& os, double tick_hz, std::size_t device_count);
+
+  void append(const FrameHeader& header,
+              std::span<const WireReport> reports);
+
+  std::uint64_t frames_written() const { return frames_written_; }
+
+ private:
+  std::ostream* os_;
+  std::vector<std::uint8_t> scratch_;  // reused encode buffer
+  std::uint64_t frames_written_ = 0;
+};
+
+/// Read and validate a capture header (magic, version, CRC, finite
+/// positive tick rate, plausible device count); throws fadewich::Error
+/// on anything implausible, leaving the stream positioned at the first
+/// frame.
+CaptureHeader read_capture_header(std::istream& is);
+
+/// Read the remaining frame bytes into memory, throwing fadewich::Error
+/// once more than `max_bytes` arrive (checked as the stream is read, so
+/// a corrupt or hostile capture never drives an unbounded allocation).
+std::vector<std::uint8_t> read_capture_frames(
+    std::istream& is, std::uint64_t max_bytes = kMaxAggregateLoadBytes);
+
+/// A fully loaded capture.
+struct Capture {
+  CaptureHeader header;
+  std::vector<std::uint8_t> frames;
+};
+
+Capture load_capture(std::istream& is);
+Capture load_capture(const std::string& path);
+
+}  // namespace fadewich::net

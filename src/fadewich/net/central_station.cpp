@@ -143,16 +143,25 @@ void CentralStation::evict_oldest() {
 
 std::vector<Tick> CentralStation::ingest(MessageBus& bus,
                                          std::optional<Tick> now) {
-  for (const Measurement& m : bus.drain()) {
+  bus.drain_into(drain_scratch_);
+  return ingest(drain_scratch_, now);
+}
+
+std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
+                                         std::optional<Tick> now) {
+  for (const Measurement& m : batch) {
     ++health_.reports;
     StationMetrics::get().reports.inc();
     auto it = pending_.find(m.tick);
     if (it == pending_.end()) {
       // A report for a tick already released (or given up on) cannot
-      // amend the frozen row: count it late and move on.
+      // amend the frozen row: count it late and move on.  The watermark
+      // gates strict mode too — a straggler for a released-and-taken
+      // tick used to re-open a pending row there that could never
+      // complete, stalling every newer tick at the monotone-release
+      // gate below.
       const bool already_released = released_.count(m.tick) > 0;
-      const bool past_watermark =
-          config_.deadline_ticks > 0 && m.tick <= release_watermark_;
+      const bool past_watermark = m.tick <= release_watermark_;
       if (already_released || past_watermark) {
         ++health_.late_reports;
         StationMetrics::get().late.inc();

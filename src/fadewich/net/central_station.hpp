@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fadewich/net/measurement.hpp"
@@ -95,6 +96,13 @@ class CentralStation {
   std::vector<Tick> ingest(MessageBus& bus,
                            std::optional<Tick> now = std::nullopt);
 
+  /// Batch form of ingest(): identical semantics over measurements the
+  /// caller already holds contiguously.  This is the hot route — the
+  /// wire-ingest path pops ring-buffer batches straight into it, and
+  /// the bus overload above forwards here after a copy-free drain.
+  std::vector<Tick> ingest(std::span<const Measurement> batch,
+                           std::optional<Tick> now = std::nullopt);
+
   /// Fetch and discard the released row for a tick.  Returns nullopt if
   /// the tick is unknown, still incomplete, or already taken — callers
   /// decide how to recover; the station never aborts on runtime input.
@@ -128,6 +136,7 @@ class CentralStation {
   StationConfig config_;
   std::map<Tick, PendingRow> pending_;   // tick-indexed assembly buffers
   std::map<Tick, StationRow> released_;  // released, not yet taken
+  std::vector<Measurement> drain_scratch_;  // bus-drain reuse buffer
   std::vector<double> last_value_;       // per-stream imputation source
   Tick release_watermark_ = -1;  // highest tick released or evicted
   StationHealth health_;

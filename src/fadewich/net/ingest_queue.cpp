@@ -1,0 +1,83 @@
+#include "fadewich/net/ingest_queue.hpp"
+
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+IngestQueue::IngestQueue(std::size_t capacity) {
+  FADEWICH_EXPECTS(capacity >= 1);
+  slots_.resize(round_up_pow2(capacity));
+  mask_ = slots_.size() - 1;
+}
+
+bool IngestQueue::try_push(const Measurement& m) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[static_cast<std::size_t>(tail) & mask_] = m;
+  tail_.store(tail + 1, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t IngestQueue::push_some(std::span<const Measurement> batch) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t room = slots_.size() - (tail - head);
+  const std::size_t n =
+      std::min(batch.size(), static_cast<std::size_t>(room));
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[static_cast<std::size_t>(tail + i) & mask_] = batch[i];
+  }
+  tail_.store(tail + n, std::memory_order_release);
+  pushed_.fetch_add(n, std::memory_order_relaxed);
+  if (n < batch.size()) {
+    rejected_.fetch_add(batch.size() - n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::size_t IngestQueue::pop_batch(std::span<Measurement> out) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t n =
+      std::min(out.size(), static_cast<std::size_t>(tail - head));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = slots_[static_cast<std::size_t>(head + i) & mask_];
+  }
+  head_.store(head + n, std::memory_order_release);
+  popped_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+IngestQueue::Counters IngestQueue::counters() const {
+  Counters c;
+  c.pushed = pushed_.load(std::memory_order_relaxed);
+  c.popped = popped_.load(std::memory_order_relaxed);
+  c.rejected_full = rejected_.load(std::memory_order_relaxed);
+  return c;
+}
+
+obs::HealthBlock health_block(const IngestQueue::Counters& counters) {
+  obs::HealthBlock block;
+  block.name = "ingest_queue";
+  block.add("pushed", static_cast<double>(counters.pushed));
+  block.add("popped", static_cast<double>(counters.popped));
+  block.add("rejected_full", static_cast<double>(counters.rejected_full));
+  return block;
+}
+
+}  // namespace fadewich::net

@@ -1,12 +1,17 @@
 #include "fadewich/net/message_bus.hpp"
 
+#include <utility>
+
 namespace fadewich::net {
 
-void MessageBus::publish(const Measurement& m) { queue_.push_back(m); }
+void MessageBus::drain_into(std::vector<Measurement>& out) {
+  out.clear();
+  std::swap(out, queue_);
+}
 
 std::vector<Measurement> MessageBus::drain() {
-  std::vector<Measurement> out(queue_.begin(), queue_.end());
-  queue_.clear();
+  std::vector<Measurement> out;
+  drain_into(out);
   return out;
 }
 

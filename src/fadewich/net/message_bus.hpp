@@ -2,9 +2,14 @@
 // publish measurements; the central station drains them.  FIFO per
 // publish order; no loss (the paper assumes a reliable secure channel and
 // does not study report loss).
+//
+// Drains are O(1) buffer swaps, not per-measurement copies: the station
+// hands its scratch vector to drain_into() and the two buffers ping-pong,
+// so the steady state allocates nothing.  For a real wire, the hot route
+// bypasses the bus entirely: FrameDecoder -> IngestQueue ->
+// CentralStation::ingest(batch) (see net/wire.hpp).
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fadewich/net/measurement.hpp"
@@ -13,7 +18,11 @@ namespace fadewich::net {
 
 class MessageBus {
  public:
-  void publish(const Measurement& m);
+  void publish(const Measurement& m) { queue_.push_back(m); }
+
+  /// Swap all queued measurements into `out` (cleared first), in publish
+  /// order.  `out`'s old capacity becomes the next accumulation buffer.
+  void drain_into(std::vector<Measurement>& out);
 
   /// Remove and return all queued measurements in publish order.
   std::vector<Measurement> drain();
@@ -21,7 +30,7 @@ class MessageBus {
   std::size_t pending() const { return queue_.size(); }
 
  private:
-  std::deque<Measurement> queue_;
+  std::vector<Measurement> queue_;
 };
 
 }  // namespace fadewich::net

@@ -1,0 +1,214 @@
+#include "fadewich/net/wire.hpp"
+
+#include <cstring>
+
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+#include "fadewich/sim/recording.hpp"
+
+namespace fadewich::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'D', 'W', 'F'};
+
+// Explicit little-endian accessors define the byte order of the wire
+// independent of the host; compilers collapse them to plain loads and
+// stores on little-endian targets.
+
+std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+void store_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+bool starts_with_magic(const std::uint8_t* p) {
+  return std::memcmp(p, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace
+
+std::int8_t wire_encode_dbm(double rssi_dbm) {
+  return sim::Recording::encode_dbm(rssi_dbm);
+}
+
+void encode_frame(const FrameHeader& header,
+                  std::span<const WireReport> reports,
+                  std::vector<std::uint8_t>& out) {
+  FADEWICH_EXPECTS(!reports.empty());
+  FADEWICH_EXPECTS(reports.size() <= kMaxFrameReports);
+  const std::size_t start = out.size();
+  out.resize(start + wire_frame_size(reports.size()));
+  std::uint8_t* p = out.data() + start;
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  p[4] = kWireVersion;
+  p[5] = 0;  // flags, reserved
+  store_u16(p + 6, header.station_id);
+  store_u64(p + 8, header.seq);
+  store_u64(p + 16, static_cast<std::uint64_t>(header.tick));
+  store_u16(p + 24, header.tx);
+  store_u16(p + 26, static_cast<std::uint16_t>(reports.size()));
+  std::uint8_t* q = p + kWireHeaderSize;
+  for (const WireReport& r : reports) {
+    store_u16(q, r.rx);
+    q[2] = static_cast<std::uint8_t>(r.rssi_dbm);
+    q += kWireReportSize;
+  }
+  const std::size_t covered =
+      kWireHeaderSize - sizeof(kMagic) + kWireReportSize * reports.size();
+  store_u32(q, crc32(p + sizeof(kMagic), covered));
+}
+
+void to_measurements(const DecodedFrame& frame,
+                     std::vector<Measurement>& out) {
+  out.reserve(out.size() + frame.reports.size());
+  for (const WireReport& r : frame.reports) {
+    out.push_back({frame.header.tx, r.rx, frame.header.tick,
+                   static_cast<double>(r.rssi_dbm)});
+  }
+}
+
+obs::HealthBlock health_block(const WireCounters& counters) {
+  obs::HealthBlock block;
+  block.name = "wire_decoder";
+  block.add("frames_ok", static_cast<double>(counters.frames_ok));
+  block.add("reports", static_cast<double>(counters.reports));
+  block.add("bad_version", static_cast<double>(counters.bad_version));
+  block.add("bad_length", static_cast<double>(counters.bad_length));
+  block.add("bad_crc", static_cast<double>(counters.bad_crc));
+  block.add("resync_bytes", static_cast<double>(counters.resync_bytes));
+  block.add("truncated", static_cast<double>(counters.truncated));
+  block.add("seq_gaps", static_cast<double>(counters.seq_gaps));
+  block.add("seq_reordered", static_cast<double>(counters.seq_reordered));
+  block.add("rejected_frames",
+            static_cast<double>(counters.rejected_frames()));
+  return block;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameDecoder::compact() {
+  // Drop the consumed prefix once it dominates the buffer so the memmove
+  // amortises to O(1) per byte; never while a caller may hold spans into
+  // frame_ (frame_ owns its copies, so any time is safe).
+  if (pos_ > 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+void FrameDecoder::track_sequence(const FrameHeader& header) {
+  const auto [it, inserted] =
+      last_seq_.try_emplace(header.station_id, header.seq);
+  if (inserted) return;
+  if (header.seq <= it->second) {
+    ++counters_.seq_reordered;
+    return;  // keep the high-water mark
+  }
+  if (header.seq != it->second + 1) ++counters_.seq_gaps;
+  it->second = header.seq;
+}
+
+const DecodedFrame* FrameDecoder::next() {
+  // One loop, three outcomes per iteration: deliver a valid frame,
+  // reject-and-resync by one byte (so a corrupt length field can never
+  // swallow the valid frames behind it), or stop and wait for more
+  // bytes.  No input byte sequence throws.
+  while (buffer_.size() - pos_ >= sizeof(kMagic)) {
+    const std::uint8_t* p = buffer_.data() + pos_;
+    if (!starts_with_magic(p)) {
+      ++pos_;
+      ++counters_.resync_bytes;
+      continue;
+    }
+    const std::size_t avail = buffer_.size() - pos_;
+    if (avail < kWireHeaderSize) break;  // header still arriving
+    if (p[4] != kWireVersion || p[5] != 0) {
+      ++counters_.bad_version;
+      ++pos_;
+      continue;
+    }
+    const std::uint16_t count = load_u16(p + 26);
+    if (count == 0 || count > kMaxFrameReports) {
+      ++counters_.bad_length;
+      ++pos_;
+      continue;
+    }
+    const std::size_t total = wire_frame_size(count);
+    if (avail < total) break;  // body still arriving
+    const std::size_t covered = total - sizeof(kMagic) - kWireTrailerSize;
+    if (crc32(p + sizeof(kMagic), covered) !=
+        load_u32(p + total - kWireTrailerSize)) {
+      ++counters_.bad_crc;
+      ++pos_;
+      continue;
+    }
+
+    frame_.header.station_id = load_u16(p + 6);
+    frame_.header.seq = load_u64(p + 8);
+    frame_.header.tick = static_cast<Tick>(load_u64(p + 16));
+    frame_.header.tx = load_u16(p + 24);
+    frame_.reports.resize(count);  // reuses capacity across frames
+    const std::uint8_t* q = p + kWireHeaderSize;
+    for (std::uint16_t i = 0; i < count; ++i) {
+      frame_.reports[i].rx = load_u16(q);
+      frame_.reports[i].rssi_dbm = static_cast<std::int8_t>(q[2]);
+      q += kWireReportSize;
+    }
+    pos_ += total;
+    ++counters_.frames_ok;
+    counters_.reports += count;
+    track_sequence(frame_.header);
+    return &frame_;
+  }
+  return nullptr;
+}
+
+void FrameDecoder::finish() {
+  const std::size_t leftover = buffer_.size() - pos_;
+  if (leftover > 0) {
+    // A leftover that opens with magic is a genuinely cut-off frame;
+    // anything shorter or unaligned is stray bytes being resynced past.
+    if (leftover >= sizeof(kMagic) &&
+        starts_with_magic(buffer_.data() + pos_)) {
+      ++counters_.truncated;
+    } else {
+      counters_.resync_bytes += leftover;
+    }
+  }
+  buffer_.clear();
+  pos_ = 0;
+}
+
+}  // namespace fadewich::net

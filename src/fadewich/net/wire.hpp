@@ -1,0 +1,150 @@
+// The binary wire format for sensor reports — the front door a real
+// deployment would ingest at line rate.
+//
+// One frame carries one transmitter's beacon round as heard by its
+// receivers: every receiver's RSSI for one (station, tick, tx), batched
+// so per-report framing overhead stays a few bytes.  Layout, all fields
+// little-endian:
+//
+//   offset size  field
+//   0      4     magic 'F' 'D' 'W' 'F'
+//   4      1     version (currently 1)
+//   5      1     flags (reserved, must be 0)
+//   6      2     station id
+//   8      8     sequence number (per-station, increments per frame)
+//   16     8     tick (int64)
+//   24     2     transmitter device id
+//   26     2     report count n (1 .. kMaxFrameReports)
+//   28     3*n   n x { receiver device id (u16), rssi (int8 dBm) }
+//   28+3n  4     CRC-32 (common::Crc32) over bytes [4, 28+3n)
+//
+// RSSI rides as int8 dBm in the sim::Recording encoding ([-128, 0]
+// covers every real radio's reporting range), so replaying a recording
+// over the wire reproduces the in-process byte stream exactly.
+//
+// FrameDecoder is the receive side: feed it bytes in arbitrary chunks
+// and pull frames.  It never throws on input bytes — a truncated,
+// bit-flipped, or oversized frame is counted in WireCounters (the same
+// count-don't-abort taxonomy as net::FaultInjector) and the decoder
+// resynchronises on the next magic, so one corrupt frame costs exactly
+// that frame.  Sequence-number gaps and reordering are counted per
+// station but never block delivery: the CentralStation's tick-indexed
+// assembly already tolerates reordered reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "fadewich/net/measurement.hpp"
+#include "fadewich/obs/export.hpp"
+
+namespace fadewich::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderSize = 28;
+inline constexpr std::size_t kWireReportSize = 3;
+inline constexpr std::size_t kWireTrailerSize = 4;
+/// Receivers per frame: one frame batches at most one beacon round, and
+/// no supported deployment exceeds 4096 devices (sim recording cap).
+inline constexpr std::size_t kMaxFrameReports = 4095;
+
+/// Total encoded size of a frame carrying `reports` measurements.
+constexpr std::size_t wire_frame_size(std::size_t reports) {
+  return kWireHeaderSize + kWireReportSize * reports + kWireTrailerSize;
+}
+
+/// One receiver's entry in a frame's report batch.
+struct WireReport {
+  DeviceId rx = 0;
+  std::int8_t rssi_dbm = 0;
+};
+
+/// The per-frame header fields (everything but the report batch).
+struct FrameHeader {
+  std::uint16_t station_id = 0;
+  std::uint64_t seq = 0;
+  Tick tick = 0;
+  DeviceId tx = 0;
+};
+
+/// A decoded frame.  `reports` storage is owned by the decoder and
+/// reused between next() calls — copy out what must outlive the pull.
+struct DecodedFrame {
+  FrameHeader header;
+  std::vector<WireReport> reports;
+};
+
+/// The int8 dBm wire encoding, identical to sim::Recording::encode_dbm
+/// so live capture and recording playback quantise the same way.
+std::int8_t wire_encode_dbm(double rssi_dbm);
+
+/// Append one encoded frame to `out`.  Requires 1 <= reports.size() <=
+/// kMaxFrameReports (contract: the encoder runs on trusted data).
+void encode_frame(const FrameHeader& header,
+                  std::span<const WireReport> reports,
+                  std::vector<std::uint8_t>& out);
+
+/// Expand a decoded frame into bus-level measurements (int8 -> double),
+/// appending to `out`.
+void to_measurements(const DecodedFrame& frame,
+                     std::vector<Measurement>& out);
+
+/// Decode-side degradation counters.  Like FaultInjector::Counters,
+/// every abnormal input is counted, never thrown.
+struct WireCounters {
+  std::uint64_t frames_ok = 0;      // frames delivered to the caller
+  std::uint64_t reports = 0;        // measurements inside those frames
+  std::uint64_t bad_version = 0;    // unknown version or nonzero flags
+  std::uint64_t bad_length = 0;     // zero or oversized report count
+  std::uint64_t bad_crc = 0;        // payload failed the CRC trailer
+  std::uint64_t resync_bytes = 0;   // bytes skipped hunting for magic
+  std::uint64_t truncated = 0;      // partial frames cut off by finish()
+  std::uint64_t seq_gaps = 0;       // forward jumps in a station's seq
+  std::uint64_t seq_reordered = 0;  // seq at or below the station's last
+
+  /// Frames inspected and refused (resync skips are counted in bytes,
+  /// not here: arbitrary garbage has no frame boundaries to count).
+  std::uint64_t rejected_frames() const {
+    return bad_version + bad_length + bad_crc + truncated;
+  }
+};
+
+/// Flatten decoder counters for obs::ScrapeReport.
+obs::HealthBlock health_block(const WireCounters& counters);
+
+class FrameDecoder {
+ public:
+  FrameDecoder() = default;
+
+  /// Buffer a chunk of the byte stream.  Chunk boundaries are arbitrary:
+  /// frames may span feeds.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Decode and return the next valid frame, or nullptr when the
+  /// buffered bytes hold none (feed more).  Invalid bytes are counted
+  /// and skipped.  The returned frame is valid until the next call.
+  const DecodedFrame* next();
+
+  /// Declare end-of-stream: any buffered partial frame is counted as
+  /// truncated and discarded.  The decoder is reusable afterwards.
+  void finish();
+
+  /// Bytes fed but not yet consumed by next().
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+  const WireCounters& counters() const { return counters_; }
+
+ private:
+  void track_sequence(const FrameHeader& header);
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  DecodedFrame frame_;   // reused output storage
+  std::map<std::uint16_t, std::uint64_t> last_seq_;  // per station
+  WireCounters counters_;
+};
+
+}  // namespace fadewich::net

@@ -1,5 +1,6 @@
 #include "fadewich/sim/recording_io.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -7,6 +8,7 @@
 
 #include "fadewich/common/crc32.hpp"
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/io_limits.hpp"
 
 namespace fadewich::sim {
 
@@ -140,13 +142,20 @@ Recording load_recording(std::istream& is) {
   const auto day_length = read_pod<double>(is, crc);
   const auto days = read_pod<std::uint64_t>(is, crc);
   const auto ticks = read_count(is, crc, kMaxTicks, "tick");
-  if (tick_hz <= 0.0 || sensor_count < 2 || day_length <= 0.0 ||
-      days < 1) {
+  // isfinite, not just the sign tests: every comparison below is false
+  // for NaN, so a corrupt header with NaN fields would otherwise pass.
+  if (!std::isfinite(tick_hz) || tick_hz <= 0.0 || sensor_count < 2 ||
+      !std::isfinite(day_length) || day_length <= 0.0 || days < 1) {
     throw Error("recording header is implausible");
   }
 
-  Recording recording(tick_hz, sensor_count, day_length, days);
+  // The per-count caps bound streams and ticks individually; the product
+  // is what the loop below actually allocates, so cap it too — before
+  // even the Recording's per-stream bookkeeping is sized.
   const std::uint64_t streams = sensor_count * (sensor_count - 1);
+  checked_load_bytes(streams, ticks, "recording sample block");
+
+  Recording recording(tick_hz, sensor_count, day_length, days);
   std::vector<std::vector<std::int8_t>> data(streams);
   for (auto& stream : data) {
     stream.resize(ticks);

@@ -1,0 +1,137 @@
+#include "fadewich/net/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::net {
+namespace {
+
+std::vector<WireReport> two_reports() {
+  return {{1, -41}, {2, -42}};
+}
+
+std::string write_small_capture(std::uint64_t frames = 3) {
+  std::stringstream buffer;
+  CaptureWriter writer(buffer, 5.0, 3);
+  for (std::uint64_t seq = 0; seq < frames; ++seq) {
+    writer.append({0, seq, static_cast<Tick>(seq), 0}, two_reports());
+  }
+  EXPECT_EQ(writer.frames_written(), frames);
+  return buffer.str();
+}
+
+TEST(CaptureTest, RoundTripsHeaderAndFrames) {
+  std::stringstream buffer(write_small_capture(4));
+  const Capture capture = load_capture(buffer);
+  EXPECT_DOUBLE_EQ(capture.header.tick_hz, 5.0);
+  EXPECT_EQ(capture.header.device_count, 3u);
+  EXPECT_EQ(capture.frames.size(), 4 * wire_frame_size(2));
+
+  FrameDecoder decoder;
+  decoder.feed(capture.frames);
+  std::size_t decoded = 0;
+  while (const DecodedFrame* frame = decoder.next()) {
+    EXPECT_EQ(frame->header.seq, decoded);
+    ++decoded;
+  }
+  decoder.finish();
+  EXPECT_EQ(decoded, 4u);
+  EXPECT_EQ(decoder.counters().rejected_frames(), 0u);
+}
+
+TEST(CaptureTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fadewich_capture.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << write_small_capture();
+  }
+  const Capture capture = load_capture(path);
+  EXPECT_EQ(capture.header.device_count, 3u);
+  EXPECT_EQ(capture.frames.size(), 3 * wire_frame_size(2));
+}
+
+TEST(CaptureTest, WriterRejectsImplausibleParameters) {
+  std::stringstream buffer;
+  EXPECT_THROW(CaptureWriter(buffer, 0.0, 3), Error);
+  EXPECT_THROW(
+      CaptureWriter(buffer, std::numeric_limits<double>::quiet_NaN(), 3),
+      Error);
+  EXPECT_THROW(CaptureWriter(buffer, 5.0, 1), Error);
+  EXPECT_THROW(CaptureWriter(buffer, 5.0, kMaxCaptureDevices + 1), Error);
+}
+
+TEST(CaptureTest, RejectsBadMagic) {
+  std::string bytes = write_small_capture();
+  bytes[0] = 'X';
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_capture(tampered), Error);
+}
+
+TEST(CaptureTest, RejectsWrongVersion) {
+  std::string bytes = write_small_capture();
+  bytes[4] = 9;
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_capture(tampered), Error);
+}
+
+TEST(CaptureTest, RejectsNaNTickRate) {
+  std::string bytes = write_small_capture();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(&bytes[8], &nan, sizeof(nan));
+  // Re-stamp the header CRC so only the NaN check can reject: this is
+  // the plausibility hole, not the integrity one.
+  const std::uint32_t fixed = crc32(bytes.data() + 4, 20);
+  std::memcpy(&bytes[24], &fixed, sizeof(fixed));
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_capture(tampered), Error);
+}
+
+TEST(CaptureTest, RejectsCorruptHeaderCrc) {
+  std::string bytes = write_small_capture();
+  bytes[17] ^= 0x01;  // device-count byte, CRC not re-stamped
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_capture(tampered), Error);
+}
+
+TEST(CaptureTest, RejectsTruncatedHeader) {
+  const std::string bytes = write_small_capture();
+  std::stringstream truncated(bytes.substr(0, 10));
+  EXPECT_THROW(load_capture(truncated), Error);
+}
+
+TEST(CaptureTest, FrameLoadRespectsTheByteCap) {
+  const std::string bytes = write_small_capture(8);
+  std::stringstream is(bytes);
+  read_capture_header(is);
+  // A cap below the frame bytes must reject; the default cap admits it.
+  EXPECT_THROW(read_capture_frames(is, 16), Error);
+  std::stringstream again(bytes);
+  read_capture_header(again);
+  EXPECT_EQ(read_capture_frames(again).size(), 8 * wire_frame_size(2));
+}
+
+TEST(CaptureTest, TornTailCostsOneFrameNotTheFile) {
+  // Append-only contract: cutting the file mid-frame leaves everything
+  // before the tear decodable.
+  const std::string bytes = write_small_capture(3);
+  std::stringstream torn(bytes.substr(0, bytes.size() - 5));
+  const Capture capture = load_capture(torn);
+  FrameDecoder decoder;
+  decoder.feed(capture.frames);
+  std::size_t decoded = 0;
+  while (decoder.next() != nullptr) ++decoded;
+  decoder.finish();
+  EXPECT_EQ(decoded, 2u);
+  EXPECT_EQ(decoder.counters().truncated, 1u);
+}
+
+}  // namespace
+}  // namespace fadewich::net

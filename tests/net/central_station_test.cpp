@@ -253,6 +253,61 @@ TEST(CentralStationTest, PendingIsBoundedAndEvictionsAreRecorded) {
             static_cast<std::uint64_t>(ticks) - config.max_pending);
 }
 
+TEST(CentralStationTest, StrictModeStragglerDoesNotStallRelease) {
+  // Regression: with deadline_ticks == 0 the watermark check used to be
+  // skipped, so a straggler for a tick already released *and taken*
+  // re-opened a pending row that could never complete — and held every
+  // newer released tick at the monotone-release gate forever.
+  CentralStation station(2);  // strict mode: no deadline
+  MessageBus bus;
+  publish_full_round(bus, 2, 0, -40.0);
+  ASSERT_EQ(station.ingest(bus).size(), 1u);
+  ASSERT_TRUE(station.take_row(0).has_value());
+
+  // The straggler: a duplicate of a tick-0 report shows up late.
+  bus.publish({0, 1, 0, -40.0});
+  EXPECT_TRUE(station.ingest(bus).empty());
+  EXPECT_EQ(station.health().late_reports, 1u);
+  EXPECT_EQ(station.buffered_count(), 0u);  // no re-opened pending row
+
+  // Every newer tick must keep releasing.
+  publish_full_round(bus, 2, 1, -41.0);
+  const auto ready = station.ingest(bus);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1);
+  EXPECT_TRUE(station.take_row(1).has_value());
+}
+
+TEST(CentralStationTest, BatchIngestMatchesBusIngest) {
+  // The span overload is the wire hot route; it must be semantically
+  // identical to draining the same measurements off the bus.
+  CentralStation bus_station(3);
+  CentralStation batch_station(3);
+  MessageBus bus;
+  publish_full_round(bus, 3, 4, -44.0);
+  bus.publish({0, 1, 4, -30.0});  // duplicate
+  bus.publish({0, 1, 9, -31.0});  // future tick, incomplete
+
+  std::vector<Measurement> batch;
+  MessageBus copy_bus;
+  publish_full_round(copy_bus, 3, 4, -44.0);
+  copy_bus.publish({0, 1, 4, -30.0});
+  copy_bus.publish({0, 1, 9, -31.0});
+  copy_bus.drain_into(batch);
+
+  const auto from_bus = bus_station.ingest(bus);
+  const auto from_batch = batch_station.ingest(batch);
+  ASSERT_EQ(from_bus, from_batch);
+  ASSERT_EQ(from_bus.size(), 1u);
+  const auto bus_row = bus_station.take_row(4);
+  const auto batch_row = batch_station.take_row(4);
+  ASSERT_TRUE(bus_row.has_value() && batch_row.has_value());
+  EXPECT_EQ(bus_row->values, batch_row->values);
+  EXPECT_EQ(bus_row->valid, batch_row->valid);
+  EXPECT_EQ(bus_station.health().duplicates,
+            batch_station.health().duplicates);
+}
+
 TEST(CentralStationTest, HealthCountsReports) {
   CentralStation station(2);
   MessageBus bus;

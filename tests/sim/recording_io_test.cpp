@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "fadewich/common/error.hpp"
@@ -159,6 +160,42 @@ TEST(RecordingIoTest, RejectsAbsurdCountsBeforeAllocating) {
   std::memcpy(&bytes[40], &absurd, sizeof(absurd));
   std::stringstream tampered2(bytes);
   EXPECT_THROW(load_recording(tampered2), Error);
+}
+
+TEST(RecordingIoTest, RejectsNaNHeaderFields) {
+  // tick_hz <= 0.0 and day_length <= 0.0 are false for NaN, so a corrupt
+  // header with NaN fields used to pass the plausibility check.
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // tick_hz sits after magic(4) + version(4).
+  std::string bytes = buffer.str();
+  std::memcpy(&bytes[8], &nan, sizeof(nan));
+  std::stringstream bad_hz(bytes);
+  EXPECT_THROW(load_recording(bad_hz), Error);
+
+  // day_length sits after tick_hz(8) + sensor_count(8).
+  bytes = buffer.str();
+  std::memcpy(&bytes[24], &nan, sizeof(nan));
+  std::stringstream bad_day(bytes);
+  EXPECT_THROW(load_recording(bad_day), Error);
+}
+
+TEST(RecordingIoTest, RejectsImplausibleAggregateSizeBeforeAllocating) {
+  // Each count passes its individual cap, but streams x ticks would be
+  // petabytes: the aggregate-bytes cap must reject before any resize.
+  const Recording original = make_recording();
+  std::stringstream buffer;
+  save_recording(original, buffer);
+  std::string bytes = buffer.str();
+  const std::uint64_t sensors = 4096;             // == kMaxSensors
+  const std::uint64_t ticks = 1ull << 32;         // < kMaxTicks
+  std::memcpy(&bytes[16], &sensors, sizeof(sensors));
+  std::memcpy(&bytes[40], &ticks, sizeof(ticks));
+  std::stringstream tampered(bytes);
+  EXPECT_THROW(load_recording(tampered), Error);
 }
 
 }  // namespace

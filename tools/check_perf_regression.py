@@ -19,6 +19,12 @@ CI keeps one baseline per (isa, native) leg it gates.
 
 Usage:
     check_perf_regression.py BASELINE CURRENT [--tolerance 0.25]
+        [--section hotpaths]
+
+`--section` selects which report section holds the gated ratios:
+`hotpaths` (the default, BENCH_hotpaths.json) or any other section of
+`"name": {"speedup": r}` entries — e.g. `--section ingest_ratios` for
+BENCH_ingest.json once an ingestion baseline lands.
 
 Regenerating the baseline (after an intentional kernel change):
     FADEWICH_BENCH_FAST=1 ./build/bench/bench_micro_hotpaths --fast \
@@ -34,11 +40,11 @@ import json
 import sys
 
 
-def load_report(path):
+def load_report(path, section):
     with open(path) as f:
         doc = json.load(f)
-    if "hotpaths" not in doc:
-        sys.exit(f"{path}: no 'hotpaths' section (wrong schema?)")
+    if section not in doc:
+        sys.exit(f"{path}: no {section!r} section (wrong schema?)")
     return doc
 
 
@@ -64,10 +70,13 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup regression "
                              "(default 0.25)")
+    parser.add_argument("--section", default="hotpaths",
+                        help="report section holding the gated "
+                             "'speedup' entries (default: hotpaths)")
     args = parser.parse_args()
 
-    baseline_doc = load_report(args.baseline)
-    current_doc = load_report(args.current)
+    baseline_doc = load_report(args.baseline, args.section)
+    current_doc = load_report(args.current, args.section)
 
     reason = comparable(baseline_doc, current_doc)
     if reason is not None:
@@ -75,8 +84,8 @@ def main():
               "ratio gating needs a baseline from the same ISA/build leg")
         return 0
 
-    baseline = baseline_doc["hotpaths"]
-    current = current_doc["hotpaths"]
+    baseline = baseline_doc[args.section]
+    current = current_doc[args.section]
 
     failures = []
     checked = 0
