@@ -1,0 +1,201 @@
+// Active-adversary trajectory: the security outcome while the reporting
+// path is under attack — forged frames, replay takeover, floods,
+// sensor-outage DoS, and RF jamming — with the defend module off and
+// on.  Writes BENCH_adversary.json so successive PRs can regress
+// against detection rates and under-attack case-A accuracy.
+//
+//   ./bench_adversary [output.json]   (default: BENCH_adversary.json)
+//
+// Two hard checks, both fatal (nonzero exit):
+//   1. The clean run with the defender enabled must reconstruct a
+//      bit-identical RSSI matrix to the clean run without it — the
+//      defender may not tax an honest week.
+//   2. With the defender on, no *frame-injecting* campaign (forge,
+//      replay, flood) may add spurious deauthentications over the
+//      defended clean anchor.  Pure availability attacks (outage DoS,
+//      RF jamming) remove information the defender cannot conjure
+//      back; their residual outcome shift is reported, not gated.
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "fadewich/eval/attack_sweep.hpp"
+#include "fadewich/exec/thread_pool.hpp"
+
+using namespace fadewich;
+
+namespace {
+
+void write_json(const std::string& path, bool clean_identical,
+                const std::vector<eval::AttackScenarioResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_adversary: cannot open " << path
+              << " for writing\n";
+    std::exit(1);
+  }
+  out.precision(6);
+  out << "{\n";
+  out << bench::json_stamp("fadewich-bench-adversary/1",
+                           exec::default_thread_count());
+  out << "  \"clean_runs_identical\": "
+      << (clean_identical ? "true" : "false") << ",\n";
+  out << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const eval::AttackScenarioResult& r = results[i];
+    const std::uint64_t injected =
+        r.attack.forged + r.attack.replayed + r.attack.flooded;
+    const double detection =
+        injected == 0 ? 0.0
+                      : static_cast<double>(r.defend.frames_rejected()) /
+                            static_cast<double>(injected);
+    out << "    {\n";
+    out << "      \"name\": \"" << r.scenario.name << "\",\n";
+    out << "      \"defended\": " << (r.scenario.defend ? "true" : "false")
+        << ",\n";
+    out << "      \"leave_events\": " << r.leave_events << ",\n";
+    out << "      \"case_a\": " << r.case_a << ",\n";
+    out << "      \"case_b\": " << r.case_b << ",\n";
+    out << "      \"case_c\": " << r.case_c << ",\n";
+    out << "      \"mean_deauth_delay_s\": " << r.mean_delay << ",\n";
+    out << "      \"p90_deauth_delay_s\": " << r.p90_delay << ",\n";
+    out << "      \"re_accuracy\": " << r.re_accuracy << ",\n";
+    out << "      \"spurious_deauths\": " << r.spurious_deauths << ",\n";
+    out << "      \"attack_forged\": " << r.attack.forged << ",\n";
+    out << "      \"attack_replayed\": " << r.attack.replayed << ",\n";
+    out << "      \"attack_flooded\": " << r.attack.flooded << ",\n";
+    out << "      \"attack_suppressed\": " << r.attack.suppressed << ",\n";
+    out << "      \"attack_jammed_samples\": " << r.attack.jammed_samples
+        << ",\n";
+    out << "      \"defend_frames_rejected\": "
+        << r.defend.frames_rejected() << ",\n";
+    out << "      \"defend_bad_tag\": " << r.defend.bad_tag << ",\n";
+    out << "      \"defend_unauthenticated\": " << r.defend.unauthenticated
+        << ",\n";
+    out << "      \"defend_replayed\": "
+        << r.defend.replayed + r.defend.stale << ",\n";
+    out << "      \"defend_rate_limited\": " << r.defend.rate_limited
+        << ",\n";
+    out << "      \"defend_reports_dropped\": "
+        << r.defend.impossible_rssi + r.defend.variance_flags +
+               r.defend.stuck_drops + r.defend.link_quarantine_drops
+        << ",\n";
+    out << "      \"defend_link_quarantine_drops\": "
+        << r.defend.link_quarantine_drops << ",\n";
+    out << "      \"detection_rate\": " << detection << ",\n";
+    out << "      \"station_imputed_cells\": " << r.health.imputed_cells
+        << ",\n";
+    out << "      \"station_malformed\": " << r.health.malformed << ",\n";
+    out << "      \"station_duplicates_rejected\": "
+        << r.health.duplicates_rejected << ",\n";
+    out << "      \"wire_rejected_frames\": " << r.wire.rejected_frames()
+        << ",\n";
+    out << "      \"row_digest\": " << r.row_digest << "\n";
+    out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("BENCH_adversary.json");
+  const eval::PaperExperiment experiment = bench::make_experiment();
+  const std::vector<std::size_t> sensors =
+      eval::sensor_subset(experiment.recording.sensor_count());
+  const std::vector<rf::Point>& positions = experiment.plan.sensors;
+  const Tick ticks = experiment.recording.tick_count();
+  const std::size_t devices = experiment.recording.sensor_count();
+  const defend::DefendConfig defend_config;  // library defaults
+
+  std::vector<eval::AttackScenarioResult> results;
+  for (const bool defended : {false, true}) {
+    for (const eval::AttackScenario& scenario :
+         eval::standard_attack_scenarios(ticks, devices, defended,
+                                         defend_config, /*seed=*/11)) {
+      std::cerr << "[bench_adversary] " << scenario.name
+                << (defended ? " (defended)..." : " (undefended)...")
+                << "\n";
+      results.push_back(eval::evaluate_attack_scenario(
+          experiment.recording, positions, sensors,
+          eval::default_md_config(), eval::SecurityConfig{}, scenario));
+      const eval::AttackScenarioResult& r = results.back();
+      std::cerr << "[bench_adversary]   A=" << r.case_a
+                << " B=" << r.case_b << " C=" << r.case_c << " of "
+                << r.leave_events << ", spurious " << r.spurious_deauths
+                << ", rejected " << r.defend.frames_rejected() << "\n";
+    }
+  }
+
+  const auto find = [&](const std::string& name,
+                        bool defended) -> const eval::AttackScenarioResult& {
+    for (const eval::AttackScenarioResult& r : results) {
+      if (r.scenario.name == name && r.scenario.defend == defended) {
+        return r;
+      }
+    }
+    std::cerr << "bench_adversary: missing scenario " << name << "\n";
+    std::exit(1);
+  };
+
+  const eval::AttackScenarioResult& clean_off = find("clean", false);
+  const eval::AttackScenarioResult& clean_on = find("clean", true);
+  const bool clean_identical = clean_off.row_digest == clean_on.row_digest;
+
+  eval::print_banner(std::cout,
+                     "Active adversary: deauth outcome under attack, "
+                     "defender off vs on");
+  eval::TextTable table({"campaign", "defended", "case A", "case B",
+                         "case C", "spurious", "detect %", "imputed"});
+  for (const eval::AttackScenarioResult& r : results) {
+    const std::uint64_t injected =
+        r.attack.forged + r.attack.replayed + r.attack.flooded;
+    const double detection =
+        injected == 0 ? 0.0
+                      : 100.0 * static_cast<double>(
+                                    r.defend.frames_rejected()) /
+                            static_cast<double>(injected);
+    table.add_row({r.scenario.name, r.scenario.defend ? "yes" : "no",
+                   std::to_string(r.case_a), std::to_string(r.case_b),
+                   std::to_string(r.case_c),
+                   std::to_string(r.spurious_deauths),
+                   eval::fmt(detection, 1),
+                   std::to_string(r.health.imputed_cells)});
+  }
+  table.print(std::cout);
+
+  write_json(path, clean_identical, results);
+  std::cerr << "[bench_adversary] wrote " << path << "\n";
+
+  int rc = 0;
+  if (!clean_identical) {
+    std::cerr << "bench_adversary: FAIL — defender changed the clean "
+                 "reconstruction (digest "
+              << clean_on.row_digest << " vs " << clean_off.row_digest
+              << ")\n";
+    rc = 1;
+  }
+  for (const eval::AttackScenarioResult& r : results) {
+    if (!r.scenario.defend || !r.scenario.attack.enabled()) continue;
+    const bool injects_frames = r.attack.forged + r.attack.replayed +
+                                    r.attack.flooded >
+                                0;
+    if (!injects_frames) continue;
+    if (r.spurious_deauths > clean_on.spurious_deauths) {
+      std::cerr << "bench_adversary: FAIL — campaign " << r.scenario.name
+                << " induced " << r.spurious_deauths -
+                                      clean_on.spurious_deauths
+                << " spurious deauth(s) past the defender\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::cout << "\nclean runs bit-identical; no defended campaign "
+                 "induced a spurious deauthentication\n";
+  }
+  return rc;
+}

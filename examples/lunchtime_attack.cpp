@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "fadewich/eval/adversary.hpp"
+#include "fadewich/eval/attack_sweep.hpp"
 #include "fadewich/eval/paper_setup.hpp"
 #include "fadewich/eval/report.hpp"
 #include "fadewich/eval/security.hpp"
@@ -98,5 +99,56 @@ int main() {
   std::cout << "With enough sensors the deauthentication lands before\n"
                "either adversary can sit down: the lunchtime attack\n"
                "window closes.\n";
+
+  // -- Act two: the adversary goes active -----------------------------
+  //
+  // A smarter insider does not race the deauthentication — they turn
+  // the sensing system itself into the weapon.  By capturing station
+  // 0's authenticated frames off the wire, suppressing the originals
+  // and re-injecting them with the sequence number and tick rewritten
+  // (the CRC is public; the keyed tag they cannot recompute), they
+  // feed FADEWICH a stale picture of the corridor: phantom movement
+  // where there is none, forced deauthentications on demand.
+  eval::print_banner(std::cout,
+                     "Active adversary: replay takeover of station 0");
+  const Tick ticks = experiment.recording.tick_count();
+  eval::AttackScenario takeover;
+  takeover.name = "replay_takeover";
+  takeover.attack.capture_probability = 0.5;
+  takeover.attack.replay_delay_ticks = 10;
+  takeover.attack.replay_rewrite = true;
+  takeover.attack.replay_suppress = true;
+  takeover.attack.replay_station = 0;
+  takeover.attack.replay_from = ticks / 3;
+  takeover.attack.replay_to = 2 * ticks / 3;
+
+  for (const bool defended : {false, true}) {
+    takeover.defend = defended;
+    const eval::AttackScenarioResult r = eval::evaluate_attack_scenario(
+        experiment.recording, experiment.plan.sensors,
+        eval::sensor_subset(9), eval::default_md_config(),
+        eval::SecurityConfig{}, takeover);
+    std::cout << (defended ? "defender ON:  " : "defender OFF: ")
+              << r.attack.replayed << " frames replayed, "
+              << r.attack.suppressed << " suppressed -> "
+              << r.spurious_deauths
+              << " attacker-forced deauthentication(s)";
+    if (defended) {
+      std::cout << " (" << r.defend.frames_rejected()
+                << " hostile frames rejected, "
+                << r.defend.bad_tag + r.defend.replayed + r.defend.stale
+                << " by tag/replay checks)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nWithout the defend module every rewritten frame lands\n"
+               "and each phantom movement burst locks a real session —\n"
+               "a denial of service the attacker can aim.  With frame\n"
+               "authentication and the replay window in the path, every\n"
+               "spliced frame fails its tag and the phantom movement\n"
+               "disappears.  What remains is only the blackout the\n"
+               "attacker bought by suppressing real traffic — an\n"
+               "availability loss the imputation path degrades through,\n"
+               "no longer a signal the attacker steers.\n";
   return 0;
 }

@@ -1,0 +1,222 @@
+#include "fadewich/net/adversary.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+#include "fadewich/exec/thread_pool.hpp"
+#include "fadewich/obs/obs.hpp"
+
+namespace fadewich::net {
+
+namespace {
+
+// Rng purpose lanes: keep every campaign's draws on an independent
+// stream so enabling one attack never shifts another's decisions.
+constexpr std::uint64_t kForgeLane = 1u << 20;
+constexpr std::uint64_t kCaptureLane = kForgeLane + 1;
+constexpr std::uint64_t kFloodLane = kForgeLane + 2;
+
+// Little-endian stores into a captured frame being rewritten.
+void store_u64_at(std::vector<std::uint8_t>& b, std::size_t off,
+                  std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void store_u32_at(std::vector<std::uint8_t>& b, std::size_t off,
+                  std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
+AttackInjector::AttackInjector(std::size_t device_count, AttackConfig config,
+                               std::uint64_t seed)
+    : device_count_(device_count),
+      config_(std::move(config)),
+      forge_rng_(exec::task_seed(seed, kForgeLane)),
+      capture_rng_(exec::task_seed(seed, kCaptureLane)),
+      flood_rng_(exec::task_seed(seed, kFloodLane)) {
+  if (device_count < 2) {
+    throw Error("attack injector: device_count must be >= 2");
+  }
+  const std::size_t streams = device_count * (device_count - 1);
+  jam_rngs_.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    jam_rngs_.emplace_back(exec::task_seed(seed, s));
+  }
+  mask_hold_.assign(streams, 0.0);
+  mask_window_from_.assign(streams, std::numeric_limits<Tick>::min());
+}
+
+void AttackInjector::set_station_keys(std::vector<WireKey> keys) {
+  station_keys_ = std::move(keys);
+}
+
+bool AttackInjector::station_in_outage(std::uint16_t station,
+                                       Tick now) const {
+  for (const SensorOutage& o : config_.outages) {
+    if (o.device == station && now >= o.from && now <= o.to) return true;
+  }
+  return false;
+}
+
+double AttackInjector::jam(Tick now, std::size_t stream, double rssi_dbm) {
+  FADEWICH_EXPECTS(stream < jam_rngs_.size());
+  for (const JamWindow& w : config_.jams) {
+    if (now < w.from || now > w.to) continue;
+    if (!w.streams.empty() &&
+        std::find(w.streams.begin(), w.streams.end(), stream) ==
+            w.streams.end()) {
+      continue;
+    }
+    ++counters_.jammed_samples;
+    if (w.mode == JamWindow::Mode::kMimic) {
+      return rssi_dbm + jam_rngs_[stream].normal(0.0, w.sigma_db);
+    }
+    // Mask: freeze at the first value this stream shows in this window.
+    if (mask_window_from_[stream] != w.from) {
+      mask_window_from_[stream] = w.from;
+      mask_hold_[stream] = rssi_dbm;
+    }
+    return mask_hold_[stream];
+  }
+  return rssi_dbm;
+}
+
+void AttackInjector::offer_frame(const FrameHeader& header,
+                                 std::span<const std::uint8_t> bytes,
+                                 std::vector<std::uint8_t>& out) {
+  ++counters_.frames_observed;
+  // Track the victims' sequence high-water marks so forged/rewritten
+  // frames always land above the legitimate window.
+  if ((config_.forged_per_tick > 0 &&
+       header.station_id == config_.forge_station) ||
+      (config_.capture_probability > 0.0 && config_.replay_rewrite &&
+       header.station_id == config_.replay_station)) {
+    spoof_seq_ = std::max(spoof_seq_, header.seq);
+  }
+
+  const bool in_replay_window =
+      config_.replay_to == 0 ||
+      (header.tick >= config_.replay_from && header.tick < config_.replay_to);
+  if (config_.capture_probability > 0.0 && in_replay_window &&
+      capture_rng_.uniform() < config_.capture_probability) {
+    ++counters_.captured;
+    pending_replays_.push_back(
+        {header.tick + config_.replay_delay_ticks,
+         std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+  }
+
+  if (station_in_outage(header.station_id, header.tick) ||
+      (config_.replay_suppress && in_replay_window &&
+       header.station_id == config_.replay_station)) {
+    ++counters_.suppressed;
+    return;
+  }
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void AttackInjector::emit_forgeries(Tick now,
+                                    std::vector<std::uint8_t>& out) {
+  if (config_.forged_per_tick == 0 || now < config_.forge_from ||
+      now >= config_.forge_to) {
+    return;
+  }
+  const WireKey* key = nullptr;
+  if (config_.forge_with_key &&
+      config_.forge_station < station_keys_.size()) {
+    key = &station_keys_[config_.forge_station];
+  }
+  for (std::size_t i = 0; i < config_.forged_per_tick; ++i) {
+    FrameHeader header;
+    header.station_id = config_.forge_station;
+    header.tx = config_.forge_station;
+    header.tick = now;
+    header.seq = ++spoof_seq_;
+    report_scratch_.clear();
+    for (std::size_t rx = 0; rx < device_count_; ++rx) {
+      if (rx == header.tx) continue;
+      const double level = forge_rng_.normal(config_.forge_level_dbm,
+                                             config_.forge_sigma_db);
+      report_scratch_.push_back(
+          {static_cast<DeviceId>(rx), wire_encode_dbm(level)});
+    }
+    encode_frame(header, report_scratch_, out, key);
+    ++counters_.forged;
+  }
+}
+
+void AttackInjector::rewrite_frame(std::vector<std::uint8_t>& bytes,
+                                   Tick now) {
+  if (bytes.size() < wire_frame_size(1)) return;  // never true for captures
+  store_u64_at(bytes, 8, ++spoof_seq_);
+  store_u64_at(bytes, 16, static_cast<std::uint64_t>(now));
+  const std::size_t crc_off = bytes.size() - kWireTrailerSize;
+  store_u32_at(bytes, crc_off, crc32(bytes.data() + 4, crc_off - 4));
+}
+
+void AttackInjector::emit_replays(Tick now, std::vector<std::uint8_t>& out) {
+  while (!pending_replays_.empty() && pending_replays_.front().due <= now) {
+    CapturedFrame frame = std::move(pending_replays_.front());
+    pending_replays_.pop_front();
+    if (config_.replay_rewrite) rewrite_frame(frame.bytes, now);
+    out.insert(out.end(), frame.bytes.begin(), frame.bytes.end());
+    ++counters_.replayed;
+  }
+}
+
+void AttackInjector::emit_floods(Tick now, std::vector<std::uint8_t>& out) {
+  if (config_.flood_per_tick == 0 || now < config_.flood_from ||
+      now >= config_.flood_to) {
+    return;
+  }
+  for (std::size_t i = 0; i < config_.flood_per_tick; ++i) {
+    FrameHeader header;
+    header.station_id = config_.flood_station;
+    header.tx = config_.flood_station;
+    header.tick = now;
+    header.seq = static_cast<std::uint64_t>(
+        flood_rng_.uniform_int(1'000'000, 100'000'000));
+    report_scratch_.clear();
+    const std::size_t reports =
+        static_cast<std::size_t>(flood_rng_.uniform_int(1, 8));
+    for (std::size_t r = 0; r < reports; ++r) {
+      const auto rx = static_cast<DeviceId>(flood_rng_.uniform_int(
+          0, static_cast<std::int64_t>(device_count_) - 1));
+      report_scratch_.push_back(
+          {rx, wire_encode_dbm(flood_rng_.uniform(-90.0, -30.0))});
+    }
+    encode_frame(header, report_scratch_, out, nullptr);
+    ++counters_.flooded;
+  }
+}
+
+void AttackInjector::advance(Tick now, std::vector<std::uint8_t>& out) {
+  emit_forgeries(now, out);
+  emit_replays(now, out);
+  emit_floods(now, out);
+}
+
+obs::HealthBlock health_block(const AttackInjector::Counters& c) {
+  obs::HealthBlock block;
+  block.name = "attack";
+  block.add("frames_observed", static_cast<double>(c.frames_observed));
+  block.add("suppressed", static_cast<double>(c.suppressed));
+  block.add("captured", static_cast<double>(c.captured));
+  block.add("forged", static_cast<double>(c.forged));
+  block.add("replayed", static_cast<double>(c.replayed));
+  block.add("flooded", static_cast<double>(c.flooded));
+  block.add("jammed_samples", static_cast<double>(c.jammed_samples));
+  return block;
+}
+
+}  // namespace fadewich::net

@@ -1,0 +1,162 @@
+// Deterministic active-adversary injection for the wire ingestion path.
+//
+// FaultInjector models an unreliable-but-honest network; AttackInjector
+// models a hostile one.  It sits on the encoded-byte path between the
+// stations and the FrameDecoder (plus one pre-encode hook on the RF
+// values) and mounts four seeded, reproducible campaigns:
+//
+//   - forge: fabricate whole frames under a spoofed station identity,
+//     with RSSI drawn to mimic movement.  Optionally signed with the
+//     victim's key (insider / key compromise).
+//   - replay: capture authentic frames off the wire and re-inject them
+//     later — verbatim, or with the sequence number and tick rewritten
+//     to the present and the CRC re-patched (the auth tag cannot be
+//     recomputed without the key, so it goes stale).  Optionally
+//     suppresses the victim's own frames while replaying (takeover).
+//   - jam: perturb link RSSI before encoding — `mimic` adds Gaussian
+//     noise to fake movement where there is none, `mask` freezes the
+//     value at the window's first sample to hide movement that is
+//     happening.
+//   - dos: whole-station outages (uplink jammed flat, reusing the
+//     SensorOutage schedule shape) and frame floods against one
+//     station identity.
+//
+// Determinism mirrors FaultInjector: every decision comes from Rngs
+// seeded with exec::task_seed(seed, purpose), so a campaign is a pure
+// function of (config, seed) — reproducible in tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fadewich/common/rng.hpp"
+#include "fadewich/net/fault_injector.hpp"
+#include "fadewich/net/measurement.hpp"
+#include "fadewich/net/wire.hpp"
+#include "fadewich/obs/export.hpp"
+
+namespace fadewich::net {
+
+/// One jamming interval over ticks [from, to].
+struct JamWindow {
+  enum class Mode : std::uint8_t {
+    kMimic,  // add Gaussian noise: fake movement
+    kMask,   // freeze at the first value seen: hide movement
+  };
+  Tick from = 0;
+  Tick to = 0;
+  Mode mode = Mode::kMimic;
+  double sigma_db = 12.0;           // mimic noise spread
+  std::vector<std::size_t> streams; // empty = every stream
+};
+
+struct AttackConfig {
+  // -- forge ---------------------------------------------------------
+  std::size_t forged_per_tick = 0;   // 0 disables
+  std::uint16_t forge_station = 0;   // spoofed station (and tx) identity
+  Tick forge_from = 0;
+  Tick forge_to = 0;                 // exclusive
+  double forge_level_dbm = -45.0;    // fabricated mean level
+  double forge_sigma_db = 10.0;      // fabricated movement-like spread
+  bool forge_with_key = false;       // insider: sign with the real key
+
+  // -- replay --------------------------------------------------------
+  double capture_probability = 0.0;  // per frame observed on the wire
+  Tick replay_delay_ticks = 20;
+  bool replay_rewrite = false;       // splice in current seq/tick
+  bool replay_suppress = false;      // drop the victim's own frames
+  std::uint16_t replay_station = 0;  // victim identity
+  Tick replay_from = 0;
+  Tick replay_to = 0;                // exclusive; 0/0 = always
+
+  // -- jam -----------------------------------------------------------
+  std::vector<JamWindow> jams;
+
+  // -- dos -----------------------------------------------------------
+  std::vector<SensorOutage> outages; // station uplinks jammed flat
+  std::size_t flood_per_tick = 0;
+  std::uint16_t flood_station = 0;
+  Tick flood_from = 0;
+  Tick flood_to = 0;                 // exclusive
+
+  bool enabled() const {
+    return forged_per_tick > 0 || capture_probability > 0.0 ||
+           !jams.empty() || !outages.empty() || flood_per_tick > 0;
+  }
+};
+
+class AttackInjector {
+ public:
+  struct Counters {
+    std::uint64_t frames_observed = 0;  // legit frames offered
+    std::uint64_t suppressed = 0;       // legit frames eaten (outage/takeover)
+    std::uint64_t captured = 0;         // frames recorded for replay
+    std::uint64_t forged = 0;           // fabricated frames injected
+    std::uint64_t replayed = 0;         // captured frames re-injected
+    std::uint64_t flooded = 0;          // junk flood frames injected
+    std::uint64_t jammed_samples = 0;   // RSSI samples perturbed
+  };
+
+  /// Requires device_count >= 2.  With forge_with_key, `station_keys`
+  /// must hold the spoofed station's key (index = station id).
+  AttackInjector(std::size_t device_count, AttackConfig config,
+                 std::uint64_t seed);
+
+  /// Provision the compromised key material (forge_with_key campaigns).
+  void set_station_keys(std::vector<WireKey> keys);
+
+  const AttackConfig& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+  /// RF-layer hook: perturb one sample before it is encoded.  Returns
+  /// the value the receiver actually reports.
+  double jam(Tick now, std::size_t stream, double rssi_dbm);
+
+  /// Pass one legitimate encoded frame through the attacker-controlled
+  /// medium: appended to `out` unless suppressed; possibly captured for
+  /// replay.  `bytes` must be exactly the frame's encoding.
+  void offer_frame(const FrameHeader& header,
+                   std::span<const std::uint8_t> bytes,
+                   std::vector<std::uint8_t>& out);
+
+  /// Emit the attacker's own transmissions due at `now` (forgeries,
+  /// matured replays, floods) into `out`.  Call once per tick after the
+  /// round's offer_frame calls.
+  void advance(Tick now, std::vector<std::uint8_t>& out);
+
+ private:
+  struct CapturedFrame {
+    Tick due = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  bool station_in_outage(std::uint16_t station, Tick now) const;
+  void emit_forgeries(Tick now, std::vector<std::uint8_t>& out);
+  void emit_replays(Tick now, std::vector<std::uint8_t>& out);
+  void emit_floods(Tick now, std::vector<std::uint8_t>& out);
+  /// Rewrite a captured frame in place: seq and tick spliced to the
+  /// present, CRC recomputed.  The auth tag (if any) is left stale.
+  void rewrite_frame(std::vector<std::uint8_t>& bytes, Tick now);
+
+  std::size_t device_count_;
+  AttackConfig config_;
+  std::vector<WireKey> station_keys_;
+  Rng forge_rng_;
+  Rng capture_rng_;
+  Rng flood_rng_;
+  std::vector<Rng> jam_rngs_;            // one per stream
+  std::vector<double> mask_hold_;        // per-stream frozen value
+  std::vector<Tick> mask_window_from_;   // window identity for the hold
+  std::deque<CapturedFrame> pending_replays_;
+  std::uint64_t spoof_seq_ = 0;          // forged-seq high-water mark
+  std::vector<WireReport> report_scratch_;
+  Counters counters_;
+};
+
+/// Flatten attacker counters for obs::ScrapeReport.
+obs::HealthBlock health_block(const AttackInjector::Counters& counters);
+
+}  // namespace fadewich::net

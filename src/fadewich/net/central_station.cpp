@@ -26,6 +26,12 @@ struct StationMetrics {
   obs::Counter imputed = obs::registry().counter(
       "fadewich_net_imputed_cells_total",
       "cells filled from last released values");
+  obs::Counter duplicates_rejected = obs::registry().counter(
+      "fadewich_net_duplicates_rejected_total",
+      "exact repeat reports dropped without effect");
+  obs::Counter malformed = obs::registry().counter(
+      "fadewich_net_malformed_total",
+      "reports with impossible device ids or ticks");
   static StationMetrics& get() {
     static StationMetrics metrics;
     return metrics;
@@ -41,6 +47,8 @@ void StationHealth::reset() {
   evictions = 0;
   incomplete_releases = 0;
   imputed_cells = 0;
+  duplicates_rejected = 0;
+  malformed = 0;
   std::fill(imputed_per_stream.begin(), imputed_per_stream.end(), 0);
 }
 
@@ -54,6 +62,9 @@ obs::HealthBlock health_block(const StationHealth& health) {
   block.add("incomplete_releases",
             static_cast<double>(health.incomplete_releases));
   block.add("imputed_cells", static_cast<double>(health.imputed_cells));
+  block.add("duplicates_rejected",
+            static_cast<double>(health.duplicates_rejected));
+  block.add("malformed", static_cast<double>(health.malformed));
   std::uint64_t worst = 0;
   for (const std::uint64_t n : health.imputed_per_stream) {
     worst = std::max(worst, n);
@@ -79,6 +90,7 @@ CentralStation::CentralStation(std::size_t device_count,
   }
   last_value_.assign(stream_count(), 0.0);
   health_.imputed_per_stream.assign(stream_count(), 0);
+  seen_ticks_.assign(stream_count(), SeqWindow{});
 }
 
 std::size_t CentralStation::stream_index(DeviceId tx, DeviceId rx) const {
@@ -152,6 +164,17 @@ std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
   for (const Measurement& m : batch) {
     ++health_.reports;
     StationMetrics::get().reports.inc();
+    // Ingest runs on wire-decoded input: a CRC-valid frame can still
+    // carry device ids or ticks no deployment produced.  Those reports
+    // are counted malformed and dropped — stream_index() is a contract
+    // for trusted callers, not a validator for hostile bytes.
+    if (m.tx >= device_count_ || m.rx >= device_count_ || m.tx == m.rx ||
+        m.tick < 0) {
+      ++health_.malformed;
+      StationMetrics::get().malformed.inc();
+      continue;
+    }
+    const std::size_t s = stream_index(m.tx, m.rx);
     auto it = pending_.find(m.tick);
     if (it == pending_.end()) {
       // A report for a tick already released (or given up on) cannot
@@ -165,6 +188,12 @@ std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
       if (already_released || past_watermark) {
         ++health_.late_reports;
         StationMetrics::get().late.inc();
+        if (seen_ticks_[s].seen(static_cast<std::uint64_t>(m.tick))) {
+          // Not a straggling loss — a repeat of a report this stream
+          // already delivered (wire duplicate / injector duplicate).
+          ++health_.duplicates_rejected;
+          StationMetrics::get().duplicates_rejected.inc();
+        }
         continue;
       }
       while (buffered_count() >= config_.max_pending) evict_oldest();
@@ -174,15 +203,22 @@ std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
       it = pending_.emplace(m.tick, std::move(fresh)).first;
     }
     PendingRow& row = it->second;
-    const std::size_t s = stream_index(m.tx, m.rx);
     if (!row.present[s]) {
       row.present[s] = 1;
       ++row.filled;
+      row.values[s] = m.rssi_dbm;
+      seen_ticks_[s].accept(static_cast<std::uint64_t>(m.tick));
     } else {
       ++health_.duplicates;
       StationMetrics::get().duplicates.inc();
+      if (row.values[s] == m.rssi_dbm) {
+        // Exact repeat: dropped without effect.
+        ++health_.duplicates_rejected;
+        StationMetrics::get().duplicates_rejected.inc();
+      } else {
+        row.values[s] = m.rssi_dbm;  // revised reports keep the latest
+      }
     }
-    row.values[s] = m.rssi_dbm;  // duplicate reports keep the latest
   }
 
   // Release complete rows, then everything past the deadline.

@@ -19,6 +19,7 @@
 
 #include "fadewich/net/measurement.hpp"
 #include "fadewich/net/message_bus.hpp"
+#include "fadewich/net/seq_window.hpp"
 #include "fadewich/obs/export.hpp"
 
 namespace fadewich::net {
@@ -56,6 +57,8 @@ struct StationHealth {
   std::uint64_t evictions = 0;           // rows dropped by the capacity cap
   std::uint64_t incomplete_releases = 0; // rows released past the deadline
   std::uint64_t imputed_cells = 0;       // sum of imputed_per_stream
+  std::uint64_t duplicates_rejected = 0; // exact repeats dropped unapplied
+  std::uint64_t malformed = 0;           // out-of-range device ids / ticks
   std::vector<std::uint64_t> imputed_per_stream;
 
   /// Zero every counter; imputed_per_stream keeps its size.
@@ -138,6 +141,11 @@ class CentralStation {
   std::map<Tick, StationRow> released_;  // released, not yet taken
   std::vector<Measurement> drain_scratch_;  // bus-drain reuse buffer
   std::vector<double> last_value_;       // per-stream imputation source
+  // One anti-replay window per stream over tick numbers: an exact repeat
+  // of an already-applied (tick, stream) report — a duplicated frame on
+  // the wire, or FaultInjector's duplicate taxon — is rejected before it
+  // touches (or re-opens) any row.
+  std::vector<SeqWindow> seen_ticks_;
   Tick release_watermark_ = -1;  // highest tick released or evicted
   StationHealth health_;
   std::uint64_t lifetime_evictions_ = 0;

@@ -1,0 +1,66 @@
+// Sliding 64-entry acceptance window over a monotone sequence space —
+// the anti-replay primitive of the frame defender (per-station wire
+// sequence numbers) and of the central station's exact-duplicate dedup
+// (per-stream tick numbers).
+//
+// The window remembers the highest sequence accepted so far plus a 64-bit
+// bitmap of the 64 values at and below it, the IPsec/DTLS anti-replay
+// shape: O(1) per accept, 17 bytes of state, and it tolerates the
+// reordering a delayed-report transport produces while rejecting every
+// exact repeat inside the window and everything older than the window.
+#pragma once
+
+#include <cstdint>
+
+namespace fadewich::net {
+
+class SeqWindow {
+ public:
+  enum class Result {
+    kFresh,     // above the previous high-water mark
+    kReordered, // inside the window, not seen before
+    kDuplicate, // inside the window, already accepted
+    kStale,     // below the window: too old to distinguish from a replay
+  };
+
+  /// Test-and-mark: classifies `seq` and, when fresh or reordered,
+  /// records it as seen.
+  Result accept(std::uint64_t seq) {
+    if (!any_) {
+      any_ = true;
+      high_ = seq;
+      mask_ = 1;
+      return Result::kFresh;
+    }
+    if (seq > high_) {
+      const std::uint64_t shift = seq - high_;
+      mask_ = shift >= 64 ? 0 : mask_ << shift;
+      mask_ |= 1;
+      high_ = seq;
+      return Result::kFresh;
+    }
+    const std::uint64_t back = high_ - seq;
+    if (back >= 64) return Result::kStale;
+    const std::uint64_t bit = std::uint64_t{1} << back;
+    if ((mask_ & bit) != 0) return Result::kDuplicate;
+    mask_ |= bit;
+    return Result::kReordered;
+  }
+
+  /// True when `seq` has been accepted and is still inside the window.
+  bool seen(std::uint64_t seq) const {
+    if (!any_ || seq > high_) return false;
+    const std::uint64_t back = high_ - seq;
+    return back < 64 && (mask_ & (std::uint64_t{1} << back)) != 0;
+  }
+
+  bool empty() const { return !any_; }
+  std::uint64_t high() const { return high_; }
+
+ private:
+  bool any_ = false;
+  std::uint64_t high_ = 0;
+  std::uint64_t mask_ = 0;  // bit i: high_ - i was accepted
+};
+
+}  // namespace fadewich::net

@@ -4,6 +4,7 @@
 
 #include "fadewich/common/crc32.hpp"
 #include "fadewich/common/error.hpp"
+#include "fadewich/common/siphash.hpp"
 #include "fadewich/sim/recording.hpp"
 
 namespace fadewich::net {
@@ -59,17 +60,34 @@ std::int8_t wire_encode_dbm(double rssi_dbm) {
   return sim::Recording::encode_dbm(rssi_dbm);
 }
 
+WireKey derive_station_key(std::uint64_t master_seed,
+                           std::uint16_t station_id) {
+  // SplitMix64 finalising mix over (seed, station, lane): full avalanche,
+  // so neighbouring stations share no key structure.
+  const auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  WireKey key;
+  key.k0 = mix(master_seed ^ (std::uint64_t{station_id} << 1));
+  key.k1 = mix(mix(master_seed) ^ station_id ^ 0xa5a5a5a5a5a5a5a5ULL);
+  return key;
+}
+
 void encode_frame(const FrameHeader& header,
                   std::span<const WireReport> reports,
-                  std::vector<std::uint8_t>& out) {
+                  std::vector<std::uint8_t>& out, const WireKey* key) {
   FADEWICH_EXPECTS(!reports.empty());
   FADEWICH_EXPECTS(reports.size() <= kMaxFrameReports);
+  const bool authed = key != nullptr;
   const std::size_t start = out.size();
-  out.resize(start + wire_frame_size(reports.size()));
+  out.resize(start + wire_frame_size(reports.size(), authed));
   std::uint8_t* p = out.data() + start;
   std::memcpy(p, kMagic, sizeof(kMagic));
   p[4] = kWireVersion;
-  p[5] = 0;  // flags, reserved
+  p[5] = authed ? kWireFlagAuth : 0;
   store_u16(p + 6, header.station_id);
   store_u64(p + 8, header.seq);
   store_u64(p + 16, static_cast<std::uint64_t>(header.tick));
@@ -81,9 +99,45 @@ void encode_frame(const FrameHeader& header,
     q[2] = static_cast<std::uint8_t>(r.rssi_dbm);
     q += kWireReportSize;
   }
-  const std::size_t covered =
+  const std::size_t tagged =
       kWireHeaderSize - sizeof(kMagic) + kWireReportSize * reports.size();
+  if (authed) {
+    store_u64(q, siphash24(key->k0, key->k1, p + sizeof(kMagic), tagged));
+    q += kWireTagSize;
+  }
+  const std::size_t covered = tagged + (authed ? kWireTagSize : 0);
   store_u32(q, crc32(p + sizeof(kMagic), covered));
+}
+
+std::uint64_t frame_tag(const WireKey& key, const FrameHeader& header,
+                        std::span<const WireReport> reports) {
+  // Re-serialise the tag-covered bytes [4, 28+3n) exactly as the encoder
+  // lays them out.  Thread-local scratch keeps verification
+  // allocation-free in steady state.
+  static thread_local std::vector<std::uint8_t> scratch;
+  const std::size_t covered = kWireHeaderSize - sizeof(kMagic) +
+                              kWireReportSize * reports.size();
+  scratch.resize(covered);
+  std::uint8_t* p = scratch.data();
+  p[0] = kWireVersion;
+  p[1] = kWireFlagAuth;
+  store_u16(p + 2, header.station_id);
+  store_u64(p + 4, header.seq);
+  store_u64(p + 12, static_cast<std::uint64_t>(header.tick));
+  store_u16(p + 20, header.tx);
+  store_u16(p + 22, static_cast<std::uint16_t>(reports.size()));
+  std::uint8_t* q = p + kWireHeaderSize - sizeof(kMagic);
+  for (const WireReport& r : reports) {
+    store_u16(q, r.rx);
+    q[2] = static_cast<std::uint8_t>(r.rssi_dbm);
+    q += kWireReportSize;
+  }
+  return siphash24(key.k0, key.k1, p, covered);
+}
+
+bool verify_frame_tag(const WireKey& key, const DecodedFrame& frame) {
+  if (!frame.authenticated) return false;
+  return frame_tag(key, frame.header, frame.reports) == frame.tag;
 }
 
 void to_measurements(const DecodedFrame& frame,
@@ -154,18 +208,19 @@ const DecodedFrame* FrameDecoder::next() {
     }
     const std::size_t avail = buffer_.size() - pos_;
     if (avail < kWireHeaderSize) break;  // header still arriving
-    if (p[4] != kWireVersion || p[5] != 0) {
+    if (p[4] != kWireVersion || (p[5] & ~kWireFlagAuth) != 0) {
       ++counters_.bad_version;
       ++pos_;
       continue;
     }
+    const bool authed = (p[5] & kWireFlagAuth) != 0;
     const std::uint16_t count = load_u16(p + 26);
     if (count == 0 || count > kMaxFrameReports) {
       ++counters_.bad_length;
       ++pos_;
       continue;
     }
-    const std::size_t total = wire_frame_size(count);
+    const std::size_t total = wire_frame_size(count, authed);
     if (avail < total) break;  // body still arriving
     const std::size_t covered = total - sizeof(kMagic) - kWireTrailerSize;
     if (crc32(p + sizeof(kMagic), covered) !=
@@ -179,6 +234,10 @@ const DecodedFrame* FrameDecoder::next() {
     frame_.header.seq = load_u64(p + 8);
     frame_.header.tick = static_cast<Tick>(load_u64(p + 16));
     frame_.header.tx = load_u16(p + 24);
+    frame_.authenticated = authed;
+    frame_.tag = authed ? load_u64(p + kWireHeaderSize +
+                                   kWireReportSize * count)
+                        : 0;
     frame_.reports.resize(count);  // reuses capacity across frames
     const std::uint8_t* q = p + kWireHeaderSize;
     for (std::uint16_t i = 0; i < count; ++i) {

@@ -9,14 +9,16 @@
 //   offset size  field
 //   0      4     magic 'F' 'D' 'W' 'F'
 //   4      1     version (currently 1)
-//   5      1     flags (reserved, must be 0)
+//   5      1     flags (bit 0: authenticated trailer; others must be 0)
 //   6      2     station id
 //   8      8     sequence number (per-station, increments per frame)
 //   16     8     tick (int64)
 //   24     2     transmitter device id
 //   26     2     report count n (1 .. kMaxFrameReports)
 //   28     3*n   n x { receiver device id (u16), rssi (int8 dBm) }
-//   28+3n  4     CRC-32 (common::Crc32) over bytes [4, 28+3n)
+//   28+3n  [8]   SipHash-2-4 tag over bytes [4, 28+3n) under the
+//                station's key — present iff flags bit 0 is set
+//   ...    4     CRC-32 (common::Crc32) over bytes [4, crc offset)
 //
 // RSSI rides as int8 dBm in the sim::Recording encoding ([-128, 0]
 // covers every real radio's reporting range), so replaying a recording
@@ -43,17 +45,36 @@
 namespace fadewich::net {
 
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Flags bit 0: the frame carries a keyed authentication tag before the
+/// CRC trailer.  All other flag bits remain reserved-zero.
+inline constexpr std::uint8_t kWireFlagAuth = 0x01;
 inline constexpr std::size_t kWireHeaderSize = 28;
 inline constexpr std::size_t kWireReportSize = 3;
+inline constexpr std::size_t kWireTagSize = 8;
 inline constexpr std::size_t kWireTrailerSize = 4;
 /// Receivers per frame: one frame batches at most one beacon round, and
 /// no supported deployment exceeds 4096 devices (sim recording cap).
 inline constexpr std::size_t kMaxFrameReports = 4095;
 
 /// Total encoded size of a frame carrying `reports` measurements.
-constexpr std::size_t wire_frame_size(std::size_t reports) {
-  return kWireHeaderSize + kWireReportSize * reports + kWireTrailerSize;
+constexpr std::size_t wire_frame_size(std::size_t reports,
+                                      bool authenticated = false) {
+  return kWireHeaderSize + kWireReportSize * reports +
+         (authenticated ? kWireTagSize : 0) + kWireTrailerSize;
 }
+
+/// A station's 128-bit frame-authentication key.
+struct WireKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// Deterministic per-station key schedule: every station derives its own
+/// 128-bit key from the deployment's master seed, so provisioning one
+/// secret provisions the fleet and a captured station compromises only
+/// its own identity.
+WireKey derive_station_key(std::uint64_t master_seed,
+                           std::uint16_t station_id);
 
 /// One receiver's entry in a frame's report batch.
 struct WireReport {
@@ -71,9 +92,13 @@ struct FrameHeader {
 
 /// A decoded frame.  `reports` storage is owned by the decoder and
 /// reused between next() calls — copy out what must outlive the pull.
+/// The decoder is keyless: it surfaces the tag of an authenticated frame
+/// and leaves verification to the defender (verify_frame_tag).
 struct DecodedFrame {
   FrameHeader header;
   std::vector<WireReport> reports;
+  bool authenticated = false;
+  std::uint64_t tag = 0;
 };
 
 /// The int8 dBm wire encoding, identical to sim::Recording::encode_dbm
@@ -81,10 +106,21 @@ struct DecodedFrame {
 std::int8_t wire_encode_dbm(double rssi_dbm);
 
 /// Append one encoded frame to `out`.  Requires 1 <= reports.size() <=
-/// kMaxFrameReports (contract: the encoder runs on trusted data).
+/// kMaxFrameReports (contract: the encoder runs on trusted data).  With
+/// a key, the frame carries the authenticated trailer (flags bit 0 set,
+/// SipHash tag between reports and CRC).
 void encode_frame(const FrameHeader& header,
                   std::span<const WireReport> reports,
-                  std::vector<std::uint8_t>& out);
+                  std::vector<std::uint8_t>& out,
+                  const WireKey* key = nullptr);
+
+/// The tag an authentic frame with this content would carry under `key`.
+std::uint64_t frame_tag(const WireKey& key, const FrameHeader& header,
+                        std::span<const WireReport> reports);
+
+/// Verify a decoded frame's tag against the station key.  False for
+/// unauthenticated frames and for tag mismatches.
+bool verify_frame_tag(const WireKey& key, const DecodedFrame& frame);
 
 /// Expand a decoded frame into bus-level measurements (int8 -> double),
 /// appending to `out`.

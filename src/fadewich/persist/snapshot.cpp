@@ -253,6 +253,8 @@ void write_station(Writer& w, const net::StationHealth& h) {
   w.u64(h.evictions);
   w.u64(h.incomplete_releases);
   w.u64(h.imputed_cells);
+  w.u64(h.duplicates_rejected);
+  w.u64(h.malformed);
   w.u64s(h.imputed_per_stream);
 }
 
@@ -264,6 +266,8 @@ net::StationHealth read_station(Reader& r) {
   h.evictions = r.u64();
   h.incomplete_releases = r.u64();
   h.imputed_cells = r.u64();
+  h.duplicates_rejected = r.u64();
+  h.malformed = r.u64();
   h.imputed_per_stream = r.u64s();
   return h;
 }

@@ -25,7 +25,8 @@
 
 namespace fadewich::persist {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: StationHealth gained duplicates_rejected + malformed (PR 8).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 struct Snapshot {
   core::SystemState system;

@@ -1,0 +1,136 @@
+// Tests for the active-adversary sweep: the wire-path replay under
+// attack campaigns, with and without the defend module in the path.
+#include "fadewich/eval/attack_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fadewich/eval/paper_setup.hpp"
+
+namespace fadewich::eval {
+namespace {
+
+class AttackSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PaperSetup setup = small_setup(1, 45.0 * 60.0);
+    setup.seed = 99;
+    experiment_ = std::make_unique<PaperExperiment>(
+        make_paper_experiment(setup));
+  }
+
+  static void TearDownTestSuite() { experiment_.reset(); }
+
+  static const sim::Recording& recording() {
+    return experiment_->recording;
+  }
+  static const std::vector<rf::Point>& positions() {
+    return experiment_->plan.sensors;
+  }
+
+  static AttackScenario clean_scenario(bool defend) {
+    AttackScenario scenario;
+    scenario.name = defend ? "clean_on" : "clean_off";
+    scenario.defend = defend;
+    return scenario;
+  }
+
+  static AttackScenario forge_scenario(bool defend, Tick ticks) {
+    AttackScenario scenario;
+    scenario.name = "forge";
+    scenario.defend = defend;
+    scenario.attack.forged_per_tick = 1;
+    scenario.attack.forge_station = 0;
+    scenario.attack.forge_from = ticks / 3;
+    scenario.attack.forge_to = 2 * ticks / 3;
+    return scenario;
+  }
+
+  static std::unique_ptr<PaperExperiment> experiment_;
+};
+
+std::unique_ptr<PaperExperiment> AttackSweepTest::experiment_;
+
+TEST_F(AttackSweepTest, CleanWirePathReconstructsTheRecordingExactly) {
+  const AttackReplayResult replay = replay_under_attack(
+      recording(), positions(), clean_scenario(/*defend=*/false));
+  ASSERT_EQ(replay.recording.tick_count(), recording().tick_count());
+  for (std::size_t s = 0; s < recording().stream_count(); ++s) {
+    ASSERT_EQ(replay.recording.stream(s), recording().stream(s))
+        << "stream " << s;
+  }
+  EXPECT_EQ(replay.health.imputed_cells, 0u);
+  EXPECT_EQ(replay.gap_rows, 0u);
+  EXPECT_EQ(replay.wire.rejected_frames(), 0u);
+  EXPECT_EQ(replay.recording.events().size(), recording().events().size());
+}
+
+TEST_F(AttackSweepTest, DefenderCostsNothingOnAnHonestWeek) {
+  // The headline acceptance criterion: defender on vs off over clean
+  // traffic must be bit-identical, row for row.
+  const AttackReplayResult off = replay_under_attack(
+      recording(), positions(), clean_scenario(/*defend=*/false));
+  const AttackReplayResult on = replay_under_attack(
+      recording(), positions(), clean_scenario(/*defend=*/true));
+  EXPECT_EQ(on.row_digest, off.row_digest);
+  EXPECT_EQ(on.defend.frames_rejected(), 0u);
+  EXPECT_EQ(on.defend.ramped_samples, 0u);  // no gaps, no ramps
+  EXPECT_EQ(on.defend.impossible_rssi, 0u);
+  EXPECT_EQ(on.defend.link_quarantine_drops, 0u);
+  EXPECT_GT(on.defend.frames_accepted, 0u);
+}
+
+TEST_F(AttackSweepTest, DefenderFiltersForgeryDownToTheCleanRows) {
+  const Tick ticks = recording().tick_count();
+  const AttackReplayResult clean = replay_under_attack(
+      recording(), positions(), clean_scenario(/*defend=*/true));
+  const AttackReplayResult attacked = replay_under_attack(
+      recording(), positions(), forge_scenario(/*defend=*/true, ticks));
+  // Outsider forgeries are unauthenticated: every one dies at the auth
+  // gate and the reconstruction matches the clean run bit for bit.
+  EXPECT_GT(attacked.attack.forged, 0u);
+  EXPECT_EQ(attacked.defend.unauthenticated, attacked.attack.forged);
+  EXPECT_EQ(attacked.row_digest, clean.row_digest);
+}
+
+TEST_F(AttackSweepTest, UndefendedForgeryPoisonsTheReconstruction) {
+  const Tick ticks = recording().tick_count();
+  const AttackReplayResult clean = replay_under_attack(
+      recording(), positions(), clean_scenario(/*defend=*/false));
+  const AttackReplayResult attacked = replay_under_attack(
+      recording(), positions(), forge_scenario(/*defend=*/false, ticks));
+  EXPECT_GT(attacked.attack.forged, 0u);
+  EXPECT_NE(attacked.row_digest, clean.row_digest);
+}
+
+TEST_F(AttackSweepTest, EvaluateAttackScenarioAccountsForEveryLeave) {
+  const AttackScenarioResult result = evaluate_attack_scenario(
+      recording(), positions(),
+      sensor_subset(recording().sensor_count()), default_md_config(),
+      SecurityConfig{},
+      forge_scenario(/*defend=*/true, recording().tick_count()));
+  EXPECT_GT(result.leave_events, 0u);
+  EXPECT_EQ(result.case_a + result.case_b + result.case_c,
+            result.leave_events);
+  EXPECT_GE(result.mean_delay, 0.0);
+  EXPECT_GT(result.defend.frames_rejected(), 0u);
+}
+
+TEST_F(AttackSweepTest, StandardScenariosCoverEveryCampaign) {
+  const std::vector<AttackScenario> scenarios = standard_attack_scenarios(
+      10'000, 9, /*defend=*/true, defend::DefendConfig{}, /*seed=*/11);
+  ASSERT_EQ(scenarios.size(), 8u);
+  EXPECT_EQ(scenarios[0].name, "clean");
+  EXPECT_FALSE(scenarios[0].attack.enabled());
+  bool saw_insider = false;
+  for (std::size_t i = 1; i < scenarios.size(); ++i) {
+    EXPECT_TRUE(scenarios[i].attack.enabled()) << scenarios[i].name;
+    EXPECT_TRUE(scenarios[i].defend);
+    saw_insider |= scenarios[i].attack.forge_with_key;
+  }
+  EXPECT_TRUE(saw_insider);
+}
+
+}  // namespace
+}  // namespace fadewich::eval

@@ -1,0 +1,299 @@
+#include "fadewich/net/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fadewich/net/wire.hpp"
+
+namespace fadewich::net {
+namespace {
+
+constexpr std::size_t kDevices = 4;
+
+std::vector<WireReport> make_reports(DeviceId tx) {
+  std::vector<WireReport> reports;
+  for (DeviceId rx = 0; rx < kDevices; ++rx) {
+    if (rx == tx) continue;
+    reports.push_back({rx, static_cast<std::int8_t>(-50)});
+  }
+  return reports;
+}
+
+std::vector<std::uint8_t> legit_frame(std::uint16_t station,
+                                      std::uint64_t seq, Tick tick,
+                                      const WireKey* key = nullptr) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame({station, seq, tick, static_cast<DeviceId>(station)},
+               make_reports(static_cast<DeviceId>(station)), bytes, key);
+  return bytes;
+}
+
+FrameHeader header_of(std::uint16_t station, std::uint64_t seq, Tick tick) {
+  return {station, seq, tick, static_cast<DeviceId>(station)};
+}
+
+/// Decode an attacker-emitted byte stream into owned frames.
+struct Decoded {
+  FrameHeader header;
+  std::vector<WireReport> reports;
+  bool authenticated = false;
+  std::uint64_t tag = 0;
+};
+
+std::vector<Decoded> decode_all(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  std::vector<Decoded> frames;
+  while (const DecodedFrame* f = decoder.next()) {
+    frames.push_back({f->header, f->reports, f->authenticated, f->tag});
+  }
+  return frames;
+}
+
+TEST(AttackInjectorTest, CampaignIsAPureFunctionOfConfigAndSeed) {
+  AttackConfig config;
+  config.forged_per_tick = 2;
+  config.forge_station = 1;
+  config.forge_from = 0;
+  config.forge_to = 20;
+  config.flood_per_tick = 3;
+  config.flood_station = 2;
+  config.flood_from = 5;
+  config.flood_to = 15;
+
+  std::vector<std::uint8_t> a, b;
+  AttackInjector first(kDevices, config, 7);
+  AttackInjector second(kDevices, config, 7);
+  for (Tick t = 0; t < 20; ++t) {
+    first.advance(t, a);
+    second.advance(t, b);
+  }
+  EXPECT_EQ(a, b);
+
+  std::vector<std::uint8_t> c;
+  AttackInjector other_seed(kDevices, config, 8);
+  for (Tick t = 0; t < 20; ++t) other_seed.advance(t, c);
+  EXPECT_NE(a, c);  // the forged RSSI draws move with the seed
+}
+
+TEST(AttackInjectorTest, ForgeEmitsSpoofedFramesOnlyInsideTheWindow) {
+  AttackConfig config;
+  config.forged_per_tick = 2;
+  config.forge_station = 1;
+  config.forge_from = 5;
+  config.forge_to = 7;  // exclusive
+  AttackInjector injector(kDevices, config, 3);
+
+  std::vector<std::uint8_t> out;
+  injector.advance(4, out);
+  EXPECT_TRUE(out.empty());
+  injector.advance(5, out);
+  injector.advance(6, out);
+  injector.advance(7, out);
+  EXPECT_EQ(injector.counters().forged, 4u);
+
+  const std::vector<Decoded> frames = decode_all(out);
+  ASSERT_EQ(frames.size(), 4u);
+  for (const Decoded& f : frames) {
+    EXPECT_EQ(f.header.station_id, 1);
+    EXPECT_EQ(f.header.tx, 1);
+    EXPECT_FALSE(f.authenticated);  // outsider: cannot sign
+    EXPECT_EQ(f.reports.size(), kDevices - 1);
+  }
+  EXPECT_EQ(frames[0].header.tick, 5);
+  EXPECT_EQ(frames[3].header.tick, 6);
+}
+
+TEST(AttackInjectorTest, ForgedSequencesClimbAboveTheVictims) {
+  AttackConfig config;
+  config.forged_per_tick = 1;
+  config.forge_station = 1;
+  config.forge_from = 0;
+  config.forge_to = 100;
+  AttackInjector injector(kDevices, config, 3);
+
+  // The attacker watches the victim reach seq 500 before striking.
+  std::vector<std::uint8_t> medium;
+  const auto victim = legit_frame(1, 500, 9);
+  injector.offer_frame(header_of(1, 500, 9), victim, medium);
+
+  std::vector<std::uint8_t> out;
+  injector.advance(10, out);
+  const std::vector<Decoded> frames = decode_all(out);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_GT(frames[0].header.seq, 500u);
+}
+
+TEST(AttackInjectorTest, InsiderForgerySignsWithTheStolenKey) {
+  AttackConfig config;
+  config.forged_per_tick = 1;
+  config.forge_station = 2;
+  config.forge_from = 0;
+  config.forge_to = 10;
+  config.forge_with_key = true;
+  AttackInjector injector(kDevices, config, 3);
+
+  std::vector<WireKey> keys;
+  for (std::uint16_t s = 0; s < kDevices; ++s) {
+    keys.push_back(derive_station_key(99, s));
+  }
+  injector.set_station_keys(keys);
+
+  std::vector<std::uint8_t> out;
+  injector.advance(0, out);
+  FrameDecoder decoder;
+  decoder.feed(out);
+  const DecodedFrame* frame = decoder.next();
+  ASSERT_NE(frame, nullptr);
+  EXPECT_TRUE(frame->authenticated);
+  EXPECT_TRUE(verify_frame_tag(keys[2], *frame));
+}
+
+TEST(AttackInjectorTest, ReplayReinjectsTheCapturedBytesAfterTheDelay) {
+  AttackConfig config;
+  config.capture_probability = 1.0;
+  config.replay_delay_ticks = 5;
+  AttackInjector injector(kDevices, config, 3);
+
+  const auto original = legit_frame(0, 7, 10);
+  std::vector<std::uint8_t> medium;
+  injector.offer_frame(header_of(0, 7, 10), original, medium);
+  EXPECT_EQ(medium, original);  // no suppression: forwarded verbatim
+  EXPECT_EQ(injector.counters().captured, 1u);
+
+  std::vector<std::uint8_t> out;
+  injector.advance(14, out);
+  EXPECT_TRUE(out.empty());  // not due yet
+  injector.advance(15, out);
+  EXPECT_EQ(out, original);  // byte-for-byte replay
+  EXPECT_EQ(injector.counters().replayed, 1u);
+}
+
+TEST(AttackInjectorTest, RewriteSplicesThePresentButCannotForgeTheTag) {
+  AttackConfig config;
+  config.capture_probability = 1.0;
+  config.replay_delay_ticks = 5;
+  config.replay_rewrite = true;
+  config.replay_station = 0;
+  AttackInjector injector(kDevices, config, 3);
+
+  const WireKey key = derive_station_key(4, 0);
+  const auto original = legit_frame(0, 7, 10, &key);
+  std::vector<std::uint8_t> medium;
+  injector.offer_frame(header_of(0, 7, 10), original, medium);
+
+  std::vector<std::uint8_t> out;
+  injector.advance(40, out);
+  FrameDecoder decoder;  // the rewritten CRC must still decode
+  decoder.feed(out);
+  const DecodedFrame* frame = decoder.next();
+  ASSERT_NE(frame, nullptr);
+  EXPECT_EQ(frame->header.tick, 40);  // spliced to the present
+  EXPECT_GT(frame->header.seq, 7u);   // above the victim's high-water
+  EXPECT_TRUE(frame->authenticated);
+  // The tag still covers the *original* seq and tick: stale.
+  EXPECT_FALSE(verify_frame_tag(key, *frame));
+}
+
+TEST(AttackInjectorTest, TakeoverSuppressesTheVictimsOwnFrames) {
+  AttackConfig config;
+  config.capture_probability = 1.0;
+  config.replay_delay_ticks = 2;
+  config.replay_suppress = true;
+  config.replay_station = 1;
+  config.replay_from = 10;
+  config.replay_to = 20;
+  AttackInjector injector(kDevices, config, 3);
+
+  std::vector<std::uint8_t> medium;
+  injector.offer_frame(header_of(1, 1, 9), legit_frame(1, 1, 9), medium);
+  EXPECT_FALSE(medium.empty());  // before the window: passes
+  medium.clear();
+  injector.offer_frame(header_of(1, 2, 10), legit_frame(1, 2, 10), medium);
+  EXPECT_TRUE(medium.empty());  // inside: eaten
+  injector.offer_frame(header_of(2, 2, 10), legit_frame(2, 2, 10), medium);
+  EXPECT_FALSE(medium.empty());  // other stations unaffected
+  EXPECT_EQ(injector.counters().suppressed, 1u);
+}
+
+TEST(AttackInjectorTest, OutageSuppressesAStationFlat) {
+  AttackConfig config;
+  config.outages.push_back({2, 5, 8});
+  AttackInjector injector(kDevices, config, 3);
+
+  std::vector<std::uint8_t> medium;
+  injector.offer_frame(header_of(2, 0, 4), legit_frame(2, 0, 4), medium);
+  EXPECT_FALSE(medium.empty());
+  medium.clear();
+  for (Tick t = 5; t <= 8; ++t) {
+    injector.offer_frame(header_of(2, 1, t), legit_frame(2, 1, t), medium);
+  }
+  EXPECT_TRUE(medium.empty());
+  EXPECT_EQ(injector.counters().suppressed, 4u);
+  injector.offer_frame(header_of(2, 9, 9), legit_frame(2, 9, 9), medium);
+  EXPECT_FALSE(medium.empty());  // back after the outage
+}
+
+TEST(AttackInjectorTest, JamMimicPerturbsOnlyTheTargetedWindow) {
+  AttackConfig config;
+  JamWindow jam;
+  jam.from = 10;
+  jam.to = 20;
+  jam.mode = JamWindow::Mode::kMimic;
+  jam.sigma_db = 6.0;
+  jam.streams = {1, 3};
+  config.jams.push_back(jam);
+  AttackInjector injector(kDevices, config, 3);
+
+  EXPECT_DOUBLE_EQ(injector.jam(9, 1, -50.0), -50.0);   // before
+  EXPECT_DOUBLE_EQ(injector.jam(15, 2, -50.0), -50.0);  // wrong stream
+  EXPECT_NE(injector.jam(15, 1, -50.0), -50.0);         // jammed
+  EXPECT_NE(injector.jam(20, 3, -50.0), -50.0);         // inclusive end
+  EXPECT_DOUBLE_EQ(injector.jam(21, 1, -50.0), -50.0);  // after
+  EXPECT_EQ(injector.counters().jammed_samples, 2u);
+}
+
+TEST(AttackInjectorTest, JamMaskFreezesAtTheWindowsFirstValue) {
+  AttackConfig config;
+  JamWindow jam;
+  jam.from = 10;
+  jam.to = 20;
+  jam.mode = JamWindow::Mode::kMask;
+  config.jams.push_back(jam);
+  AttackInjector injector(kDevices, config, 3);
+
+  EXPECT_DOUBLE_EQ(injector.jam(10, 0, -47.0), -47.0);  // first: the hold
+  EXPECT_DOUBLE_EQ(injector.jam(11, 0, -60.0), -47.0);  // frozen
+  EXPECT_DOUBLE_EQ(injector.jam(19, 0, -30.0), -47.0);
+  // Streams hold independently.
+  EXPECT_DOUBLE_EQ(injector.jam(12, 5, -80.0), -80.0);
+  EXPECT_DOUBLE_EQ(injector.jam(13, 5, -20.0), -80.0);
+  // Outside the window the stream thaws.
+  EXPECT_DOUBLE_EQ(injector.jam(21, 0, -33.0), -33.0);
+}
+
+TEST(AttackInjectorTest, FloodEmitsDecodableJunkAgainstOneIdentity) {
+  AttackConfig config;
+  config.flood_per_tick = 8;
+  config.flood_station = 3;
+  config.flood_from = 0;
+  config.flood_to = 4;
+  AttackInjector injector(kDevices, config, 3);
+
+  std::vector<std::uint8_t> out;
+  for (Tick t = 0; t < 10; ++t) injector.advance(t, out);
+  EXPECT_EQ(injector.counters().flooded, 32u);  // 8 x 4 ticks
+
+  const std::vector<Decoded> frames = decode_all(out);
+  ASSERT_EQ(frames.size(), 32u);
+  for (const Decoded& f : frames) {
+    EXPECT_EQ(f.header.station_id, 3);
+    EXPECT_FALSE(f.authenticated);
+    EXPECT_GE(f.reports.size(), 1u);
+    EXPECT_LE(f.reports.size(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace fadewich::net

@@ -1,0 +1,85 @@
+#include "fadewich/net/seq_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fadewich::net {
+namespace {
+
+using Result = SeqWindow::Result;
+
+TEST(SeqWindowTest, FirstSequenceIsFreshAtAnyValue) {
+  SeqWindow window;
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.accept(1'000'000), Result::kFresh);
+  EXPECT_FALSE(window.empty());
+  EXPECT_EQ(window.high(), 1'000'000u);
+}
+
+TEST(SeqWindowTest, MonotoneStreamIsAllFresh) {
+  SeqWindow window;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    EXPECT_EQ(window.accept(seq), Result::kFresh) << seq;
+  }
+  EXPECT_EQ(window.high(), 199u);
+}
+
+TEST(SeqWindowTest, ExactRepeatIsDuplicate) {
+  SeqWindow window;
+  window.accept(10);
+  EXPECT_EQ(window.accept(10), Result::kDuplicate);
+  window.accept(11);
+  EXPECT_EQ(window.accept(10), Result::kDuplicate);
+  EXPECT_EQ(window.accept(11), Result::kDuplicate);
+}
+
+TEST(SeqWindowTest, ReorderingInsideTheWindowIsAcceptedOnce) {
+  SeqWindow window;
+  window.accept(100);
+  EXPECT_EQ(window.accept(98), Result::kReordered);
+  EXPECT_EQ(window.accept(98), Result::kDuplicate);  // marked on accept
+  EXPECT_EQ(window.accept(99), Result::kReordered);
+}
+
+TEST(SeqWindowTest, BelowTheWindowIsStale) {
+  SeqWindow window;
+  window.accept(100);
+  EXPECT_EQ(window.accept(36), Result::kStale);  // back = 64: outside
+  EXPECT_EQ(window.accept(37), Result::kReordered);  // back = 63: edge
+  EXPECT_EQ(window.accept(0), Result::kStale);
+}
+
+TEST(SeqWindowTest, LargeForwardJumpClearsTheBitmap) {
+  SeqWindow window;
+  for (std::uint64_t seq = 0; seq < 10; ++seq) window.accept(seq);
+  EXPECT_EQ(window.accept(1'000), Result::kFresh);
+  // Everything from before the jump is now below the window.
+  EXPECT_EQ(window.accept(9), Result::kStale);
+  // Unseen values inside the new window are reorderings.
+  EXPECT_EQ(window.accept(990), Result::kReordered);
+}
+
+TEST(SeqWindowTest, SeenQueriesWithoutMarking) {
+  SeqWindow window;
+  EXPECT_FALSE(window.seen(5));
+  window.accept(5);
+  EXPECT_TRUE(window.seen(5));
+  EXPECT_FALSE(window.seen(4));   // never accepted
+  EXPECT_FALSE(window.seen(6));   // above the high-water mark
+  EXPECT_EQ(window.accept(4), Result::kReordered);  // seen() did not mark
+  window.accept(100);
+  EXPECT_FALSE(window.seen(5));   // slid out of the window
+  EXPECT_TRUE(window.seen(100));
+}
+
+TEST(SeqWindowTest, ShiftByMoreThanSixtyThreeIsWellDefined) {
+  // A shift of >= 64 would be UB on a raw <<; the window must handle an
+  // arbitrary jump (attackers pick the sequence numbers).
+  SeqWindow window;
+  window.accept(0);
+  EXPECT_EQ(window.accept(std::uint64_t{1} << 40), Result::kFresh);
+  EXPECT_EQ(window.accept((std::uint64_t{1} << 40) - 1), Result::kReordered);
+  EXPECT_EQ(window.accept(0), Result::kStale);
+}
+
+}  // namespace
+}  // namespace fadewich::net

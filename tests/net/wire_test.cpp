@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "fadewich/common/crc32.hpp"
 #include "fadewich/common/error.hpp"
 
 namespace fadewich::net {
@@ -165,7 +166,7 @@ TEST(WireTest, RejectsWrongVersionAndFlags) {
   EXPECT_EQ(decoder.counters().bad_version, 1u);
 
   bytes = encode_one();
-  bytes[5] = 1;  // reserved flags must be zero
+  bytes[5] = 2;  // reserved flags (beyond the auth bit) must be zero
   FrameDecoder flags_decoder;
   flags_decoder.feed(bytes);
   EXPECT_EQ(drain(flags_decoder), 0u);
@@ -229,6 +230,91 @@ TEST(WireTest, EncoderRejectsContractViolations) {
   const std::vector<WireReport> too_many(kMaxFrameReports + 1);
   EXPECT_THROW(encode_frame({0, 0, 0, 0}, too_many, out),
                ContractViolation);
+}
+
+TEST(WireTest, AuthenticatedRoundTripSurfacesTheTag) {
+  const WireKey key = derive_station_key(42, 3);
+  const auto reports = make_reports(1, 4);
+  std::vector<std::uint8_t> bytes;
+  const FrameHeader header{3, 41, 7, 1};
+  encode_frame(header, reports, bytes, &key);
+  EXPECT_EQ(bytes.size(), wire_frame_size(3, /*authenticated=*/true));
+  EXPECT_EQ(bytes[5], kWireFlagAuth);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const DecodedFrame* frame = decoder.next();
+  ASSERT_NE(frame, nullptr);
+  EXPECT_TRUE(frame->authenticated);
+  EXPECT_EQ(frame->tag, frame_tag(key, header, reports));
+  EXPECT_TRUE(verify_frame_tag(key, *frame));
+  ASSERT_EQ(frame->reports.size(), 3u);
+  EXPECT_EQ(frame->reports[0].rssi_dbm, -40);
+  EXPECT_EQ(decoder.counters().rejected_frames(), 0u);
+}
+
+TEST(WireTest, WrongKeyOrUnauthenticatedFrameFailsVerification) {
+  const WireKey key = derive_station_key(42, 3);
+  const auto reports = make_reports(1, 4);
+  std::vector<std::uint8_t> bytes;
+  encode_frame({3, 41, 7, 1}, reports, bytes, &key);
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const DecodedFrame* frame = decoder.next();
+  ASSERT_NE(frame, nullptr);
+  EXPECT_FALSE(verify_frame_tag(derive_station_key(42, 4), *frame));
+  EXPECT_FALSE(verify_frame_tag(derive_station_key(43, 3), *frame));
+
+  // An unauthenticated frame never verifies, under any key.
+  std::vector<std::uint8_t> plain;
+  encode_frame({3, 41, 7, 1}, reports, plain);
+  FrameDecoder plain_decoder;
+  plain_decoder.feed(plain);
+  const DecodedFrame* unsigned_frame = plain_decoder.next();
+  ASSERT_NE(unsigned_frame, nullptr);
+  EXPECT_FALSE(unsigned_frame->authenticated);
+  EXPECT_FALSE(verify_frame_tag(key, *unsigned_frame));
+}
+
+TEST(WireTest, TamperedButCrcPatchedFrameFailsTheTag) {
+  // The attacker model: modify a signed frame's payload and recompute
+  // the CRC (public), but not the tag (keyed).  The decoder delivers
+  // the frame — it is keyless — and verification must catch it.
+  const WireKey key = derive_station_key(7, 0);
+  const auto reports = make_reports(0, 3);
+  std::vector<std::uint8_t> bytes;
+  encode_frame({0, 5, 2, 0}, reports, bytes, &key);
+  bytes[kWireHeaderSize + 2] ^= 0x7F;  // first report's RSSI
+  const std::size_t crc_off = bytes.size() - kWireTrailerSize;
+  const std::uint32_t crc = crc32(bytes.data() + 4, crc_off - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[crc_off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const DecodedFrame* frame = decoder.next();
+  ASSERT_NE(frame, nullptr);  // keyless decode accepts the patched CRC
+  EXPECT_TRUE(frame->authenticated);
+  EXPECT_FALSE(verify_frame_tag(key, *frame));
+}
+
+TEST(WireTest, DeriveStationKeyIsDeterministicAndPerStation) {
+  const WireKey a = derive_station_key(1000, 5);
+  const WireKey b = derive_station_key(1000, 5);
+  EXPECT_EQ(a.k0, b.k0);
+  EXPECT_EQ(a.k1, b.k1);
+
+  const WireKey other_station = derive_station_key(1000, 6);
+  EXPECT_NE(a.k0, other_station.k0);
+  EXPECT_NE(a.k1, other_station.k1);
+
+  const WireKey other_seed = derive_station_key(1001, 5);
+  EXPECT_NE(a.k0, other_seed.k0);
+  EXPECT_NE(a.k1, other_seed.k1);
+
+  EXPECT_NE(a.k0, a.k1);  // halves carry independent mixes
 }
 
 TEST(WireTest, HealthBlockFlattensCounters) {
