@@ -95,7 +95,39 @@ void write_json(const std::string& path, bool clean_identical,
     out << "      \"row_digest\": " << r.row_digest << "\n";
     out << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ]\n";
+  out << "  ],\n";
+
+  // Availability campaigns (outage DoS, RF jamming) remove information
+  // the defender cannot conjure back, so their spurious-deauth residue
+  // is trended here rather than gated: successive PRs can watch the
+  // drift without a hard ratchet.  Deltas are relative to the defended
+  // clean anchor.
+  const eval::AttackScenarioResult* clean_defended = nullptr;
+  for (const eval::AttackScenarioResult& r : results) {
+    if (r.scenario.name == "clean" && r.scenario.defend) clean_defended = &r;
+  }
+  const std::uint64_t anchor =
+      clean_defended != nullptr ? clean_defended->spurious_deauths : 0;
+  out << "  \"availability_trend\": {\n";
+  bool first = true;
+  for (const eval::AttackScenarioResult& r : results) {
+    if (!r.scenario.defend) continue;
+    if (r.scenario.name != "outage_dos" && r.scenario.name != "jam_mimic" &&
+        r.scenario.name != "jam_mask") {
+      continue;
+    }
+    if (!first) out << ",\n";
+    first = false;
+    const std::uint64_t over =
+        r.spurious_deauths > anchor ? r.spurious_deauths - anchor : 0;
+    out << "    \"" << r.scenario.name << "\": {\n";
+    out << "      \"spurious_deauths\": " << r.spurious_deauths << ",\n";
+    out << "      \"spurious_over_clean\": " << over << ",\n";
+    out << "      \"jammed_samples\": " << r.attack.jammed_samples << ",\n";
+    out << "      \"imputed_cells\": " << r.health.imputed_cells << "\n";
+    out << "    }";
+  }
+  out << "\n  }\n";
   out << "}\n";
 }
 

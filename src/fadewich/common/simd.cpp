@@ -1,6 +1,9 @@
 #include "fadewich/common/simd.hpp"
 
 #include <cstdlib>
+#include <string>
+
+#include "fadewich/common/error.hpp"
 
 namespace fadewich::simd {
 
@@ -39,6 +42,10 @@ Isa resolve_isa(std::string_view env, Isa best) {
   if (env == "off" || env == "OFF" || env == "0" || env == "scalar") {
     return Isa::kScalar;
   }
+  if (env.empty() || env == "on" || env == "ON" || env == "1" ||
+      env == "auto" || env == "AUTO") {
+    return best;
+  }
   Isa requested = best;
   if (env == "sse2") {
     requested = Isa::kSse2;
@@ -47,7 +54,10 @@ Isa resolve_isa(std::string_view env, Isa best) {
   } else if (env == "avx2") {
     requested = Isa::kAvx2;
   } else {
-    return best;  // unset / "on" / "auto" / unrecognised
+    // A typo'd override used to silently dispatch the widest table; on a
+    // fleet-sized run that is an expensive way to not force scalar.
+    throw Error("FADEWICH_SIMD=\"" + std::string(env) +
+                "\": expected off|scalar|sse2|neon|avx2|auto|on");
   }
   // A named ISA is honoured only when this build and host provide it:
   // exactly the best one, or SSE2 as the x86-64 subset of AVX2.

@@ -53,8 +53,10 @@ inline bool simd_enabled() { return active_isa() != Isa::kScalar; }
 
 /// Pure resolution rule, exposed for tests: `env` is the raw
 /// FADEWICH_SIMD value ("" when unset), `best` the widest supported ISA.
-/// "off"/"0"/"scalar" -> scalar; a named ISA -> that ISA when the build
-/// and host provide it, else `best`; anything else -> `best`.
+/// "off"/"0"/"scalar" -> scalar; ""/"on"/"1"/"auto" -> `best`; a named
+/// ISA -> that ISA when the build and host provide it, else `best`.
+/// Anything else throws fadewich::Error — a typo'd override must not
+/// silently dispatch the widest table.
 Isa resolve_isa(std::string_view env, Isa best);
 
 /// The shim's fast exponential for one lane: Cody-Waite reduction plus a

@@ -1,9 +1,9 @@
 #include "fadewich/exec/thread_pool.hpp"
 
 #include <chrono>
-#include <cstdlib>
 #include <string>
 
+#include "fadewich/common/env.hpp"
 #include "fadewich/common/error.hpp"
 #include "fadewich/obs/obs.hpp"
 
@@ -41,15 +41,13 @@ struct ExecMetrics {
 }  // namespace
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("FADEWICH_THREADS")) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  // A malformed FADEWICH_THREADS throws instead of silently running at
+  // hardware concurrency: a fleet-sized run on the wrong pool size is an
+  // expensive mistake to discover from a wall clock.  4096 caps obvious
+  // typos (an extra digit) while leaving any plausible machine headroom.
+  return common::env_count("FADEWICH_THREADS", hw > 0 ? hw : 1,
+                           /*max_value=*/4096);
 }
 
 std::uint64_t task_seed(std::uint64_t root_seed, std::uint64_t task_index) {

@@ -38,8 +38,10 @@
 
 namespace fadewich::exec {
 
-/// Worker count the global pool uses: FADEWICH_THREADS if set (clamped to
-/// >= 1), otherwise std::thread::hardware_concurrency().
+/// Worker count the global pool uses: FADEWICH_THREADS if set, otherwise
+/// std::thread::hardware_concurrency().  A malformed or out-of-range
+/// FADEWICH_THREADS value throws fadewich::Error (see common/env.hpp)
+/// rather than silently falling back.
 std::size_t default_thread_count();
 
 /// Deterministic per-task seed: a SplitMix64 mix of a root seed and a task

@@ -1,0 +1,243 @@
+#include "fadewich/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/error.hpp"
+
+namespace fadewich::fleet {
+
+namespace {
+
+constexpr const char* kLatencyName = "fadewich_fleet_deauth_latency_seconds";
+
+std::string office_label(std::size_t office) {
+  return std::to_string(office);
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig config, exec::ThreadPool* pool)
+    : config_(std::move(config)),
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::global()) {
+  if (config_.offices < 1) throw Error("fleet config: offices must be >= 1");
+  if (config_.supervise_every < 0) {
+    throw Error("fleet config: supervise_every must be >= 0");
+  }
+  if (config_.checkpoint_period < 1) {
+    throw Error("fleet config: checkpoint_period must be >= 1");
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  fleet_latency_ = registry.histogram(
+      kLatencyName, "Leave-to-deauthentication latency across the fleet");
+  const bool per_office =
+      config_.per_office_series &&
+      config_.offices <= config_.per_office_series_cap;
+
+  // Shard construction is the expensive part (pipeline + script setup),
+  // so it fans out on the pool; metric handles are minted serially first
+  // because the registry hands them out under a lock anyway.
+  std::vector<ShardMetrics> metrics(config_.offices);
+  for (std::size_t i = 0; i < config_.offices; ++i) {
+    ShardMetrics m;
+    if (per_office) {
+      const std::string office = office_label(i);
+      m.ticks = registry.counter(
+          obs::labeled("fadewich_fleet_office_ticks_total",
+                       {{"office", office}}),
+          "Ticks stepped by one office");
+      m.deauths = registry.counter(
+          obs::labeled("fadewich_fleet_office_deauths_total",
+                       {{"office", office}}),
+          "On-time deauthentications by one office");
+      m.spurious_deauths = registry.counter(
+          obs::labeled("fadewich_fleet_office_spurious_deauths_total",
+                       {{"office", office}}),
+          "Spurious deauthentications by one office");
+    } else {
+      m.ticks = registry.counter("fadewich_fleet_ticks_total",
+                                 "Ticks stepped across the fleet");
+      m.deauths = registry.counter(
+          "fadewich_fleet_deauths_total",
+          "On-time deauthentications across the fleet");
+      m.spurious_deauths = registry.counter(
+          "fadewich_fleet_spurious_deauths_total",
+          "Spurious deauthentications across the fleet");
+    }
+    m.deauth_latency = fleet_latency_;
+    metrics[i] = m;
+  }
+
+  shards_.resize(config_.offices);
+  pool_->parallel_for(0, config_.offices, [&](std::size_t i) {
+    auto shard = std::make_unique<OfficeShard>(
+        i, exec::task_seed(config_.seed, i), config_.shard);
+    shard->set_metrics(metrics[i]);
+    shards_[i] = std::move(shard);
+  });
+
+  if (!config_.snapshot_root.empty()) {
+    persist::SupervisorConfig sup = config_.supervisor;
+    const Tick quantum = config_.supervise_every > 0
+                             ? config_.supervise_every
+                             : static_cast<Tick>(config_.shard.block_ticks);
+    // A shard only heartbeats at block boundaries; a stall threshold
+    // tighter than two blocks would restart healthy shards.
+    sup.stall_ticks = std::max(sup.stall_ticks, 2 * quantum);
+    supervisor_ = std::make_unique<persist::Supervisor>(sup);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      persist::RecoveryConfig recovery;
+      recovery.directory =
+          config_.snapshot_root + "/office-" + std::to_string(i);
+      shards_[i]->enable_persistence(std::move(recovery),
+                                     config_.checkpoint_period);
+      OfficeShard* shard = shards_[i].get();
+      supervisor_->add_module(module_name(i), [this, shard] {
+        if (!shard->restore_from_ring()) shard->reset_to_cold();
+        shard->run_until(current_boundary_);
+        return !shard->faulted();
+      });
+    }
+  }
+}
+
+std::string Fleet::module_name(std::size_t office) const {
+  return "office-" + std::to_string(office);
+}
+
+void Fleet::supervise(Tick boundary, std::size_t* restarts) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const OfficeShard& shard = *shards_[i];
+    if (shard.faulted()) {
+      supervisor_->report_failure(module_name(i), boundary,
+                                  shard.fault_what());
+    } else {
+      supervisor_->heartbeat(module_name(i), boundary);
+    }
+  }
+  *restarts += supervisor_->poll(boundary);
+}
+
+RunStats Fleet::run_week(Tick ticks) {
+  FADEWICH_EXPECTS(ticks >= 0);
+  const auto start = std::chrono::steady_clock::now();
+  const Tick target = cursor_ + ticks;
+  const Tick quantum = config_.supervise_every > 0
+                           ? config_.supervise_every
+                           : static_cast<Tick>(config_.shard.block_ticks);
+  std::size_t restarts = 0;
+
+  while (cursor_ < target) {
+    const Tick boundary = std::min(cursor_ + quantum, target);
+    current_boundary_ = boundary;
+    pool_->parallel_for(0, shards_.size(), [&](std::size_t i) {
+      shards_[i]->run_until(boundary);
+    });
+    if (supervisor_ != nullptr) supervise(boundary, &restarts);
+    cursor_ = boundary;
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  RunStats stats;
+  stats.ticks = ticks;
+  stats.wall_seconds = wall;
+  stats.restarts = restarts;
+  if (wall > 0.0) {
+    stats.ticks_per_sec =
+        static_cast<double>(ticks) * static_cast<double>(offices()) / wall;
+    stats.offices_per_sec = static_cast<double>(offices()) / wall;
+  }
+  last_run_ = stats;
+  return stats;
+}
+
+void Fleet::inject_crash(std::size_t office, Tick tick) {
+  FADEWICH_EXPECTS(office < shards_.size());
+  if (tick < cursor_) {
+    throw Error("fleet: cannot inject a crash behind the cursor");
+  }
+  shards_[office]->kill_at(tick);
+}
+
+const OfficeShard& Fleet::shard(std::size_t office) const {
+  FADEWICH_EXPECTS(office < shards_.size());
+  return *shards_[office];
+}
+
+std::uint32_t Fleet::fleet_digest() const {
+  Crc32 digest;
+  for (const auto& shard : shards_) {
+    const std::uint32_t d = shard->digest();
+    digest.update(&d, sizeof(d));
+  }
+  return digest.value();
+}
+
+std::uint32_t Fleet::shard_digest(std::size_t office) const {
+  FADEWICH_EXPECTS(office < shards_.size());
+  return shards_[office]->digest();
+}
+
+std::uint64_t Fleet::total_deauths() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->deauths();
+  return total;
+}
+
+std::uint64_t Fleet::total_spurious_deauths() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->spurious_deauths();
+  return total;
+}
+
+std::uint64_t Fleet::total_restarts() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->restores();
+  return total;
+}
+
+double Fleet::memory_bytes_per_office() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->memory_bytes();
+  return static_cast<double>(total) / static_cast<double>(shards_.size());
+}
+
+persist::HealthReport Fleet::supervisor_health() const {
+  if (supervisor_ == nullptr) return {};
+  return supervisor_->health();
+}
+
+obs::ScrapeReport Fleet::scrape() const {
+  obs::ScrapeReport report = obs::scrape();
+
+  obs::HealthBlock fleet;
+  fleet.name = "fleet";
+  fleet.add("offices", static_cast<double>(offices()));
+  fleet.add("cursor_tick", static_cast<double>(cursor_));
+  fleet.add("deauths", static_cast<double>(total_deauths()));
+  fleet.add("spurious_deauths",
+            static_cast<double>(total_spurious_deauths()));
+  fleet.add("restarts", static_cast<double>(total_restarts()));
+  fleet.add("memory_bytes_per_office", memory_bytes_per_office());
+  fleet.add("ticks_per_sec", last_run_.ticks_per_sec);
+  fleet.add("offices_per_sec", last_run_.offices_per_sec);
+  // p99 from merged bucket counts: deterministic across thread counts,
+  // unlike the racy-but-harmless floating sum.
+  const obs::HistogramSample* latency =
+      report.metrics.find_histogram(kLatencyName);
+  fleet.add("deauth_latency_p99_seconds",
+            latency != nullptr ? latency->percentile(0.99) : 0.0);
+  report.health.push_back(std::move(fleet));
+
+  if (supervisor_ != nullptr) {
+    report.health.push_back(persist::health_block(supervisor_->health()));
+  }
+  return report;
+}
+
+}  // namespace fadewich::fleet

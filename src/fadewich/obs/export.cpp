@@ -68,6 +68,47 @@ void append_json_kv(std::string& out, const std::string& key,
 
 }  // namespace
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += name;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   std::string last_base;

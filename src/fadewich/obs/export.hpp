@@ -16,7 +16,10 @@
 //     sections; histograms carry count/sum/p50/p95/p99 plus raw buckets.
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fadewich/obs/event_log.hpp"
@@ -24,6 +27,20 @@
 #include "fadewich/obs/trace.hpp"
 
 namespace fadewich::obs {
+
+/// Escape a label value for the Prometheus exposition format: backslash,
+/// double quote, and newline become \\, \" and \n.
+std::string escape_label_value(std::string_view value);
+
+/// Build `base{k1="v1",k2="v2"}` — the registry family key the exporters
+/// split back into base name and label set — with values escaped.  Label
+/// names must be legal identifiers; values may hold anything.  This is
+/// the one sanctioned way to mint per-entity series (per-office fleet
+/// labels, per-class counters): hand-concatenation skips the escaping.
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// A bespoke health struct flattened for export.  Field order is
 /// preserved in both output formats.

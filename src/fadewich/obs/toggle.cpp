@@ -3,18 +3,18 @@
 #if !defined(FADEWICH_OBS_DISABLE)
 
 #include <atomic>
-#include <cstdlib>
-#include <string>
+
+#include "fadewich/common/env.hpp"
 
 namespace fadewich::obs {
 
 namespace {
 
 bool env_default() {
-  const char* env = std::getenv("FADEWICH_OBS");
-  if (env == nullptr) return true;
-  const std::string value(env);
-  return value != "0" && value != "off" && value != "OFF";
+  // Strict: FADEWICH_OBS must be a recognised boolean.  A typo used to
+  // silently leave telemetry on; now it throws fadewich::Error from the
+  // first instrumented call, which is loud but unambiguous.
+  return common::env_flag("FADEWICH_OBS").value_or(true);
 }
 
 std::atomic<bool>& state() {

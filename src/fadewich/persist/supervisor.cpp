@@ -16,22 +16,22 @@ Supervisor::Supervisor(SupervisorConfig config) : config_(config) {
 void Supervisor::add_module(const std::string& name, RestartFn restart) {
   if (name.empty()) throw Error("supervisor: module name must be non-empty");
   if (!restart) throw Error("supervisor: restart callback must be set");
-  for (const Module& m : modules_) {
-    if (m.name == name) {
-      throw Error("supervisor: duplicate module " + name);
-    }
+  if (index_.count(name) != 0) {
+    throw Error("supervisor: duplicate module " + name);
   }
   Module module;
   module.name = name;
   module.restart = std::move(restart);
+  index_.emplace(name, modules_.size());
   modules_.push_back(std::move(module));
 }
 
 Supervisor::Module& Supervisor::find(const std::string& name) {
-  for (Module& m : modules_) {
-    if (m.name == name) return m;
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw Error("supervisor: unknown module " + name);
   }
-  throw Error("supervisor: unknown module " + name);
+  return modules_[it->second];
 }
 
 void Supervisor::heartbeat(const std::string& name, Tick tick) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fadewich/common/time.hpp"
@@ -87,6 +88,10 @@ class Supervisor {
 
   SupervisorConfig config_;
   std::vector<Module> modules_;
+  // Name -> modules_ index.  A fleet registers one module per office
+  // shard and heartbeats every shard every block; a linear find would
+  // make that O(shards^2) per block.
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// Flatten watchdog health for obs::ScrapeReport: overall totals plus a

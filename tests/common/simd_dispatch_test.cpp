@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 
+#include "fadewich/common/error.hpp"
 #include "fadewich/common/simd.hpp"
 #include "fadewich/common/simd_kernels.hpp"
 
@@ -33,10 +34,14 @@ TEST(SimdDispatchKnob, ResolveIsaRules) {
     EXPECT_EQ(resolve_isa(off, Isa::kAvx2), Isa::kScalar) << off;
     EXPECT_EQ(resolve_isa(off, Isa::kScalar), Isa::kScalar) << off;
   }
-  // Unset or unrecognised picks the best.
-  for (const char* best : {"", "on", "auto", "garbage", "AVX2"}) {
+  // Unset or an explicit "auto" picks the best.
+  for (const char* best : {"", "on", "ON", "1", "auto", "AUTO"}) {
     EXPECT_EQ(resolve_isa(best, Isa::kAvx2), Isa::kAvx2) << best;
     EXPECT_EQ(resolve_isa(best, Isa::kSse2), Isa::kSse2) << best;
+  }
+  // A typo must throw, not silently dispatch the widest table.
+  for (const char* bad : {"garbage", "AVX2", "Scalar", "of", "sse"}) {
+    EXPECT_THROW(resolve_isa(bad, Isa::kAvx2), Error) << bad;
   }
   // A named ISA is honoured exactly when the build/host provide it.
   EXPECT_EQ(resolve_isa("avx2", Isa::kAvx2), Isa::kAvx2);

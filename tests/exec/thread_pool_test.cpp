@@ -1,5 +1,7 @@
 #include "fadewich/exec/thread_pool.hpp"
 
+#include "fadewich/common/error.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -166,8 +168,12 @@ TEST(ThreadPoolTest, TaskSeedIsDeterministicAndDecorrelated) {
 TEST(ThreadPoolTest, DefaultThreadCountHonoursEnvOverride) {
   ::setenv("FADEWICH_THREADS", "3", 1);
   EXPECT_EQ(default_thread_count(), 3u);
-  ::setenv("FADEWICH_THREADS", "0", 1);  // nonsense clamps to >= 1
-  EXPECT_EQ(default_thread_count(), 1u);
+  // Nonsense no longer clamps silently: a misconfigured fleet should
+  // refuse to start, not quietly run single-threaded.
+  ::setenv("FADEWICH_THREADS", "0", 1);
+  EXPECT_THROW(default_thread_count(), Error);
+  ::setenv("FADEWICH_THREADS", "lots", 1);
+  EXPECT_THROW(default_thread_count(), Error);
   ::unsetenv("FADEWICH_THREADS");
   EXPECT_GE(default_thread_count(), 1u);
 }

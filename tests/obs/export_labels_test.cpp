@@ -1,0 +1,139 @@
+// Label handling in the exporters: escaping through obs::labeled, merged
+// high-cardinality families, stable ordering, and cross-thread sums —
+// the properties the fleet's per-office series lean on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fadewich/obs/export.hpp"
+#include "fadewich/obs/metrics.hpp"
+
+namespace fadewich::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ExportLabels, EscapeLabelValueCoversTheExpositionEscapes) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("line\nbreak"), "line\\nbreak");
+}
+
+TEST(ExportLabels, LabeledBuildsTheFamilyKey) {
+  EXPECT_EQ(labeled("fadewich_x_total", {}), "fadewich_x_total");
+  EXPECT_EQ(labeled("fadewich_x_total", {{"office", "3"}}),
+            "fadewich_x_total{office=\"3\"}");
+  EXPECT_EQ(
+      labeled("fadewich_x_total", {{"office", "3"}, {"site", "hq"}}),
+      "fadewich_x_total{office=\"3\",site=\"hq\"}");
+}
+
+TEST(ExportLabels, HostileLabelValuesSurviveBothExporters) {
+  MetricsRegistry registry;
+  const std::string name =
+      labeled("fadewich_office_notes_total",
+              {{"office", "we \"said\"\nback\\slash"}});
+  registry.counter(name, "notes").inc();
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.find_counter(name), nullptr);
+
+  const std::string prometheus = to_prometheus(snapshot);
+  EXPECT_NE(
+      prometheus.find(
+          "fadewich_office_notes_total{office=\"we \\\"said\\\"\\nback"
+          "\\\\slash\"} 1"),
+      std::string::npos)
+      << prometheus;
+  // The raw newline must never reach the exposition text.
+  EXPECT_EQ(prometheus.find("we \"said\"\n"), std::string::npos);
+
+  const std::string json = to_json(snapshot);
+  EXPECT_NE(json.find("fadewich_office_notes_total"), std::string::npos);
+}
+
+TEST(ExportLabels, HighCardinalityFamilyMergesUnderOneHeader) {
+  MetricsRegistry registry;
+  constexpr std::size_t kOffices = 300;
+  for (std::size_t i = 0; i < kOffices; ++i) {
+    registry
+        .counter(labeled("fadewich_fleet_office_ticks_total",
+                         {{"office", std::to_string(i)}}),
+                 "Ticks per office")
+        .add(i + 1);
+  }
+
+  const std::string prometheus = to_prometheus(registry.snapshot());
+  EXPECT_EQ(count_occurrences(prometheus,
+                              "# TYPE fadewich_fleet_office_ticks_total "),
+            1u);
+  EXPECT_EQ(count_occurrences(prometheus,
+                              "# HELP fadewich_fleet_office_ticks_total "),
+            1u);
+  EXPECT_EQ(count_occurrences(prometheus,
+                              "fadewich_fleet_office_ticks_total{office="),
+            kOffices);
+}
+
+TEST(ExportLabels, SnapshotOrderingIsStableAcrossScrapes) {
+  MetricsRegistry registry;
+  // Registration order is deliberately scrambled; the snapshot must not
+  // care (families live in a name-ordered map).
+  for (const std::size_t i : {7u, 2u, 19u, 0u, 11u, 3u}) {
+    registry.counter(labeled("fadewich_fleet_office_deauths_total",
+                             {{"office", std::to_string(i)}}));
+  }
+  std::vector<std::string> first_order;
+  for (const CounterSample& c : registry.snapshot().counters) {
+    first_order.push_back(c.name);
+  }
+  for (std::size_t scrape = 0; scrape < 3; ++scrape) {
+    std::vector<std::string> order;
+    for (const CounterSample& c : registry.snapshot().counters) {
+      order.push_back(c.name);
+    }
+    EXPECT_EQ(order, first_order);
+  }
+  EXPECT_TRUE(std::is_sorted(first_order.begin(), first_order.end()));
+}
+
+TEST(ExportLabels, CrossThreadUpdatesMergeIntoOneSample) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter(
+      labeled("fadewich_fleet_office_ticks_total", {{"office", "0"}}));
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const CounterSample* sample = snapshot.find_counter(
+      labeled("fadewich_fleet_office_ticks_total", {{"office", "0"}}));
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, kThreads * kPerThread);
+  // Shards merge into exactly one exported line.
+  const std::string prometheus = to_prometheus(snapshot);
+  EXPECT_EQ(count_occurrences(prometheus,
+                              "fadewich_fleet_office_ticks_total{office"),
+            1u);
+}
+
+}  // namespace
+}  // namespace fadewich::obs

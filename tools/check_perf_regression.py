@@ -20,11 +20,19 @@ CI keeps one baseline per (isa, native) leg it gates.
 Usage:
     check_perf_regression.py BASELINE CURRENT [--tolerance 0.25]
         [--section hotpaths]
+    check_perf_regression.py REPORT --report-only [--section fleet]
 
 `--section` selects which report section holds the gated ratios:
 `hotpaths` (the default, BENCH_hotpaths.json) or any other section of
 `"name": {"speedup": r}` entries — e.g. `--section ingest_ratios` for
 BENCH_ingest.json once an ingestion baseline lands.
+
+`--report-only` takes a single report and prints every numeric field of
+the section without gating anything (always exit 0).  CI uses it for
+BENCH_fleet.json — the fleet sweep trends offices/sec, ticks/sec, and
+bytes-per-office across PRs but has no ratchet yet (absolute throughput
+is a machine-speed artifact and the sweep has no scalar twin to ratio
+against).
 
 Regenerating the baseline (after an intentional kernel change):
     FADEWICH_BENCH_FAST=1 ./build/bench/bench_micro_hotpaths --fast \
@@ -63,17 +71,49 @@ def comparable(baseline, current):
     return None
 
 
+def report_only(path, section):
+    """Print every numeric field of the section, gate nothing."""
+    doc = load_report(path, section)
+    stamp = ", ".join(
+        f"{key}={doc[key]!r}" for key in
+        ("git_sha", "threads", "fast_mode", "simd_isa", "native")
+        if key in doc)
+    print(f"{path} [{stamp}]")
+    for name, entry in sorted(doc[section].items()):
+        if not isinstance(entry, dict):
+            continue
+        fields = ", ".join(
+            f"{key}={value:g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in entry.items()
+            if isinstance(value, (int, float)) and
+            not isinstance(value, bool))
+        print(f"  {name}: {fields}")
+    print(f"\nreport-only: {section!r} section trended, nothing gated")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="?",
+                        help="measured report to gate against the "
+                             "baseline; omitted with --report-only")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup regression "
                              "(default 0.25)")
     parser.add_argument("--section", default="hotpaths",
                         help="report section holding the gated "
                              "'speedup' entries (default: hotpaths)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the section's numeric fields from a "
+                             "single report; no gating, exit 0")
     args = parser.parse_args()
+
+    if args.report_only:
+        return report_only(args.baseline, args.section)
+    if args.current is None:
+        parser.error("CURRENT is required unless --report-only is given")
 
     baseline_doc = load_report(args.baseline, args.section)
     current_doc = load_report(args.current, args.section)
