@@ -1,18 +1,22 @@
 // Line-rate ingestion trajectory: replay a recorded week through the
-// binary wire front door — capture file -> FrameDecoder -> IngestQueue
-// -> CentralStation — at max speed, and prove the transport is lossless:
-// the released rows (values and validity masks) must be bit-identical to
+// binary wire front door and prove the transport is lossless: the
+// released rows (values and validity masks) must be bit-identical to
 // the in-process MessageBus path over the same recording.
 //
 //   ./bench_ingest [output.json]
 //
 // Legs, all recorded in BENCH_ingest.json:
 //   in_process          the MessageBus reference path (ratio baseline)
-//   wire_single_thread  decode -> ring -> station on one thread, with
-//                       queue-depth percentiles via an obs histogram
-//   wire_sharded        the capture split into contiguous tick ranges,
-//                       one decoder/ring/station per shard on the exec
-//                       pool (the fleet-ingestion shape)
+//   wire_single_thread  the PR-era hot route — decode -> ring ->
+//                       generic station ingest on one thread, with
+//                       queue-depth percentiles via an obs histogram.
+//                       This leg is the "single lane" the plane sweep
+//                       is gated against.
+//   plane_sweep         the sharded ingest plane: N decoder lanes fan
+//                       decoded reports through per-shard rings into
+//                       one ordered CentralStation per shard, swept
+//                       over lanes x shard counts.  Every cell must be
+//                       bit-identical to the in-process reference.
 //   corrupt             the same frames with injected bit flips and a
 //                       torn tail: every rejection must land in a
 //                       WireCounters bucket, never a throw
@@ -20,14 +24,17 @@
 // Exits nonzero when any wire leg is not bit-identical to the reference,
 // so CI fails on transport loss rather than archiving a bad report.
 //
-// Environment: FADEWICH_BENCH_FAST=1 shrinks the week to 2 days x 2 h;
-// FADEWICH_INGEST_RING / FADEWICH_INGEST_BATCH size the ring and the
-// station batch (defaults 65536 / 1024).
+// Environment (all strict — a malformed value throws, never silently
+// falls back): FADEWICH_BENCH_FAST=1 shrinks the week to 2 days x 2 h;
+// FADEWICH_INGEST_RING / FADEWICH_INGEST_BATCH size the single-thread
+// ring and the station drain batch (defaults 65536 / 1024);
+// FADEWICH_INGEST_LANES and FADEWICH_INGEST_SHARDS override the sweep
+// axes as comma-separated lists (defaults "1,2,4" x "10,100,1000").
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <span>
@@ -35,12 +42,13 @@
 #include <vector>
 
 #include "bench_json.hpp"
-#include "fadewich/common/crc32.hpp"
+#include "fadewich/common/env.hpp"
 #include "fadewich/common/error.hpp"
 #include "fadewich/common/rng.hpp"
 #include "fadewich/exec/thread_pool.hpp"
 #include "fadewich/net/capture.hpp"
 #include "fadewich/net/central_station.hpp"
+#include "fadewich/net/ingest_plane.hpp"
 #include "fadewich/net/ingest_queue.hpp"
 #include "fadewich/net/wire.hpp"
 #include "fadewich/obs/obs.hpp"
@@ -55,13 +63,6 @@ constexpr std::size_t kDevices = 9;  // the paper's office deployment
 constexpr std::size_t kReportsPerFrame = kDevices - 1;
 constexpr std::size_t kFrameBytes = net::wire_frame_size(kReportsPerFrame);
 constexpr std::size_t kFeedChunk = 64 * 1024;  // decoder feed granularity
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  const long value = std::strtol(raw, nullptr, 10);
-  return value > 0 ? static_cast<std::size_t>(value) : fallback;
-}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -90,34 +91,64 @@ sim::Recording make_week() {
   return recording;
 }
 
-/// Row digest: tick + values + validity mask, order-sensitive.  Two row
-/// streams are bit-identical iff their digests match.
-void digest_row(Crc32& crc, const net::StationRow& row) {
-  const std::int64_t tick = row.tick;
-  crc.update(&tick, sizeof(tick));
-  crc.update(row.values.data(), row.values.size() * sizeof(double));
-  crc.update(row.valid.data(), row.valid.size());
+/// Row digest: tick + values + validity mask folded through an
+/// order-sensitive 64-bit multiply-mix (splitmix64 step per word).  Two
+/// row streams are bit-identical iff their digests match.  One mix per
+/// 8-byte word keeps the digest to ~1 ns/report inside the timed replay
+/// loops, so the legs measure ingestion rather than checksumming.
+struct RowDigest {
+  std::uint64_t state = 0x243F6A8885A308D3ull;
+
+  void mix(std::uint64_t word) {
+    state ^= word + 0x9E3779B97F4A7C15ull;
+    state *= 0xBF58476D1CE4E5B9ull;
+    state ^= state >> 27;
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t v = state;
+    v *= 0x94D049BB133111EBull;
+    v ^= v >> 31;
+    return v;
+  }
+};
+
+void digest_row(RowDigest& digest, const net::StationRow& row) {
+  digest.mix(static_cast<std::uint64_t>(row.tick));
+  for (const double v : row.values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    digest.mix(bits);
+  }
+  std::uint64_t packed = 0;
+  std::size_t filled = 0;
+  for (const auto flag : row.valid) {
+    packed = (packed << 1) | (flag ? 1u : 0u);
+    if (++filled == 64) {
+      digest.mix(packed);
+      packed = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) digest.mix(packed);
 }
 
 struct ReferenceResult {
   double seconds = 0.0;
   std::uint64_t rows = 0;
   std::uint64_t reports = 0;
-  std::uint32_t digest = 0;             // whole-stream digest
-  std::vector<std::uint32_t> shard_digests;  // one per tick range
+  std::uint64_t digest = 0;  // whole-stream digest
 };
 
-/// The in-process reference path: publish every measurement on the bus,
-/// ingest per tick, digest the released rows — whole-stream and per shard
-/// range so both wire legs can be verified against the same run.
+/// The in-process reference path over the first `ticks` ticks of the
+/// recording: publish every measurement on the bus, ingest per tick,
+/// digest the released rows.
 ReferenceResult run_in_process(const sim::Recording& recording,
-                               std::size_t shards, Tick ticks_per_shard) {
+                               Tick ticks) {
   net::CentralStation station(kDevices);
   net::MessageBus bus;
-  Crc32 whole;
-  std::vector<Crc32> per_shard(shards);
+  RowDigest whole;
   ReferenceResult result;
-  const Tick ticks = recording.tick_count();
   const auto start = std::chrono::steady_clock::now();
   for (Tick t = 0; t < ticks; ++t) {
     for (net::DeviceId tx = 0; tx < kDevices; ++tx) {
@@ -131,14 +162,11 @@ ReferenceResult run_in_process(const sim::Recording& recording,
     for (const Tick ready : station.ingest(bus)) {
       const auto row = station.take_row(ready);
       digest_row(whole, *row);
-      digest_row(per_shard[static_cast<std::size_t>(ready / ticks_per_shard)],
-                 *row);
       ++result.rows;
     }
   }
   result.seconds = seconds_since(start);
   result.digest = whole.value();
-  for (Crc32& crc : per_shard) result.shard_digests.push_back(crc.value());
   return result;
 }
 
@@ -168,25 +196,57 @@ std::uint64_t write_capture(const sim::Recording& recording,
   return writer.frames_written();
 }
 
+/// A campus capture for the plane sweep: `offices` stations all replay
+/// the first `ticks` ticks of the recording, frames interleaved
+/// tick-major then station-major — the merged wire order a campus tap
+/// would see.  Every office carries identical values, so one in-process
+/// reference digest verifies all of them.
+std::vector<std::uint8_t> make_campus_capture(
+    const sim::Recording& recording, std::size_t offices, Tick ticks) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(ticks) * offices * kDevices *
+                kFrameBytes);
+  std::vector<net::WireReport> reports;
+  std::vector<std::uint64_t> seq(offices, 0);
+  for (Tick t = 0; t < ticks; ++t) {
+    for (std::size_t office = 0; office < offices; ++office) {
+      for (net::DeviceId tx = 0; tx < kDevices; ++tx) {
+        reports.clear();
+        for (net::DeviceId rx = 0; rx < kDevices; ++rx) {
+          if (rx == tx) continue;
+          const auto s = recording.stream_index(tx, rx);
+          reports.push_back({rx, net::wire_encode_dbm(recording.rssi(
+                                     s, static_cast<std::size_t>(t)))});
+        }
+        const net::FrameHeader header{
+            static_cast<std::uint16_t>(office), seq[office]++, t, tx};
+        encode_frame(header, reports, bytes);
+      }
+    }
+  }
+  return bytes;
+}
+
 struct WireRun {
   double seconds = 0.0;
   std::uint64_t rows = 0;
-  std::uint32_t digest = 0;
+  std::uint64_t digest = 0;
   net::WireCounters decode;
   net::IngestQueue::Counters queue;
 };
 
-/// The hot route: decode a span of capture frames, push through the SPSC
-/// ring, drain in batches into the station, digest released rows.
-/// `depth` (a null handle unless the caller registered one) samples ring
-/// occupancy before each drain.
+/// The single-lane baseline: decode a span of capture frames, push
+/// through the SPSC ring, drain in batches into the generic station
+/// ingest, digest released rows.  This is the pre-plane hot route the
+/// sweep's speedup is measured against.  `depth` (a null handle unless
+/// the caller registered one) samples ring occupancy before each drain.
 WireRun run_wire(std::span<const std::uint8_t> frames,
                  std::size_t ring_capacity, std::size_t batch_size,
                  obs::Histogram depth) {
   net::FrameDecoder decoder;
   net::IngestQueue queue(ring_capacity);
   net::CentralStation station(kDevices);
-  Crc32 digest;
+  RowDigest digest;
   WireRun run;
   std::vector<Measurement> staged;
   std::vector<Measurement> batch(batch_size);
@@ -229,6 +289,75 @@ WireRun run_wire(std::span<const std::uint8_t> frames,
   run.digest = digest.value();
   run.decode = decoder.counters();
   run.queue = queue.counters();
+  return run;
+}
+
+struct PlaneRun {
+  std::size_t lanes = 0;
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t backpressure = 0;
+  std::uint64_t rounds = 0;
+  bool bit_identical = false;
+};
+
+/// One plane sweep cell: replay the campus capture through an
+/// IngestPlane with `lanes` decoder lanes into `shards` ordered
+/// stations, digesting each shard's row stream.  Bit-identity gate:
+/// every shard's digest equals the in-process reference digest over the
+/// same tick range (all offices replay identical values).
+PlaneRun run_plane(std::span<const std::uint8_t> bytes, std::size_t lanes,
+                   std::size_t shards, std::size_t drain_batch,
+                   const ReferenceResult& reference) {
+  net::PlaneConfig config;
+  config.lanes = lanes;
+  config.shards = shards;
+  config.drain_batch = drain_batch;
+  // Rings share the default memory budget: capacity adapts to the
+  // lanes x shards grid instead of multiplying a fixed size by it.
+  net::IngestPlane plane(config);
+
+  std::vector<net::CentralStation> stations;
+  stations.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) stations.emplace_back(kDevices);
+  std::vector<RowDigest> digests(shards);
+  std::vector<std::uint64_t> rows(shards, 0);
+
+  PlaneRun run;
+  run.lanes = lanes;
+  run.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  run.reports = plane.replay(
+      bytes, [&](std::size_t shard, std::span<const Measurement> batch) {
+        stations[shard].ingest_ordered(
+            batch, [&digests, &rows, shard](const net::StationRow& row) {
+              digest_row(digests[shard], row);
+              ++rows[shard];
+            });
+      });
+  for (std::size_t s = 0; s < shards; ++s) {
+    stations[s].finish_ordered([&digests, &rows, s](
+                                   const net::StationRow& row) {
+      digest_row(digests[s], row);
+      ++rows[s];
+    });
+  }
+  run.seconds = seconds_since(start);
+
+  run.bit_identical = true;
+  for (std::size_t s = 0; s < shards; ++s) {
+    run.rows += rows[s];
+    if (digests[s].value() != reference.digest ||
+        rows[s] != reference.rows) {
+      run.bit_identical = false;
+      std::cerr << "[bench_ingest] plane " << lanes << "x" << shards
+                << " shard " << s << " digest mismatch\n";
+    }
+  }
+  run.backpressure = plane.counters().ring_full_backpressure;
+  run.rounds = plane.counters().rounds;
   return run;
 }
 
@@ -278,12 +407,7 @@ std::string wire_json(const char* name, const WireRun& run,
                       const std::string& extra) {
   std::string out;
   out += std::string("  \"") + name + "\": {\n";
-  out += "    \"seconds\": " + std::to_string(run.seconds) + ",\n";
-  out += "    \"reports_per_sec\": " +
-         std::to_string(run.seconds > 0.0
-                            ? static_cast<double>(reports) / run.seconds
-                            : 0.0) +
-         ",\n";
+  out += json_rate_fields(run.seconds, reports);
   out += "    \"rows\": " + std::to_string(run.rows) + ",\n";
   out += "    \"frames_ok\": " + std::to_string(run.decode.frames_ok) +
          ",\n";
@@ -301,8 +425,15 @@ std::string wire_json(const char* name, const WireRun& run,
 int run(int argc, char** argv) {
   const std::string path =
       argc > 1 ? argv[1] : std::string("BENCH_ingest.json");
-  const std::size_t ring = env_size("FADEWICH_INGEST_RING", 65536);
-  const std::size_t batch = env_size("FADEWICH_INGEST_BATCH", 1024);
+  const std::size_t ring = common::env_count("FADEWICH_INGEST_RING", 65536);
+  const std::size_t batch =
+      common::env_count("FADEWICH_INGEST_BATCH", 1024);
+  std::vector<std::size_t> lane_sweep =
+      common::env_count_list("FADEWICH_INGEST_LANES", /*max_value=*/64);
+  if (lane_sweep.empty()) lane_sweep = {1, 2, 4};
+  std::vector<std::size_t> shard_sweep =
+      common::env_count_list("FADEWICH_INGEST_SHARDS");
+  if (shard_sweep.empty()) shard_sweep = {10, 100, 1000};
 
   std::cerr << "[bench_ingest] synthesising recording ("
             << (fast_mode() ? "fast" : "full") << " mode)\n";
@@ -311,17 +442,9 @@ int run(int argc, char** argv) {
   const std::uint64_t reports =
       static_cast<std::uint64_t>(ticks) * kDevices * kReportsPerFrame;
 
-  exec::ThreadPool& pool = exec::ThreadPool::global();
-  const std::size_t shards = std::max<std::size_t>(
-      1, std::min<std::size_t>(pool.thread_count(),
-                               static_cast<std::size_t>(ticks)));
-  const Tick ticks_per_shard =
-      (ticks + static_cast<Tick>(shards) - 1) / static_cast<Tick>(shards);
-
   std::cerr << "[bench_ingest] in-process reference pass (" << reports
             << " reports)\n";
-  const ReferenceResult reference =
-      run_in_process(recording, shards, ticks_per_shard);
+  const ReferenceResult reference = run_in_process(recording, ticks);
 
   const std::string capture_path = "bench_ingest_capture.bin";
   std::cerr << "[bench_ingest] writing capture file\n";
@@ -339,7 +462,7 @@ int run(int argc, char** argv) {
       "fadewich_ingest_queue_depth", "ring occupancy sampled per drain",
       depth_bounds);
 
-  std::cerr << "[bench_ingest] wire single-thread pass\n";
+  std::cerr << "[bench_ingest] wire single-lane baseline pass\n";
   const WireRun single = run_wire(capture.frames, ring, batch, depth);
   const bool single_ok = single.digest == reference.digest &&
                          single.rows == reference.rows;
@@ -348,47 +471,50 @@ int run(int argc, char** argv) {
   const auto* depth_sample =
       snapshot.find_histogram("fadewich_ingest_queue_depth");
 
-  std::cerr << "[bench_ingest] wire sharded pass (" << shards
-            << " shards)\n";
-  std::vector<WireRun> shard_runs(shards);
-  const auto sharded_start = std::chrono::steady_clock::now();
-  pool.parallel_for(0, shards, [&](std::size_t s) {
-    const Tick begin = static_cast<Tick>(s) * ticks_per_shard;
-    const Tick end = std::min(ticks, begin + ticks_per_shard);
-    const std::size_t byte_begin =
-        static_cast<std::size_t>(begin) * kDevices * kFrameBytes;
-    const std::size_t byte_end =
-        static_cast<std::size_t>(end) * kDevices * kFrameBytes;
-    shard_runs[s] =
-        run_wire(std::span<const std::uint8_t>(capture.frames)
-                     .subspan(byte_begin, byte_end - byte_begin),
-                 ring, batch, obs::Histogram{});
-  });
-  const double sharded_seconds = seconds_since(sharded_start);
-
-  WireRun sharded;
-  sharded.seconds = sharded_seconds;
-  bool sharded_ok = true;
-  for (std::size_t s = 0; s < shards; ++s) {
-    sharded.rows += shard_runs[s].rows;
-    sharded.decode.frames_ok += shard_runs[s].decode.frames_ok;
-    sharded.decode.bad_crc += shard_runs[s].decode.bad_crc;
-    sharded.decode.bad_length += shard_runs[s].decode.bad_length;
-    sharded.decode.bad_version += shard_runs[s].decode.bad_version;
-    sharded.decode.truncated += shard_runs[s].decode.truncated;
-    sharded.queue.rejected_full += shard_runs[s].queue.rejected_full;
-    if (shard_runs[s].digest != reference.shard_digests[s]) {
-      sharded_ok = false;
-      std::cerr << "[bench_ingest] shard " << s << " digest mismatch\n";
+  // Plane sweep: per shard count, a campus capture with that many
+  // offices over a tick range scaled so every cell replays roughly the
+  // same total report volume as the week.  One bounded in-process
+  // reference per tick range verifies every office (offices replay
+  // identical values).
+  std::vector<PlaneRun> plane_runs;
+  bool plane_ok = true;
+  double plane_best_rate = 0.0;
+  for (const std::size_t shards : shard_sweep) {
+    const Tick sweep_ticks = std::max<Tick>(
+        std::min<Tick>(ticks, 200),
+        ticks / static_cast<Tick>(shards));
+    const ReferenceResult bounded =
+        sweep_ticks == ticks ? reference
+                             : run_in_process(recording, sweep_ticks);
+    std::cerr << "[bench_ingest] campus capture: " << shards
+              << " offices x " << sweep_ticks << " ticks\n";
+    const std::vector<std::uint8_t> campus =
+        make_campus_capture(recording, shards, sweep_ticks);
+    for (const std::size_t lanes : lane_sweep) {
+      PlaneRun run = run_plane(campus, lanes, shards, batch, bounded);
+      std::cerr << "[bench_ingest] plane lanes=" << lanes
+                << " shards=" << shards << ": "
+                << (run.seconds > 0.0
+                        ? static_cast<double>(run.reports) / run.seconds
+                        : 0.0)
+                << " reports/sec, bit_identical="
+                << (run.bit_identical ? "true" : "false") << "\n";
+      plane_ok = plane_ok && run.bit_identical;
+      if (run.seconds > 0.0) {
+        plane_best_rate =
+            std::max(plane_best_rate,
+                     static_cast<double>(run.reports) / run.seconds);
+      }
+      plane_runs.push_back(std::move(run));
     }
   }
-  sharded_ok = sharded_ok && sharded.rows == reference.rows;
 
   std::cerr << "[bench_ingest] corrupt-corpus pass\n";
   const net::WireCounters corrupt = run_corrupt(capture.frames);
 
+  exec::ThreadPool& pool = exec::ThreadPool::global();
   std::ofstream out(path);
-  out << "{\n" << json_stamp("fadewich-bench-ingest/1", shards);
+  out << "{\n" << json_stamp("fadewich-bench-ingest/2", pool.thread_count());
   out << "  \"ingest\": {\n";
   out << "    \"devices\": " << kDevices << ",\n";
   out << "    \"streams\": " << kDevices * kReportsPerFrame << ",\n";
@@ -401,13 +527,7 @@ int run(int argc, char** argv) {
   out << "    \"batch_size\": " << batch << "\n";
   out << "  },\n";
   out << "  \"in_process\": {\n";
-  out << "    \"seconds\": " << std::to_string(reference.seconds) << ",\n";
-  out << "    \"reports_per_sec\": "
-      << std::to_string(reference.seconds > 0.0
-                            ? static_cast<double>(reports) /
-                                  reference.seconds
-                            : 0.0)
-      << ",\n";
+  out << json_rate_fields(reference.seconds, reports);
   out << "    \"rows\": " << reference.rows << "\n";
   out << "  },\n";
 
@@ -422,8 +542,24 @@ int run(int argc, char** argv) {
   }
   out << wire_json("wire_single_thread", single, reports, single_ok,
                    depth_extra);
-  out << wire_json("wire_sharded", sharded, reports, sharded_ok,
-                   "    \"shards\": " + std::to_string(shards) + ",\n");
+
+  out << "  \"plane_sweep\": [\n";
+  for (std::size_t i = 0; i < plane_runs.size(); ++i) {
+    const PlaneRun& run = plane_runs[i];
+    out << "    {\"lanes\": " << run.lanes << ", \"shards\": "
+        << run.shards << ", \"seconds\": " << std::to_string(run.seconds)
+        << ", \"reports_per_sec\": "
+        << std::to_string(run.seconds > 0.0
+                              ? static_cast<double>(run.reports) /
+                                    run.seconds
+                              : 0.0)
+        << ", \"rows\": " << run.rows << ", \"rounds\": " << run.rounds
+        << ", \"ring_full_backpressure\": " << run.backpressure
+        << ", \"bit_identical\": "
+        << (run.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < plane_runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
 
   out << "  \"corrupt\": {\n";
   out << "    \"frames_offered\": "
@@ -438,38 +574,50 @@ int run(int argc, char** argv) {
   out << "  },\n";
 
   // Ratio block in the perf-gate's shape: "speedup" entries under a named
-  // section so tools/check_perf_regression.py --section ingest_ratios can
-  // gate them once a baseline lands.
+  // section gated by tools/check_perf_regression.py --section
+  // ingest_ratios against bench/BENCH_ingest.baseline.json.  Each plane
+  // cell gets its own lane-count-stamped row against the single-lane
+  // baseline rate, so a regression in either decode fan-out or the
+  // ordered station path moves a gated number.
+  const double single_rate =
+      single.seconds > 0.0
+          ? static_cast<double>(reports) / single.seconds
+          : 0.0;
   const double wire_vs_inprocess =
       single.seconds > 0.0 ? reference.seconds / single.seconds : 0.0;
-  const double sharded_vs_single =
-      sharded.seconds > 0.0 ? single.seconds / sharded.seconds : 0.0;
   out << "  \"ingest_ratios\": {\n";
   out << "    \"wire_vs_inprocess\": {\"speedup\": "
       << std::to_string(wire_vs_inprocess) << "},\n";
-  out << "    \"sharded_vs_single_thread\": {\"speedup\": "
-      << std::to_string(sharded_vs_single) << "}\n";
-  out << "  }\n";
+  out << "    \"sharded_plane_vs_single_lane\": {\"speedup\": "
+      << std::to_string(single_rate > 0.0 ? plane_best_rate / single_rate
+                                          : 0.0)
+      << "}";
+  for (const PlaneRun& run : plane_runs) {
+    const double rate =
+        run.seconds > 0.0
+            ? static_cast<double>(run.reports) / run.seconds
+            : 0.0;
+    out << ",\n    \"plane_lanes" << run.lanes << "_shards" << run.shards
+        << "\": {\"speedup\": "
+        << std::to_string(single_rate > 0.0 ? rate / single_rate : 0.0)
+        << "}";
+  }
+  out << "\n  }\n";
   out << "}\n";
   out.close();
 
   std::remove(capture_path.c_str());
 
-  std::cerr << "[bench_ingest] single-thread: "
-            << (single.seconds > 0.0
-                    ? static_cast<double>(reports) / single.seconds
-                    : 0.0)
+  std::cerr << "[bench_ingest] single-lane baseline: " << single_rate
             << " reports/sec, bit_identical="
             << (single_ok ? "true" : "false") << "\n";
-  std::cerr << "[bench_ingest] sharded x" << shards << ": "
-            << (sharded_seconds > 0.0
-                    ? static_cast<double>(reports) / sharded_seconds
-                    : 0.0)
-            << " reports/sec, bit_identical="
-            << (sharded_ok ? "true" : "false") << "\n";
+  std::cerr << "[bench_ingest] best plane cell: " << plane_best_rate
+            << " reports/sec ("
+            << (single_rate > 0.0 ? plane_best_rate / single_rate : 0.0)
+            << "x single-lane)\n";
   std::cerr << "[bench_ingest] wrote " << path << "\n";
 
-  if (!single_ok || !sharded_ok) {
+  if (!single_ok || !plane_ok) {
     std::cerr << "[bench_ingest] FAIL: wire replay diverged from the "
                  "in-process reference\n";
     return 1;

@@ -11,6 +11,7 @@
 // configure time, then "unknown".
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -56,6 +57,18 @@ inline std::string json_stamp(const std::string& schema,
   out += "  \"native\": false,\n";
 #endif
   return out;
+}
+
+/// The timed-leg rate pair every throughput block repeats — `"seconds"`
+/// and `"<what>_per_sec"` — as four-space-indented, comma-terminated
+/// lines.  One writer, so the zero-seconds guard and the field spelling
+/// can't drift between legs.
+inline std::string json_rate_fields(double seconds, std::uint64_t count,
+                                    const std::string& what = "reports") {
+  const double rate =
+      seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+  return "    \"seconds\": " + std::to_string(seconds) + ",\n    \"" +
+         what + "_per_sec\": " + std::to_string(rate) + ",\n";
 }
 
 }  // namespace fadewich::bench

@@ -69,6 +69,28 @@ std::optional<bool> env_flag(const char* name) {
   malformed(name, *value, "one of 0|1|on|off|true|false");
 }
 
+std::optional<double> env_positive_real(const char* name) {
+  const std::optional<std::string> value = env_raw(name);
+  if (!value) return std::nullopt;
+  // Pre-filter to plain decimal characters: strtod's laxness (inf/nan,
+  // hex floats, leading whitespace) is exactly what a strict knob must
+  // not accept.
+  for (const char c : *value) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != 'e' && c != 'E' && c != '+' && c != '-') {
+      malformed(name, *value, "a finite positive number");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (errno != 0 || end == value->c_str() || *end != '\0' ||
+      !(parsed > 0.0) || parsed > 1e12) {
+    malformed(name, *value, "a finite positive number");
+  }
+  return parsed;
+}
+
 std::vector<std::size_t> env_count_list(const char* name,
                                         std::size_t max_value) {
   const std::optional<std::string> value = env_raw(name);

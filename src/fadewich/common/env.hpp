@@ -35,4 +35,10 @@ std::optional<bool> env_flag(const char* name);
 std::vector<std::size_t> env_count_list(const char* name,
                                         std::size_t max_value = 1u << 20);
 
+/// Positive-real knob (e.g. FADEWICH_REPLAY_PACE=2.5 for a replay at
+/// 2.5x recorded speed).  Unset -> nullopt.  Anything but a finite
+/// decimal number > 0 — including "inf", "nan", hex floats, and
+/// trailing junk — throws fadewich::Error.
+std::optional<double> env_positive_real(const char* name);
+
 }  // namespace fadewich::common

@@ -121,6 +121,10 @@ double OfficeShard::sample(Tick tick, std::size_t stream) const {
 
 void OfficeShard::fill_block(Tick from, Tick count) {
   block_.resize(static_cast<std::size_t>(count), config_.streams);
+  if (row_source_) {
+    row_source_(from, static_cast<std::size_t>(count), block_);
+    return;
+  }
   for (Tick i = 0; i < count; ++i) {
     double* row = block_.row(static_cast<std::size_t>(i));
     for (std::size_t s = 0; s < config_.streams; ++s) {
@@ -216,7 +220,16 @@ void OfficeShard::run_until(Tick boundary) {
     const Tick count = std::min<Tick>(
         static_cast<Tick>(config_.block_ticks), boundary - from);
     const auto frame = arena_.frame();
-    fill_block(from, count);
+    try {
+      fill_block(from, count);
+    } catch (const std::exception& e) {
+      // A RowSource stepped past its buffered rows (a sequencing bug in
+      // the driver above us) — fault the shard, never throw across the
+      // fleet boundary.
+      faulted_ = true;
+      fault_what_ = e.what();
+      return;
+    }
     for (Tick i = 0; i < count; ++i) {
       try {
         step_tick(from + i, static_cast<std::size_t>(i));

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,10 +74,25 @@ class OfficeShard {
   OfficeShard(std::size_t index, std::uint64_t seed, ShardConfig config);
 
   std::size_t index() const { return index_; }
+  std::size_t streams() const { return config_.streams; }
   Tick tick() const { return system_.tick(); }
   bool training() const { return system_.training(); }
 
   void set_metrics(ShardMetrics metrics) { metrics_ = metrics; }
+
+  /// External RSSI driver — the ingestion bridge's hook.  When set,
+  /// fill_block() asks the source for each staged block instead of
+  /// synthesising samples: source(from, count, block) must write
+  /// `count` rows of `streams` values for ticks [from, from + count).
+  /// Only the RSSI synthesis is replaced — the occupancy script still
+  /// supplies input events and ground-truth accounting.  The source
+  /// must be a deterministic function of the tick range (like sample())
+  /// or snapshot recovery loses its exact-replay property.
+  using RowSource = std::function<void(Tick from, std::size_t count,
+                                       common::FlatMatrix& block)>;
+  void set_row_source(RowSource source) {
+    row_source_ = std::move(source);
+  }
 
   /// Attach a snapshot ring: the shard checkpoints every
   /// `checkpoint_period` ticks and can restore_from_ring() after a
@@ -157,6 +173,7 @@ class OfficeShard {
   double tick_hz_;
 
   core::FadewichSystem system_;
+  RowSource row_source_;          // external RSSI driver, else sample()
   common::FlatMatrix block_;      // block_ticks x streams staging rows
   common::ScratchArena arena_;
   ShardMetrics metrics_;

@@ -161,6 +161,10 @@ std::vector<Tick> CentralStation::ingest(MessageBus& bus,
 
 std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
                                          std::optional<Tick> now) {
+  // A live ordered-path assembly row is just a pending row the fast path
+  // kept out of the map; fold it back in so the two paths can interleave
+  // on one station without losing reports.
+  spill_assembly();
   for (const Measurement& m : batch) {
     ++health_.reports;
     StationMetrics::get().reports.inc();
@@ -245,6 +249,164 @@ std::vector<Tick> CentralStation::ingest(std::span<const Measurement> batch,
     ready.push_back(tick);
   }
   return ready;  // std::map iterates in ascending tick order
+}
+
+void CentralStation::spill_assembly() {
+  if (!assembly_live_) return;
+  assembly_live_ = false;
+  pending_.emplace(assembly_tick_, std::move(assembly_));
+  assembly_ = PendingRow{};
+}
+
+void CentralStation::emit_assembly(const RowSink& on_row) {
+  emit_row_.tick = assembly_tick_;
+  emit_row_.values.swap(assembly_.values);
+  emit_row_.valid.swap(assembly_.present);
+  if (assembly_.filled == stream_count()) {
+    emit_row_.missing = 0;
+    std::copy(emit_row_.values.begin(), emit_row_.values.end(),
+              last_value_.begin());
+  } else {
+    // Incomplete release under the ordered contract (the stream moved
+    // past this tick): same imputation taxonomy as release().
+    ++health_.incomplete_releases;
+    StationMetrics::get().incomplete.inc();
+    emit_row_.missing = stream_count() - assembly_.filled;
+    for (std::size_t s = 0; s < emit_row_.values.size(); ++s) {
+      if (!emit_row_.valid[s]) {
+        emit_row_.values[s] = last_value_[s];
+        ++health_.imputed_cells;
+        ++health_.imputed_per_stream[s];
+        ++lifetime_imputed_;
+      } else {
+        last_value_[s] = emit_row_.values[s];
+      }
+    }
+    StationMetrics::get().imputed.add(
+        static_cast<double>(emit_row_.missing));
+  }
+  if (assembly_tick_ > release_watermark_) {
+    release_watermark_ = assembly_tick_;
+  }
+  on_row(emit_row_);
+  // Reclaim the buffers: the sink contract says the row dies with the
+  // call, so the vectors come straight back for the next assembly.
+  assembly_.values.swap(emit_row_.values);
+  assembly_.present.swap(emit_row_.valid);
+  std::fill(assembly_.values.begin(), assembly_.values.end(), 0.0);
+  std::fill(assembly_.present.begin(), assembly_.present.end(),
+            std::uint8_t{0});
+  assembly_.filled = 0;
+  assembly_live_ = false;
+}
+
+std::size_t CentralStation::ingest_ordered(std::span<const Measurement> batch,
+                                           const RowSink& on_row,
+                                           std::optional<Tick> now) {
+  std::size_t emitted = 0;
+  std::size_t i = 0;
+  // The fast loop assumes strict mode and no carried-over generic state;
+  // anything else (and any mid-batch ordering violation below) drops to
+  // the generic path, which implements the full semantics.
+  if (config_.deadline_ticks == 0 && pending_.empty() &&
+      released_.empty()) {
+    const std::size_t streams = stream_count();
+    const std::size_t devices = device_count_;
+    // obs counters and the hot health_ totals are flushed once per batch
+    // instead of bumped per measurement — at millions of reports/sec the
+    // per-inc() shard lookup (and even a per-report member store) is the
+    // dominant station cost.
+    std::uint64_t n_reports = 0, n_dup = 0, n_dup_rej = 0, n_late = 0,
+                  n_malformed = 0;
+    for (; i < batch.size(); ++i) {
+      const Measurement& m = batch[i];
+      ++n_reports;
+      if (m.tx >= devices || m.rx >= devices || m.tx == m.rx ||
+          m.tick < 0) {
+        ++n_malformed;
+        ++health_.malformed;
+        continue;
+      }
+      const std::size_t s =
+          static_cast<std::size_t>(m.tx) * (devices - 1) +
+          (m.rx < m.tx ? m.rx : m.rx - 1);
+      if (assembly_live_ && m.tick != assembly_tick_) {
+        if (m.tick < assembly_tick_) {
+          // Tick regression: the ordering contract is broken; let the
+          // generic path handle this and everything after it.
+          break;
+        }
+        // A strictly newer tick finalises the assembly row, complete or
+        // not — emit_assembly imputes missing cells (see header doc).
+        emit_assembly(on_row);
+        ++emitted;
+      }
+      if (!assembly_live_) {
+        if (m.tick <= release_watermark_) {
+          // Straggler for an already-emitted (or given-up) tick: same
+          // late/duplicate taxonomy as the generic path.
+          ++n_late;
+          ++health_.late_reports;
+          if (seen_ticks_[s].seen(static_cast<std::uint64_t>(m.tick))) {
+            ++n_dup_rej;
+            ++health_.duplicates_rejected;
+          }
+          continue;
+        }
+        if (assembly_.values.size() != streams) {
+          assembly_.values.assign(streams, 0.0);
+          assembly_.present.assign(streams, 0);
+        }
+        assembly_tick_ = m.tick;
+        assembly_live_ = true;
+      }
+      PendingRow& row = assembly_;
+      if (!row.present[s]) {
+        row.present[s] = 1;
+        ++row.filled;
+        row.values[s] = m.rssi_dbm;
+        seen_ticks_[s].accept(static_cast<std::uint64_t>(m.tick));
+      } else {
+        ++n_dup;
+        ++health_.duplicates;
+        if (row.values[s] == m.rssi_dbm) {
+          ++n_dup_rej;
+          ++health_.duplicates_rejected;
+        } else {
+          row.values[s] = m.rssi_dbm;  // revised reports keep the latest
+        }
+      }
+    }
+    health_.reports += n_reports;
+    StationMetrics& mx = StationMetrics::get();
+    if (n_reports) mx.reports.add(n_reports);
+    if (n_dup) mx.duplicates.add(n_dup);
+    if (n_dup_rej) mx.duplicates_rejected.add(n_dup_rej);
+    if (n_late) mx.late.add(n_late);
+    if (n_malformed) mx.malformed.add(n_malformed);
+  }
+  if (i < batch.size()) {
+    // Generic remainder: spill the live row (ingest() does), run the
+    // full-semantics path, and forward whatever it releases.
+    const std::vector<Tick> ready = ingest(batch.subspan(i), now);
+    for (const Tick tick : ready) {
+      if (std::optional<StationRow> row = take_row(tick)) {
+        on_row(*row);
+        ++emitted;
+      }
+    }
+  }
+  return emitted;
+}
+
+std::size_t CentralStation::finish_ordered(const RowSink& on_row) {
+  if (!assembly_live_) return 0;
+  if (assembly_.filled == stream_count()) {
+    emit_assembly(on_row);
+    return 1;
+  }
+  spill_assembly();  // strict mode holds it, as the generic path would
+  return 0;
 }
 
 std::optional<StationRow> CentralStation::take_row(Tick tick) {

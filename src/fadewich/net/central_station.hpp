@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
@@ -111,9 +112,48 @@ class CentralStation {
   /// decide how to recover; the station never aborts on runtime input.
   std::optional<StationRow> take_row(Tick tick);
 
-  /// Rows currently buffered (pending assembly + released, untaken).
+  /// A completed-row consumer for the ordered fast path.  The row
+  /// reference is valid only for the duration of the call — the station
+  /// reuses its storage for the next row.
+  using RowSink = std::function<void(const StationRow&)>;
+
+  /// Ordered-batch fast path: ingest a measurement stream whose ticks
+  /// are non-decreasing (the sharded ingest plane's per-shard contract),
+  /// handing each completed row to `on_row` the moment a newer tick
+  /// arrives.  This skips the per-measurement map lookups and per-row
+  /// allocations of the generic path: one reusable assembly row is
+  /// filled in place and emitted by callback, never staged in the
+  /// released map.  For clean tick-ordered input in strict mode it
+  /// delivers exactly the rows the generic path would (verified by
+  /// test), except that the final tick is held until the next call
+  /// advances past it or finish_ordered() declares end-of-stream —
+  /// emission timing depends only on the measurement sequence, never on
+  /// batch boundaries, which is what keeps sharded replay bit-identical
+  /// at any lane count.  One documented divergence: when a strictly
+  /// newer tick arrives while the assembly row is still incomplete (a
+  /// frame was lost upstream), the ordered contract says no more
+  /// reports for that row are coming, so it is released incomplete with
+  /// last-known-value imputation — the same taxonomy a one-tick
+  /// deadline applies — where the strict generic path would buffer it
+  /// until eviction pressure.  Holding it would stall every later row
+  /// behind the monotone-release gate for the rest of the capture.
+  /// Deadline-configured stations, carried-over pending/released state,
+  /// and tick regressions all fall back to the generic path (full
+  /// semantics, no ordering assumed).  Returns rows emitted.
+  std::size_t ingest_ordered(std::span<const Measurement> batch,
+                             const RowSink& on_row,
+                             std::optional<Tick> now = std::nullopt);
+
+  /// Declare end-of-stream for the ordered path: a live complete
+  /// assembly row is emitted; a live incomplete one is spilled to the
+  /// generic pending map (where strict mode holds it, exactly as the
+  /// generic path would).  Returns rows emitted (0 or 1).
+  std::size_t finish_ordered(const RowSink& on_row);
+
+  /// Rows currently buffered (pending assembly + released, untaken,
+  /// plus the ordered path's live assembly row).
   std::size_t buffered_count() const {
-    return pending_.size() + released_.size();
+    return pending_.size() + released_.size() + (assembly_live_ ? 1 : 0);
   }
 
   const StationHealth& health() const { return health_; }
@@ -134,6 +174,8 @@ class CentralStation {
 
   void release(Tick tick, PendingRow&& row, bool complete);
   void evict_oldest();
+  void spill_assembly();
+  void emit_assembly(const RowSink& on_row);
 
   std::size_t device_count_;
   StationConfig config_;
@@ -146,6 +188,12 @@ class CentralStation {
   // the wire, or FaultInjector's duplicate taxon — is rejected before it
   // touches (or re-opens) any row.
   std::vector<SeqWindow> seen_ticks_;
+  // The ordered fast path's single in-place assembly row (live iff
+  // assembly_live_) and the reusable emission buffer it swaps through.
+  PendingRow assembly_;
+  StationRow emit_row_;
+  Tick assembly_tick_ = -1;
+  bool assembly_live_ = false;
   Tick release_watermark_ = -1;  // highest tick released or evicted
   StationHealth health_;
   std::uint64_t lifetime_evictions_ = 0;

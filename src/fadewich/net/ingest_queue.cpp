@@ -1,5 +1,7 @@
 #include "fadewich/net/ingest_queue.hpp"
 
+#include <algorithm>
+
 #include "fadewich/common/error.hpp"
 
 namespace fadewich::net {
@@ -61,6 +63,39 @@ std::size_t IngestQueue::pop_batch(std::span<Measurement> out) {
   head_.store(head + n, std::memory_order_release);
   popped_.fetch_add(n, std::memory_order_relaxed);
   return n;
+}
+
+std::span<Measurement> IngestQueue::back_span(std::size_t limit) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::size_t at = static_cast<std::size_t>(tail) & mask_;
+  const std::size_t room =
+      slots_.size() - static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min({limit, room, slots_.size() - at});
+  return {slots_.data() + at, n};
+}
+
+void IngestQueue::publish(std::size_t n) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  tail_.store(tail + n, std::memory_order_release);
+  pushed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::span<const Measurement> IngestQueue::front_span(
+    std::size_t limit) const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t at = static_cast<std::size_t>(head) & mask_;
+  const std::size_t queued = static_cast<std::size_t>(tail - head);
+  const std::size_t n =
+      std::min({limit, queued, slots_.size() - at});
+  return {slots_.data() + at, n};
+}
+
+void IngestQueue::consume(std::size_t n) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  head_.store(head + n, std::memory_order_release);
+  popped_.fetch_add(n, std::memory_order_relaxed);
 }
 
 IngestQueue::Counters IngestQueue::counters() const {

@@ -56,9 +56,31 @@ class IngestQueue {
   /// first refusal so relative order is never broken.
   std::size_t push_some(std::span<const Measurement> batch);
 
+  /// Producer side, zero-copy: the longest contiguous free run writers
+  /// may fill in place (empty when the ring is full or the producer
+  /// cursor just wrapped).  Slots stay invisible to the consumer until
+  /// the matching publish().
+  std::span<Measurement> back_span(std::size_t limit);
+
+  /// Publish the first `n` slots of back_span() to the consumer.
+  /// Requires n <= back_span(n).size().
+  void publish(std::size_t n);
+
   /// Consumer side: dequeue up to out.size() measurements in FIFO order;
   /// returns the count written to the front of `out`.
   std::size_t pop_batch(std::span<Measurement> out);
+
+  /// Consumer side, zero-copy: the longest contiguous queued run (empty
+  /// when the ring is drained or the producer just wrapped).  The span
+  /// aliases ring storage and stays valid until the matching consume();
+  /// the producer can meanwhile write other slots but never these.  A
+  /// wrapped backlog surfaces as two successive spans.
+  std::span<const Measurement> front_span(std::size_t limit) const;
+
+  /// Retire the first `n` measurements of front_span().  Requires
+  /// n <= front_span(n).size() — consuming slots never handed out is a
+  /// logic error upstream, not runtime input.
+  void consume(std::size_t n);
 
   Counters counters() const;
 

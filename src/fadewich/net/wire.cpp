@@ -149,6 +149,91 @@ void to_measurements(const DecodedFrame& frame,
   }
 }
 
+ScanOutcome scan_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t pos, FrameView& view,
+                       WireCounters& counters) {
+  const std::uint8_t* p = bytes.data() + pos;
+  const std::size_t avail = bytes.size() - pos;
+  if (avail < sizeof(kMagic)) return ScanOutcome::kNeedMore;
+  if (!starts_with_magic(p)) {
+    ++counters.resync_bytes;
+    return ScanOutcome::kResync;
+  }
+  if (avail < kWireHeaderSize) return ScanOutcome::kNeedMore;
+  if (p[4] != kWireVersion || (p[5] & ~kWireFlagAuth) != 0) {
+    ++counters.bad_version;
+    return ScanOutcome::kBadVersion;
+  }
+  const bool authed = (p[5] & kWireFlagAuth) != 0;
+  const std::uint16_t count = load_u16(p + 26);
+  if (count == 0 || count > kMaxFrameReports) {
+    ++counters.bad_length;
+    return ScanOutcome::kBadLength;
+  }
+  const std::size_t total = wire_frame_size(count, authed);
+  if (avail < total) return ScanOutcome::kNeedMore;
+  // Header fields are filled before the CRC verdict so a kBadCrc caller
+  // can attribute the rejection (to a shard, a station) — but nothing in
+  // a CRC-failed view is trustworthy beyond that.
+  view.header.station_id = load_u16(p + 6);
+  view.header.seq = load_u64(p + 8);
+  view.header.tick = static_cast<Tick>(load_u64(p + 16));
+  view.header.tx = load_u16(p + 24);
+  view.count = count;
+  view.authenticated = authed;
+  view.size = total;
+  view.reports = p + kWireHeaderSize;
+  view.tag =
+      authed ? load_u64(p + kWireHeaderSize + kWireReportSize * count) : 0;
+  const std::size_t covered = total - sizeof(kMagic) - kWireTrailerSize;
+  if (crc32(p + sizeof(kMagic), covered) !=
+      load_u32(p + total - kWireTrailerSize)) {
+    ++counters.bad_crc;
+    return ScanOutcome::kBadCrc;
+  }
+  ++counters.frames_ok;
+  counters.reports += count;
+  return ScanOutcome::kFrame;
+}
+
+std::size_t finish_scan(std::span<const std::uint8_t> bytes,
+                        std::size_t pos, WireCounters& counters) {
+  const std::size_t leftover = bytes.size() - pos;
+  if (leftover > 0) {
+    // A leftover that opens with magic is a genuinely cut-off frame;
+    // anything shorter or unaligned is stray bytes being resynced past.
+    if (leftover >= sizeof(kMagic) &&
+        starts_with_magic(bytes.data() + pos)) {
+      ++counters.truncated;
+    } else {
+      counters.resync_bytes += leftover;
+    }
+  }
+  return bytes.size();
+}
+
+std::size_t find_frame_boundary(std::span<const std::uint8_t> bytes,
+                                std::size_t from) {
+  WireCounters scratch;
+  FrameView view;
+  std::size_t pos = from;
+  while (pos < bytes.size()) {
+    switch (scan_frame(bytes, pos, view, scratch)) {
+      case ScanOutcome::kFrame:
+        return pos;
+      case ScanOutcome::kNeedMore:
+        // A magic-led fragment that claims more bytes than remain: the
+        // single-lane hunt would stall here too, so no validated frame
+        // starts at or after `pos`.
+        return bytes.size();
+      default:
+        ++pos;
+        break;
+    }
+  }
+  return bytes.size();
+}
+
 obs::HealthBlock health_block(const WireCounters& counters) {
   obs::HealthBlock block;
   block.name = "wire_decoder";
@@ -195,77 +280,38 @@ void FrameDecoder::track_sequence(const FrameHeader& header) {
 }
 
 const DecodedFrame* FrameDecoder::next() {
-  // One loop, three outcomes per iteration: deliver a valid frame,
+  // One scan_frame step per iteration: deliver a valid frame,
   // reject-and-resync by one byte (so a corrupt length field can never
   // swallow the valid frames behind it), or stop and wait for more
   // bytes.  No input byte sequence throws.
-  while (buffer_.size() - pos_ >= sizeof(kMagic)) {
-    const std::uint8_t* p = buffer_.data() + pos_;
-    if (!starts_with_magic(p)) {
-      ++pos_;
-      ++counters_.resync_bytes;
-      continue;
+  const std::span<const std::uint8_t> bytes{buffer_.data(),
+                                            buffer_.size()};
+  FrameView view;
+  for (;;) {
+    switch (scan_frame(bytes, pos_, view, counters_)) {
+      case ScanOutcome::kNeedMore:
+        return nullptr;
+      case ScanOutcome::kFrame: {
+        frame_.header = view.header;
+        frame_.authenticated = view.authenticated;
+        frame_.tag = view.tag;
+        frame_.reports.resize(view.count);  // reuses capacity
+        for (std::uint16_t i = 0; i < view.count; ++i) {
+          frame_.reports[i] = view.report(i);
+        }
+        pos_ += view.size;
+        track_sequence(frame_.header);
+        return &frame_;
+      }
+      default:  // kResync / kBadVersion / kBadLength / kBadCrc
+        ++pos_;
+        break;
     }
-    const std::size_t avail = buffer_.size() - pos_;
-    if (avail < kWireHeaderSize) break;  // header still arriving
-    if (p[4] != kWireVersion || (p[5] & ~kWireFlagAuth) != 0) {
-      ++counters_.bad_version;
-      ++pos_;
-      continue;
-    }
-    const bool authed = (p[5] & kWireFlagAuth) != 0;
-    const std::uint16_t count = load_u16(p + 26);
-    if (count == 0 || count > kMaxFrameReports) {
-      ++counters_.bad_length;
-      ++pos_;
-      continue;
-    }
-    const std::size_t total = wire_frame_size(count, authed);
-    if (avail < total) break;  // body still arriving
-    const std::size_t covered = total - sizeof(kMagic) - kWireTrailerSize;
-    if (crc32(p + sizeof(kMagic), covered) !=
-        load_u32(p + total - kWireTrailerSize)) {
-      ++counters_.bad_crc;
-      ++pos_;
-      continue;
-    }
-
-    frame_.header.station_id = load_u16(p + 6);
-    frame_.header.seq = load_u64(p + 8);
-    frame_.header.tick = static_cast<Tick>(load_u64(p + 16));
-    frame_.header.tx = load_u16(p + 24);
-    frame_.authenticated = authed;
-    frame_.tag = authed ? load_u64(p + kWireHeaderSize +
-                                   kWireReportSize * count)
-                        : 0;
-    frame_.reports.resize(count);  // reuses capacity across frames
-    const std::uint8_t* q = p + kWireHeaderSize;
-    for (std::uint16_t i = 0; i < count; ++i) {
-      frame_.reports[i].rx = load_u16(q);
-      frame_.reports[i].rssi_dbm = static_cast<std::int8_t>(q[2]);
-      q += kWireReportSize;
-    }
-    pos_ += total;
-    ++counters_.frames_ok;
-    counters_.reports += count;
-    track_sequence(frame_.header);
-    return &frame_;
   }
-  return nullptr;
 }
 
 void FrameDecoder::finish() {
-  const std::size_t leftover = buffer_.size() - pos_;
-  if (leftover > 0) {
-    // A leftover that opens with magic is a genuinely cut-off frame;
-    // anything shorter or unaligned is stray bytes being resynced past.
-    if (leftover >= sizeof(kMagic) &&
-        starts_with_magic(buffer_.data() + pos_)) {
-      ++counters_.truncated;
-    } else {
-      counters_.resync_bytes += leftover;
-    }
-  }
+  finish_scan({buffer_.data(), buffer_.size()}, pos_, counters_);
   buffer_.clear();
   pos_ = 0;
 }

@@ -150,6 +150,65 @@ struct WireCounters {
 /// Flatten decoder counters for obs::ScrapeReport.
 obs::HealthBlock health_block(const WireCounters& counters);
 
+/// A zero-copy view of one frame inside a caller-owned buffer.  This is
+/// the lane decoder's unit of work: header fields are parsed out, but
+/// the report batch stays in place (`reports` points into the scanned
+/// bytes), so decoding a capture never copies its payload.  The view is
+/// valid only while the scanned buffer is.
+struct FrameView {
+  FrameHeader header;
+  std::uint16_t count = 0;
+  bool authenticated = false;
+  std::uint64_t tag = 0;
+  std::size_t size = 0;                   // total encoded frame bytes
+  const std::uint8_t* reports = nullptr;  // count x kWireReportSize
+
+  WireReport report(std::size_t i) const {
+    const std::uint8_t* p = reports + i * kWireReportSize;
+    return {static_cast<DeviceId>(p[0] | (p[1] << 8)),
+            static_cast<std::int8_t>(p[2])};
+  }
+};
+
+/// One step of the byte-hunting decode loop, shared by FrameDecoder and
+/// the sharded ingest plane's lane workers.  Every outcome but kFrame
+/// and kNeedMore advances the hunt by exactly one byte, so a corrupt
+/// length field can never swallow the valid frames behind it.
+enum class ScanOutcome : std::uint8_t {
+  kFrame,       // `view` holds a validated frame; advance by view.size
+  kResync,      // no magic at pos; advance one byte
+  kBadVersion,  // magic but unknown version or flags; advance one byte
+  kBadLength,   // zero or oversized report count; advance one byte
+  kBadCrc,      // fully parsed but failed the CRC trailer; advance one
+                // byte.  view.header/count/size are filled so callers
+                // can attribute the rejection — but they are UNTRUSTED
+  kNeedMore,    // the suffix may be a frame prefix; feed more bytes or
+                // close out with finish_scan()
+};
+
+/// Classify the bytes at `bytes[pos..]`.  Requires pos <= bytes.size().
+/// `counters` is updated to match the outcome (frames_ok/reports on
+/// kFrame, the rejection buckets otherwise); kNeedMore counts nothing —
+/// the caller either feeds more bytes or calls finish_scan().  Never
+/// throws on any input byte sequence.
+ScanOutcome scan_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t pos, FrameView& view,
+                       WireCounters& counters);
+
+/// End-of-stream accounting for the tail a scan left behind (kNeedMore):
+/// a magic-led fragment counts as one truncated frame, anything else as
+/// resync bytes.  Returns bytes.size().
+std::size_t finish_scan(std::span<const std::uint8_t> bytes,
+                        std::size_t pos, WireCounters& counters);
+
+/// The first offset at or after `from` holding a CRC-validated frame, or
+/// bytes.size() when the suffix holds none.  This is how the sharded
+/// ingest plane aligns lane boundaries to real frame starts: a validated
+/// frame is one the single-lane hunt would also deliver, so planning on
+/// validated starts partitions the stream without double-delivery.
+std::size_t find_frame_boundary(std::span<const std::uint8_t> bytes,
+                                std::size_t from);
+
 class FrameDecoder {
  public:
   FrameDecoder() = default;

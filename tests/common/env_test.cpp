@@ -101,6 +101,31 @@ TEST_F(EnvTest, CountListParsesCommaSeparatedSweeps) {
   }
 }
 
+TEST_F(EnvTest, PositiveRealParsesPlainDecimals) {
+  unsetenv("FADEWICH_TEST_KNOB");
+  EXPECT_FALSE(env_positive_real("FADEWICH_TEST_KNOB").has_value());
+  set("2.5");
+  EXPECT_EQ(env_positive_real("FADEWICH_TEST_KNOB"), 2.5);
+  set("1");
+  EXPECT_EQ(env_positive_real("FADEWICH_TEST_KNOB"), 1.0);
+  set("0.25");
+  EXPECT_EQ(env_positive_real("FADEWICH_TEST_KNOB"), 0.25);
+  set("1e3");
+  EXPECT_EQ(env_positive_real("FADEWICH_TEST_KNOB"), 1000.0);
+}
+
+TEST_F(EnvTest, PositiveRealRejectsMalformedValues) {
+  // The replay pacing knob (FADEWICH_REPLAY_PACE) reads through this:
+  // a silently-zero or infinite pace either stalls the replay forever
+  // or removes the throttle it was meant to impose.
+  for (const char* bad :
+       {"0", "-1.5", "fast", "2.5x", "1.5 ", "inf", "-inf", "nan",
+        "0x1p3", "1e400", "1e13", "..", "1.2.3"}) {
+    set(bad);
+    EXPECT_THROW(env_positive_real("FADEWICH_TEST_KNOB"), Error) << bad;
+  }
+}
+
 TEST_F(EnvTest, ThreadKnobRejectsMalformedValues) {
   // default_thread_count() routes FADEWICH_THREADS through env_count:
   // a malformed pool size must throw before a fleet run silently uses
